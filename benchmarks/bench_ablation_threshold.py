@@ -1,0 +1,106 @@
+"""Ablation — the Section VI design choice ``L = n - f``.
+
+DESIGN.md calls out the one free parameter of the paper's algorithm: the
+stage-1 waiting threshold ``L``.  The paper argues that ``L`` should be as
+large as possible (fewer source components, hence fewer decision values)
+but no larger than ``n - f`` (otherwise processes may wait for messages
+that never come).  This ablation sweeps ``L`` for a fixed ``(n, f)`` and
+measures both effects:
+
+* *termination with f initial crashes* — holds exactly for ``L <= n - f``;
+* *worst-case number of distinct decisions* — under the partitioning
+  adversary that splits the system into ``n / L`` groups of size ``L``,
+  the protocol decides exactly ``n / L`` values, matching the Lemma 6
+  bound ``floor(n / L)``.
+
+Together they show ``L = n - f`` is the unique optimum, i.e. the paper's
+choice.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.two_stage import TwoStageKnowledgeProtocol
+from repro.analysis.reporting import format_table
+from repro.failure_detectors.base import FailurePattern
+from repro.models.initial_crash import initial_crash_model
+from repro.simulation.adversary import PartitioningAdversary
+from repro.simulation.executor import ExecutionSettings, execute
+from benchmarks.conftest import emit
+
+N, F = 12, 8
+#: thresholds that divide n evenly, so the partitioning construction is exact.
+THRESHOLDS = [1, 2, 3, 4, 6, 12]
+
+
+def measure_threshold(threshold: int):
+    model = initial_crash_model(N, F)
+    algorithm = TwoStageKnowledgeProtocol(N, threshold)
+    proposals = {p: p for p in model.processes}
+
+    # (a) termination with the worst-case f initial crashes
+    dead = set(range(N - F + 1, N + 1))
+    pattern = FailurePattern.initially_dead(model.processes, dead)
+    crash_run = execute(
+        algorithm, model, proposals, failure_pattern=pattern,
+        settings=ExecutionSettings(max_steps=600),
+    )
+    terminates = crash_run.correct_processes() <= crash_run.decided_processes()
+
+    # (b) worst-case number of distinct decisions (no crashes, partitioned)
+    groups = [
+        frozenset(range(i * threshold + 1, (i + 1) * threshold + 1))
+        for i in range(N // threshold)
+    ]
+    partition_run = execute(
+        algorithm, model, proposals,
+        adversary=PartitioningAdversary(groups),
+        settings=ExecutionSettings(max_steps=5_000),
+    )
+    distinct = len(partition_run.distinct_decisions())
+    return terminates, distinct
+
+
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+def test_threshold_point(benchmark, threshold):
+    terminates, distinct = benchmark.pedantic(
+        measure_threshold, args=(threshold,), iterations=1, rounds=1
+    )
+    assert terminates == (threshold <= N - F)
+    assert distinct == N // threshold
+    benchmark.extra_info.update(
+        {"L": threshold, "terminates_with_f_crashes": terminates, "worst_case_decisions": distinct}
+    )
+
+
+def test_threshold_ablation_table(benchmark):
+    def build():
+        rows = []
+        for threshold in THRESHOLDS:
+            terminates, distinct = measure_threshold(threshold)
+            rows.append(
+                (
+                    threshold,
+                    "yes" if terminates else "NO",
+                    distinct,
+                    N // threshold,
+                    "<- paper's choice" if threshold == N - F else "",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, iterations=1, rounds=1)
+    emit(
+        f"Ablation: stage-1 threshold L for n={N}, f={F} (paper chooses L = n - f = {N - F})",
+        format_table(
+            ("L", "terminates with f initial crashes", "worst-case distinct decisions",
+             "floor(n/L)", ""),
+            rows,
+        ),
+    )
+    # The paper's choice is the largest threshold that still terminates,
+    # and larger thresholds would only help if they terminated.
+    terminating = [row for row in rows if row[1] == "yes"]
+    best = min(terminating, key=lambda row: row[2])
+    assert best[0] == N - F

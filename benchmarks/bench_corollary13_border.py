@@ -1,0 +1,115 @@
+"""E10 — Corollary 13: k-set agreement with (Sigma_k, Omega_k) iff k=1 or k=n-1.
+
+For every ``n`` in a small range and every ``1 <= k <= n-1`` the benchmark
+determines the simulated outcome:
+
+* ``k = 1`` — the (Sigma, Omega) consensus protocol satisfies all
+  properties under fair and random schedules with crashes;
+* ``k = n-1`` — the Sigma_{n-1} protocol does, under the same treatment;
+* ``2 <= k <= n-2`` — the Theorem 10 construction drives the
+  representative candidate to more than ``k`` distinct decisions,
+
+and checks that the outcome matches the Corollary 13 closed form at every
+point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    FailurePattern,
+    FlawedQuorumKSet,
+    KSetAgreementProblem,
+    SigmaK,
+    SigmaKSetAgreement,
+    SigmaOmegaConsensus,
+    Theorem10Scenario,
+    asynchronous_model,
+    corollary13_verdict,
+    execute,
+    sigma_omega_k,
+)
+from repro.analysis.reporting import format_table
+from repro.simulation.scheduler import RandomScheduler, RoundRobinScheduler
+from benchmarks.conftest import emit
+
+N_VALUES = [4, 5, 6, 7]
+
+
+def observe_k1(n: int) -> bool:
+    model = asynchronous_model(n, n - 1, failure_detector=sigma_omega_k(1, gst=0))
+    outcomes = []
+    for pattern, adversary in [
+        (FailurePattern.all_correct(model.processes), RoundRobinScheduler()),
+        (FailurePattern(model.processes, {n: 0}), RandomScheduler(1, max_delay=8)),
+    ]:
+        run = execute(SigmaOmegaConsensus(n), model, {p: p for p in model.processes},
+                      adversary=adversary, failure_pattern=pattern)
+        outcomes.append(KSetAgreementProblem(1).evaluate(run).all_ok)
+    return all(outcomes)
+
+
+def observe_k_n_minus_1(n: int) -> bool:
+    model = asynchronous_model(n, n - 1, failure_detector=SigmaK(n - 1))
+    outcomes = []
+    for pattern, adversary in [
+        (FailurePattern.all_correct(model.processes), RoundRobinScheduler()),
+        (FailurePattern(model.processes, {p: 0 for p in range(1, n)}), RoundRobinScheduler()),
+        (FailurePattern(model.processes, {1: 0, 2: 5}), RandomScheduler(2)),
+    ]:
+        run = execute(SigmaKSetAgreement(n), model, {p: p for p in model.processes},
+                      adversary=adversary, failure_pattern=pattern)
+        outcomes.append(KSetAgreementProblem(n - 1).evaluate(run).all_ok)
+    return all(outcomes)
+
+
+def observe_middle(n: int, k: int) -> bool:
+    """Return True when a violation is constructible (the impossible side)."""
+    scenario = Theorem10Scenario(n=n, k=k, max_steps=6_000)
+    run, report = scenario.violation_run(FlawedQuorumKSet(n, k))
+    return (not report.agreement_ok) and len(run.distinct_decisions()) > k
+
+
+def classify(n: int, k: int):
+    verdict = corollary13_verdict(n, k)
+    if k == 1:
+        observed_solvable = observe_k1(n)
+        observation = "all properties hold" if observed_solvable else "violation"
+        agrees = observed_solvable == verdict.is_solvable
+    elif k == n - 1:
+        observed_solvable = observe_k_n_minus_1(n)
+        observation = "all properties hold" if observed_solvable else "violation"
+        agrees = observed_solvable == verdict.is_solvable
+    else:
+        violated = observe_middle(n, k)
+        observation = "partitioning forces > k values" if violated else "no violation found"
+        agrees = violated == verdict.is_impossible
+    return verdict, observation, agrees
+
+
+def test_corollary13_border(benchmark):
+    def build():
+        rows = []
+        for n in N_VALUES:
+            for k in range(1, n):
+                verdict, observation, agrees = classify(n, k)
+                rows.append((n, k, str(verdict.verdict), observation, "yes" if agrees else "NO"))
+        return rows
+
+    rows = benchmark.pedantic(build, iterations=1, rounds=1)
+    emit(
+        "E10 Corollary 13: (Sigma_k, Omega_k) solves k-set agreement iff k=1 or k=n-1",
+        format_table(("n", "k", "paper verdict", "simulated observation", "agrees"), rows),
+    )
+    assert all(row[4] == "yes" for row in rows)
+    benchmark.extra_info["points"] = len(rows)
+
+
+@pytest.mark.parametrize("n", N_VALUES)
+def test_corollary13_row(benchmark, n):
+    rows = benchmark.pedantic(
+        lambda: [classify(n, k) for k in range(1, n)], iterations=1, rounds=1
+    )
+    assert all(agrees for _verdict, _observation, agrees in rows)
+    benchmark.extra_info.update({"n": n, "k_points": len(rows)})

@@ -1,0 +1,62 @@
+"""E7 — FLP consensus with initially dead processes (the k = 1 baseline).
+
+The two-stage FLP protocol with the majority threshold is executed for a
+range of system sizes with the maximum number of initial crashes it
+tolerates (``f < n/2``); every run must reach consensus, and the benchmark
+reports the step/message volume — the baseline the Section VI
+generalisation is compared against.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.flp_consensus import FLPConsensus
+from repro.analysis.reporting import format_table
+from repro.analysis.run_properties import run_statistics
+from repro.core.ksetagreement import KSetAgreementProblem
+from repro.failure_detectors.base import FailurePattern
+from repro.models.initial_crash import initial_crash_model
+from repro.simulation.executor import execute
+from repro.simulation.scheduler import RandomScheduler, RoundRobinScheduler
+from benchmarks.conftest import emit
+
+POINTS = [(3, 1), (5, 2), (7, 3), (9, 4), (11, 5), (15, 7)]
+
+
+def run_flp(n: int, f: int, seed=None):
+    model = initial_crash_model(n, f)
+    algorithm = FLPConsensus(n, f)
+    dead = set(range(n - f + 1, n + 1))
+    pattern = FailurePattern.initially_dead(model.processes, dead)
+    adversary = RandomScheduler(seed) if seed is not None else RoundRobinScheduler()
+    run = execute(algorithm, model, {p: p * 3 for p in model.processes},
+                  adversary=adversary, failure_pattern=pattern)
+    report = KSetAgreementProblem(1).evaluate(run)
+    return run, report
+
+
+@pytest.mark.parametrize("n,f", POINTS)
+def test_flp_consensus_point(benchmark, n, f):
+    run, report = benchmark.pedantic(run_flp, args=(n, f), iterations=1, rounds=1)
+    assert report.all_ok, report.violations
+    assert len(run.distinct_decisions()) == 1
+    benchmark.extra_info.update({"n": n, "f": f, **run_statistics(run)})
+
+
+def test_flp_consensus_table(benchmark):
+    def build():
+        rows = []
+        for n, f in POINTS:
+            run, report = run_flp(n, f)
+            stats = run_statistics(run)
+            rows.append((n, f, int(stats["steps"]), int(stats["messages_sent"]),
+                         len(run.distinct_decisions()), "yes" if report.all_ok else "NO"))
+        return rows
+
+    rows = benchmark.pedantic(build, iterations=1, rounds=1)
+    emit(
+        "E7 FLP initial-crash consensus (majority correct)",
+        format_table(("n", "f", "steps", "messages", "distinct decisions", "consensus"), rows),
+    )
+    assert all(row[4] == 1 and row[5] == "yes" for row in rows)

@@ -1,0 +1,75 @@
+"""E11 — T-independence (Section IV): classic progress conditions measured.
+
+For a 6-process system the benchmark checks which of the Section IV
+progress-condition families the two reference algorithms satisfy
+constructively:
+
+* the decide-own-value protocol is wait-free: every nonempty subset of
+  processes can decide in isolation (2^n - 1 witnesses);
+* the Section VI protocol with ``f`` initial crashes is f-resilient but not
+  wait-free: exactly the subsets of size at least ``n - f`` decide in
+  isolation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DecideOwnValue, KSetInitialCrash, initial_crash_model
+from repro.analysis.reporting import format_table
+from repro.core.independence import (
+    check_independence,
+    f_resilient_family,
+    obstruction_free_family,
+    wait_free_family,
+)
+from benchmarks.conftest import emit
+
+N, F = 6, 3
+
+
+def run_families():
+    model = initial_crash_model(N, F)
+    proposals = {p: p for p in model.processes}
+    results = {}
+    results["trivial / wait-free"] = check_independence(
+        DecideOwnValue(), model, wait_free_family(model.processes), proposals, max_steps=200,
+    )
+    results["section6 / f-resilient"] = check_independence(
+        KSetInitialCrash(N, F), model, f_resilient_family(model.processes, F),
+        proposals, max_steps=2_000,
+    )
+    results["section6 / obstruction-free"] = check_independence(
+        KSetInitialCrash(N, F), model, obstruction_free_family(model.processes),
+        proposals, max_steps=300,
+    )
+    results["section6 / wait-free"] = check_independence(
+        KSetInitialCrash(N, F), model, wait_free_family(model.processes),
+        proposals, max_steps=500,
+    )
+    return results
+
+
+def test_independence_families(benchmark):
+    results = benchmark.pedantic(run_families, iterations=1, rounds=1)
+    rows = []
+    for label, witnesses in results.items():
+        holding = sum(w.holds for w in witnesses)
+        rows.append((label, len(witnesses), holding))
+    emit(
+        "E11 T-independence of the reference algorithms (n=6, f=3)",
+        format_table(("algorithm / family", "sets checked", "sets independent"), rows),
+    )
+    table = dict((row[0], row) for row in rows)
+    # wait-freedom of the trivial protocol: all 63 subsets
+    assert table["trivial / wait-free"][1] == table["trivial / wait-free"][2] == 63
+    # f-resilience of the Section VI protocol: all subsets of size >= n - f
+    assert table["section6 / f-resilient"][1] == table["section6 / f-resilient"][2]
+    # but not obstruction-freedom / wait-freedom: singletons cannot decide alone
+    assert table["section6 / obstruction-free"][2] == 0
+    assert table["section6 / wait-free"][2] < table["section6 / wait-free"][1]
+    # precisely the large-enough subsets are independent
+    section6_waitfree = results["section6 / wait-free"]
+    for witness in section6_waitfree:
+        assert witness.holds == (len(witness.subset) >= N - F), witness.subset
+    benchmark.extra_info.update({label: f"{row[2]}/{row[1]}" for label, row in table.items()})

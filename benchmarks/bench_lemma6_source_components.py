@@ -1,0 +1,87 @@
+"""E3 — Lemma 6 / Lemma 7: source components of bounded-in-degree digraphs.
+
+For random directed graphs in which every vertex has in-degree at least
+``delta``, the benchmark measures the number and size of source components
+and checks the two facts the Section VI algorithm rests on:
+
+* some source component has size at least ``delta + 1`` (Lemma 6), in every
+  weakly connected component (Lemma 7);
+* the number of source components never exceeds ``floor(n / (delta + 1))``
+  — which is exactly the bound on distinct decision values.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.graphs.digraph import DiGraph
+from repro.graphs.source_components import lemma6_bound, verify_lemma6, verify_lemma7
+from benchmarks.conftest import emit
+
+#: (n, delta, number of random graphs) rows of the reproduced table.
+GRID = [(8, 1, 20), (16, 3, 20), (32, 3, 15), (64, 7, 10), (128, 15, 5)]
+
+
+def random_graph(n: int, delta: int, seed: int) -> DiGraph:
+    rng = random.Random(seed)
+    graph = DiGraph(nodes=range(1, n + 1))
+    for v in range(1, n + 1):
+        for u in rng.sample([u for u in range(1, n + 1) if u != v], delta):
+            graph.add_edge(u, v)
+    for _ in range(n // 2):
+        u, v = rng.randrange(1, n + 1), rng.randrange(1, n + 1)
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+def measure(n: int, delta: int, samples: int):
+    counts, largest, all_hold = [], [], True
+    for seed in range(samples):
+        graph = random_graph(n, delta, seed)
+        evidence = verify_lemma6(graph)
+        weak = verify_lemma7(graph)
+        counts.append(evidence["count"])
+        largest.append(evidence["largest_source_size"])
+        if not (evidence["holds"] and weak["holds"]):
+            all_hold = False
+    return {
+        "max_count": max(counts),
+        "bound": lemma6_bound(n, delta),
+        "min_largest": min(largest),
+        "required_size": delta + 1,
+        "all_hold": all_hold,
+    }
+
+
+@pytest.mark.parametrize("n,delta,samples", GRID)
+def test_lemma6_point(benchmark, n, delta, samples):
+    result = benchmark.pedantic(measure, args=(n, delta, samples), iterations=1, rounds=1)
+    assert result["all_hold"]
+    assert result["max_count"] <= result["bound"]
+    assert result["min_largest"] >= result["required_size"]
+    benchmark.extra_info.update({"n": n, "delta": delta, **result})
+
+
+def test_lemma6_table(benchmark):
+    def build():
+        return [
+            (n, delta, samples, r["max_count"], r["bound"], r["min_largest"], r["required_size"])
+            for (n, delta, samples) in GRID
+            for r in (measure(n, delta, samples),)
+        ]
+
+    rows = benchmark.pedantic(build, iterations=1, rounds=1)
+    emit(
+        "E3 Lemma 6/7: source components of in-degree->=delta digraphs",
+        format_table(
+            ("n", "delta", "graphs", "max #source comps", "floor(n/(delta+1))",
+             "min largest source", "delta+1"),
+            rows,
+        ),
+    )
+    for row in rows:
+        assert row[3] <= row[4] and row[5] >= row[6]

@@ -1,0 +1,84 @@
+"""E12 — the consensus catalogue used for Theorem 1's condition (C).
+
+The benchmark exercises the consensus possibility/impossibility catalogue
+over the restricted models the paper's applications actually construct
+(``<D-bar>`` of the Theorem 2 scenarios, FLP models, fully synchronous
+models, initial-crash models on both sides of the majority border) and
+reports the verdicts with their bibliographic sources.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.core.borders import theorem8_verdict
+from repro.models.asynchronous import asynchronous_model
+from repro.models.catalog import consensus_verdict
+from repro.models.initial_crash import initial_crash_model
+from repro.models.model import FailureAssumption, SystemModel
+from repro.models.parameters import SystemModelSpec
+from repro.models.partially_synchronous import partially_synchronous_model
+from repro.types import Verdict, process_range
+from benchmarks.conftest import emit
+
+
+def build_cases():
+    cases = []
+    cases.append(("M_ASYNC(n=5, f=1)", asynchronous_model(5, 1), Verdict.IMPOSSIBLE))
+    cases.append(("M_ASYNC(n=5, f=0)", asynchronous_model(5, 0), Verdict.UNKNOWN))
+    for n, f in [(7, 4), (10, 7), (4, 2)]:
+        base = partially_synchronous_model(n, f)
+        d_bar = tuple(range(f, n + 1))  # the last n - f + 1 processes
+        restricted = base.restrict(d_bar, failures=FailureAssumption(1))
+        cases.append((f"<D-bar> of M_PSYNC(n={n}, f={f})", restricted, Verdict.IMPOSSIBLE))
+    synchronous = SystemModel(
+        name="fully-synchronous(n=5, f=3)",
+        processes=process_range(5),
+        spec=SystemModelSpec(synchronous_processes=True, synchronous_communication=True),
+        failures=FailureAssumption(3),
+    )
+    cases.append((synchronous.name, synchronous, Verdict.SOLVABLE))
+    for n, f in [(5, 2), (9, 4)]:
+        cases.append((f"M_INIT(n={n}, f={f})", initial_crash_model(n, f), Verdict.SOLVABLE))
+    for n, f in [(4, 2), (6, 3)]:
+        cases.append((f"M_INIT(n={n}, f={f})", initial_crash_model(n, f), Verdict.IMPOSSIBLE))
+    return cases
+
+
+def evaluate_cases():
+    rows = []
+    agreements = True
+    for name, model, expected in build_cases():
+        verdict, entry = consensus_verdict(model)
+        source = entry.reference if entry else "-"
+        agrees = verdict is expected
+        agreements = agreements and agrees
+        rows.append((name, str(verdict), str(expected), source, "yes" if agrees else "NO"))
+    return rows, agreements
+
+
+def test_catalog_on_paper_models(benchmark):
+    rows, agreements = benchmark.pedantic(evaluate_cases, iterations=1, rounds=1)
+    emit(
+        "E12 consensus catalogue ([11] Table I, FLP) on the models the paper uses",
+        format_table(("model", "catalogue verdict", "expected", "source", "agrees"), rows),
+    )
+    assert agreements
+    benchmark.extra_info["cases"] = len(rows)
+
+
+def test_catalog_consistent_with_theorem8_at_k1(benchmark):
+    def check():
+        mismatches = []
+        for n in range(2, 12):
+            for f in range(0, n):
+                catalogue = consensus_verdict(initial_crash_model(n, f))[0]
+                if catalogue is Verdict.UNKNOWN:
+                    continue
+                if catalogue is not theorem8_verdict(n, f, 1).verdict:
+                    mismatches.append((n, f))
+        return mismatches
+
+    mismatches = benchmark.pedantic(check, iterations=1, rounds=1)
+    assert mismatches == []

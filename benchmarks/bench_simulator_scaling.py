@@ -1,0 +1,55 @@
+"""E13 — simulator scalability: substrate cost as the system grows.
+
+Not a result of the paper, but the sanity check every simulation-based
+reproduction needs: how the executor's cost (steps, messages, wall-clock
+per run) scales with the system size for the Section VI protocol under the
+fair schedule.  ``pytest-benchmark`` measures the wall-clock; the table
+reports the volume counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.kset_initial_crash import KSetInitialCrash
+from repro.analysis.reporting import format_table
+from repro.analysis.run_properties import run_statistics
+from repro.models.initial_crash import initial_crash_model
+from repro.simulation.executor import execute
+from benchmarks.conftest import emit
+
+SIZES = [8, 16, 24, 32, 48, 64]
+
+
+def run_once(n: int):
+    f = n // 2
+    model = initial_crash_model(n, f)
+    algorithm = KSetInitialCrash(n, f)
+    return execute(algorithm, model, {p: p for p in model.processes})
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_simulator_scaling_point(benchmark, n):
+    run = benchmark(run_once, n)
+    assert run.completed
+    benchmark.extra_info.update({"n": n, **run_statistics(run)})
+
+
+def test_simulator_scaling_table(benchmark):
+    def build():
+        rows = []
+        for n in SIZES:
+            run = run_once(n)
+            stats = run_statistics(run)
+            rows.append((n, int(stats["steps"]), int(stats["messages_sent"]),
+                         int(stats["messages_delivered"])))
+        return rows
+
+    rows = benchmark.pedantic(build, iterations=1, rounds=1)
+    emit(
+        "E13 simulator scaling (Section VI protocol, fair schedule, f = n/2)",
+        format_table(("n", "steps", "messages sent", "messages delivered"), rows),
+    )
+    # steps grow roughly linearly with n (each process needs a constant
+    # number of scheduling rounds), messages quadratically.
+    assert rows[-1][1] < 20 * SIZES[-1]

@@ -1,0 +1,85 @@
+"""E8/E9 — Theorem 10: (Sigma_k, Omega_k) is too weak for 2 <= k <= n-2.
+
+E8 reproduces the proof's mechanics for swept ``(n, k)`` points in the
+impossible region: the partition detector admits partitioning histories
+under which the ``k-1`` singleton blocks and the remainder block decide in
+isolation (Lemma 12 pasting), the Theorem 1 conditions are established for
+a representative candidate algorithm, and an explicit adversarial schedule
+drives the candidate to ``k+1`` distinct decisions.
+
+E9 verifies Lemma 9: every recorded partitioning history used in E8 is
+admissible for the weaker ``(Sigma_k, Omega_k)`` class — zero property
+violations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FlawedQuorumKSet, Theorem10Scenario, corollary13_verdict, verify_lemma9
+from repro.analysis.reporting import format_table
+from repro.core.certificates import ImpossibilityCertificate
+from benchmarks.conftest import emit
+
+POINTS = [(5, 2), (6, 3), (7, 3), (8, 5), (9, 4)]
+
+
+def reproduce_theorem10_point(n: int, k: int):
+    scenario = Theorem10Scenario(n=n, k=k, max_steps=6_000)
+    algorithm = FlawedQuorumKSet(n, k)
+    witness = scenario.apply(algorithm)
+    run, report = scenario.violation_run(algorithm)
+    pasted, pasting_check = scenario.pasted_run(algorithm)
+    lemma9_violations = verify_lemma9(pasted.fd_history, pasted.failure_pattern, k=k)
+    certificate = ImpossibilityCertificate(
+        claim=corollary13_verdict(n, k), witness=witness, violation_reports=(report,)
+    ).verify()
+    return witness, run, report, pasting_check, lemma9_violations, certificate
+
+
+@pytest.mark.parametrize("n,k", POINTS)
+def test_theorem10_point(benchmark, n, k):
+    witness, run, report, pasting_check, lemma9_violations, _cert = benchmark.pedantic(
+        reproduce_theorem10_point, args=(n, k), iterations=1, rounds=1,
+    )
+    assert witness.holds
+    assert len(run.distinct_decisions()) >= k + 1
+    assert not report.agreement_ok
+    assert pasting_check["holds"]
+    assert lemma9_violations == []
+    benchmark.extra_info.update(
+        {"n": n, "k": k, "distinct_decisions": len(run.distinct_decisions())}
+    )
+
+
+def test_theorem10_table(benchmark):
+    def build():
+        rows = []
+        for n, k in POINTS:
+            witness, run, _report, check, lemma9_violations, _cert = reproduce_theorem10_point(n, k)
+            rows.append(
+                (
+                    n,
+                    k,
+                    str(corollary13_verdict(n, k).verdict),
+                    "yes" if witness.holds else "NO",
+                    len(run.distinct_decisions()),
+                    check["distinct_decisions"],
+                    len(lemma9_violations),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, iterations=1, rounds=1)
+    emit(
+        "E8/E9 Theorem 10: (Sigma_k, Omega_k) insufficient for 2 <= k <= n-2",
+        format_table(
+            ("n", "k", "paper verdict", "Theorem 1 witness", "decisions (adversarial run)",
+             "decisions (Lemma 12 pasting)", "Lemma 9 violations"),
+            rows,
+        ),
+    )
+    for row in rows:
+        assert row[2] == "impossible" and row[3] == "yes"
+        assert row[4] >= row[1] + 1
+        assert row[6] == 0

@@ -1,0 +1,110 @@
+"""E1/E2 — Theorem 2: impossibility with partially synchronous processes.
+
+Reproduces the quantitative content of Theorem 2 / Corollary 5 and its
+Lemma 3/Lemma 4 ingredients:
+
+* for every swept ``(n, f, k)`` on the impossible side
+  (``k <= (n-1)/(n-f)``), the Theorem 1 conditions (A)-(D) are established
+  for the Section VI algorithm in the Theorem 2 model, and the single
+  allowed non-initial crash is shown to destroy termination;
+* the partition sizes match Lemma 3 and the partition blocks are
+  T-independent (Lemma 4).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import KSetInitialCrash, Theorem2Scenario, theorem2_verdict
+from repro.analysis.reporting import format_table
+from repro.core.certificates import ImpossibilityCertificate
+from repro.core.independence import check_independence
+from benchmarks.conftest import emit
+
+#: The impossible-side parameter points swept by E1.
+POINTS = [(4, 2, 1), (5, 3, 1), (6, 4, 2), (7, 4, 2), (9, 6, 2), (10, 7, 3)]
+
+
+def reproduce_theorem2_point(n: int, f: int, k: int):
+    scenario = Theorem2Scenario(n=n, f=f, k=k, max_steps=1_500)
+    algorithm = KSetInitialCrash(n, f)
+    witness = scenario.apply(algorithm)
+    _run, crash_report = scenario.crash_during_run_report(algorithm)
+    claim = theorem2_verdict(n, f, k)
+    certificate = ImpossibilityCertificate(
+        claim=claim, witness=witness, violation_reports=(crash_report,)
+    ).verify()
+    return scenario, witness, crash_report, certificate
+
+
+@pytest.mark.parametrize("n,f,k", POINTS)
+def test_theorem2_point(benchmark, n, f, k):
+    scenario, witness, crash_report, _certificate = benchmark.pedantic(
+        reproduce_theorem2_point, args=(n, f, k), iterations=1, rounds=1,
+    )
+    assert witness.holds
+    assert not crash_report.termination_ok
+    benchmark.extra_info.update(
+        {
+            "n": n,
+            "f": f,
+            "k": k,
+            "conditions": "ABCD",
+            "lemma3_holds": scenario.lemma3_report()["holds"],
+        }
+    )
+
+
+def test_theorem2_table(benchmark):
+    """The reproduced Theorem 2 border table (one row per swept point)."""
+
+    def build_rows():
+        rows = []
+        for n, f, k in POINTS:
+            scenario, witness, crash_report, _cert = reproduce_theorem2_point(n, f, k)
+            rows.append(
+                (
+                    n,
+                    f,
+                    k,
+                    str(theorem2_verdict(n, f, k).verdict),
+                    "yes" if witness.holds else "NO",
+                    "lost" if not crash_report.termination_ok else "kept",
+                    scenario.lemma3_report()["d_bar_size"],
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_rows, iterations=1, rounds=1)
+    emit(
+        "E1 Theorem 2: k <= (n-1)/(n-f) is impossible",
+        format_table(
+            ("n", "f", "k", "paper verdict", "Theorem 1 witness", "termination under 1 late crash", "|D-bar|"),
+            rows,
+        ),
+    )
+    assert all(row[4] == "yes" and row[5] == "lost" for row in rows)
+
+
+def test_lemma4_independence(benchmark):
+    """E2 — Lemma 4: the Theorem 2 blocks are {D_1..D_{k-1}, D-bar}-independent."""
+
+    def check():
+        n, f, k = 7, 4, 2
+        scenario = Theorem2Scenario(n=n, f=f, k=k)
+        family = list(scenario.partition.all_blocks())
+        witnesses = check_independence(
+            KSetInitialCrash(n, f), scenario.model, family,
+            scenario.proposals, max_steps=2_000,
+        )
+        return witnesses
+
+    witnesses = benchmark.pedantic(check, iterations=1, rounds=1)
+    assert all(w.holds for w in witnesses)
+    emit(
+        "E2 Lemma 4: block independence (n=7, f=4, k=2)",
+        format_table(
+            ("block", "independent"),
+            [(sorted(w.subset), "yes" if w.holds else "NO") for w in witnesses],
+        ),
+    )

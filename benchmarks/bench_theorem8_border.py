@@ -1,0 +1,84 @@
+"""E5/E6 — Theorem 8: the exact solvability border for initial crashes.
+
+E5 sweeps the full ``(n, f, k)`` grid for small ``n`` and checks that the
+simulated outcome (Section VI protocol satisfies all properties / the
+partitioning construction forces a violation) coincides with the paper's
+closed form ``k*n > (k+1)*f`` at every point.
+
+E6 reproduces the border-case argument (``k*n = (k+1)*f``): the system is
+split into ``k+1`` groups of size ``n-f``; both the single genuine run
+under the partitioning adversary and the Lemma 12-style pasting of ``k+1``
+isolation runs exhibit ``k+1`` distinct decision values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import KSetInitialCrash, Theorem8BorderScenario, theorem8_verdict
+from repro.analysis.border_sweep import sweep_theorem8
+from repro.analysis.reporting import format_sweep, format_table
+from benchmarks.conftest import emit
+
+SWEEP_N = [4, 5, 6]
+BORDER_POINTS = [(4, 2, 1), (6, 4, 2), (8, 6, 3), (9, 6, 2), (10, 8, 4)]
+
+
+def test_theorem8_sweep(benchmark):
+    """E5: prediction vs. simulation over the full small-n grid."""
+    points = benchmark.pedantic(
+        sweep_theorem8, args=(SWEEP_N,), kwargs={"seeds": (1,), "max_steps": 8_000},
+        iterations=1, rounds=1,
+    )
+    emit("E5 Theorem 8 border sweep (solvable iff k*n > (k+1)*f)", format_sweep(points))
+    disagreements = [p for p in points if not p.agrees]
+    assert not disagreements, disagreements
+    benchmark.extra_info.update(
+        {
+            "points": len(points),
+            "solvable_points": sum(p.predicted.value == "solvable" for p in points),
+            "impossible_points": sum(p.predicted.value == "impossible" for p in points),
+            "disagreements": len(disagreements),
+        }
+    )
+
+
+@pytest.mark.parametrize("n,f,k", BORDER_POINTS)
+def test_theorem8_border_case(benchmark, n, f, k):
+    """E6: the k*n = (k+1)*f border case produces exactly k+1 values."""
+    assert k * n == (k + 1) * f
+
+    def construct():
+        scenario = Theorem8BorderScenario(n=n, f=f, k=k)
+        algorithm = KSetInitialCrash(n, f)
+        run, report = scenario.violation_run(algorithm)
+        pasted, check = scenario.pasted_run(algorithm)
+        return run, report, pasted, check
+
+    run, report, pasted, check = benchmark.pedantic(construct, iterations=1, rounds=1)
+    assert len(run.distinct_decisions()) == k + 1
+    assert not report.agreement_ok
+    assert check["holds"]
+    assert check["distinct_decisions"] == k + 1
+    assert theorem8_verdict(n, f, k).is_impossible
+    benchmark.extra_info.update({"n": n, "f": f, "k": k, "distinct": k + 1})
+
+
+def test_theorem8_border_table(benchmark):
+    def build():
+        rows = []
+        for n, f, k in BORDER_POINTS:
+            scenario = Theorem8BorderScenario(n=n, f=f, k=k)
+            run, report = scenario.violation_run(KSetInitialCrash(n, f))
+            rows.append(
+                (n, f, k, str(theorem8_verdict(n, f, k).verdict),
+                 len(run.distinct_decisions()), "violated" if not report.agreement_ok else "held")
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, iterations=1, rounds=1)
+    emit(
+        "E6 Theorem 8 border case: k+1 isolated groups",
+        format_table(("n", "f", "k", "paper verdict", "distinct decisions", "k-agreement"), rows),
+    )
+    assert all(row[4] == row[2] + 1 and row[5] == "violated" for row in rows)

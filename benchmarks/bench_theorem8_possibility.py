@@ -1,0 +1,70 @@
+"""E4 — Section VI algorithm correctness (the possibility half of Theorem 8).
+
+For a range of ``(n, f)`` points the Section VI protocol is executed with
+worst-case and random initial-crash sets under fair and random schedules;
+every run must satisfy k-agreement (for ``k = floor(n/(n-f))``), validity
+and termination, and the benchmark reports the observed number of distinct
+decisions and the message/step volume.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.border_sweep import observe_solvable
+from repro.analysis.reporting import format_table
+from repro.analysis.run_properties import run_statistics
+from repro.algorithms.kset_initial_crash import KSetInitialCrash
+from repro.failure_detectors.base import FailurePattern
+from repro.models.initial_crash import initial_crash_model
+from repro.simulation.executor import execute
+from benchmarks.conftest import emit
+
+POINTS = [(4, 1), (6, 3), (8, 4), (10, 5), (12, 8), (16, 8)]
+
+
+@pytest.mark.parametrize("n,f", POINTS)
+def test_section6_algorithm_point(benchmark, n, f):
+    k = n // (n - f)
+    ok, reports = benchmark.pedantic(
+        observe_solvable, args=(n, f, k), kwargs={"seeds": (1, 2), "max_steps": 20_000},
+        iterations=1, rounds=1,
+    )
+    assert ok, [r.violations for r in reports if not r.all_ok]
+    benchmark.extra_info.update(
+        {
+            "n": n,
+            "f": f,
+            "k": k,
+            "runs": len(reports),
+            "max_distinct": max(len(r.distinct_decisions) for r in reports),
+        }
+    )
+
+
+def test_section6_volume_table(benchmark):
+    """Steps and messages of a single fair run per point (volume series)."""
+
+    def build():
+        rows = []
+        for n, f in POINTS:
+            model = initial_crash_model(n, f)
+            algorithm = KSetInitialCrash(n, f)
+            dead = set(range(n - f + 1, n + 1))
+            pattern = FailurePattern.initially_dead(model.processes, dead)
+            run = execute(algorithm, model, {p: p for p in model.processes},
+                          failure_pattern=pattern)
+            stats = run_statistics(run)
+            rows.append(
+                (n, f, n // (n - f), int(stats["steps"]), int(stats["messages_sent"]),
+                 int(stats["distinct_decisions"]))
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, iterations=1, rounds=1)
+    emit(
+        "E4 Section VI protocol: volume under the worst-case initial-crash set",
+        format_table(("n", "f", "k guaranteed", "steps", "messages", "distinct decisions"), rows),
+    )
+    for row in rows:
+        assert row[5] <= row[2]

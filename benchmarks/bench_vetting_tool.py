@@ -1,0 +1,66 @@
+"""E14 — Theorem 1 as a design-vetting tool (Remarks after Theorem 1).
+
+The benchmark vets three candidate algorithms that might be proposed for
+3-set agreement with ``(Sigma_3, Omega_3)`` in a 6-process system, by
+checking whether condition (A) — the partitioning runs of Theorem 1 — is
+constructible for them:
+
+* the flawed quorum candidate: condition (A) holds, and indeed an
+  adversarial schedule produces 4 distinct decisions;
+* the (over-qualified) ``(Sigma, Omega)`` consensus protocol: condition (A)
+  fails — it never decides without cross-block communication;
+* the trivial decide-own-value protocol (which only claims n-set
+  agreement): condition (A) holds, flagging that it cannot be used for any
+  smaller k.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DecideOwnValue, FlawedQuorumKSet, SigmaOmegaConsensus, Theorem10Scenario
+from repro.analysis.reporting import format_table
+from benchmarks.conftest import emit
+
+N, K = 6, 3
+
+
+def vet_candidates():
+    scenario = Theorem10Scenario(n=N, k=K, max_steps=3_000)
+    candidates = [
+        ("flawed-quorum-kset", FlawedQuorumKSet(N, K), True),
+        ("sigma-omega-consensus", SigmaOmegaConsensus(N), False),
+        ("decide-own-value", DecideOwnValue(), True),
+    ]
+    rows = []
+    for name, algorithm, expected_flag in candidates:
+        application = scenario.application(algorithm)
+        report = application.check_condition_a()
+        flagged = report.satisfied
+        if flagged:
+            run, property_report = scenario.violation_run(algorithm)
+            evidence = f"{len(run.distinct_decisions())} distinct decisions"
+            violation = not property_report.agreement_ok
+        else:
+            evidence = "blocks never decide in isolation"
+            violation = False
+        rows.append((name, "yes" if flagged else "no", evidence,
+                     "yes" if violation else "no", expected_flag == flagged))
+    return rows
+
+
+def test_vetting_tool(benchmark):
+    rows = benchmark.pedantic(vet_candidates, iterations=1, rounds=1)
+    emit(
+        "E14 Theorem 1 vetting of candidate algorithms (n=6, k=3)",
+        format_table(
+            ("candidate", "condition (A) constructible", "adversarial evidence",
+             "k-agreement violated", "as expected"),
+            rows,
+        ),
+    )
+    assert all(row[4] for row in rows)
+    flagged = {row[0]: row[1] for row in rows}
+    assert flagged["flawed-quorum-kset"] == "yes"
+    assert flagged["sigma-omega-consensus"] == "no"
+    benchmark.extra_info["candidates"] = len(rows)

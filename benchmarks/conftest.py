@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark reproduces one experiment of DESIGN.md (E1-E14): it runs
+the corresponding construction under ``pytest-benchmark`` timing, asserts
+that the simulated outcome matches the paper's claim, records the headline
+numbers in ``benchmark.extra_info`` and prints the reproduced table so that
+``pytest benchmarks/ --benchmark-only -s`` shows the same rows the paper
+reports (EXPERIMENTS.md archives one such printout).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import pytest
+
+
+def emit(title: str, table: str) -> None:
+    """Print a reproduced table under a recognisable header."""
+    print(f"\n=== {title} ===")
+    print(table)
+
+
+@pytest.fixture
+def record(request):
+    """Return a callable that stores key/value pairs in the benchmark report."""
+
+    def _record(benchmark, **values):
+        for key, value in values.items():
+            benchmark.extra_info[key] = value
+
+    return _record

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Failure detectors: Sigma_k, Omega_k, Lemma 9 and the Corollary 13 border.
+
+The script
+
+1. prints sample outputs of the quorum family ``Sigma_k``, the leader
+   family ``Omega_k`` and the partition detector ``(Sigma'_k, Omega'_k)``
+   for a small failure pattern,
+2. verifies Lemma 9 on a recorded partitioning history (every partitioning
+   history is admissible for the weaker ``(Sigma_k, Omega_k)``),
+3. runs the two protocols behind the possibility half of Corollary 13 —
+   ``(Sigma, Omega)`` consensus and ``Sigma_{n-1}`` (n-1)-set agreement —
+   and
+4. prints the Corollary 13 solvability border for 4 <= n <= 10.
+
+Run with::
+
+    python examples/failure_detector_hierarchy.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    FailurePattern,
+    KSetAgreementProblem,
+    OmegaK,
+    PartitionDetector,
+    SigmaK,
+    SigmaKSetAgreement,
+    SigmaOmegaConsensus,
+    asynchronous_model,
+    corollary13_verdict,
+    execute,
+    sigma_omega_k,
+    verify_lemma9,
+)
+from repro.analysis.reporting import format_table
+
+
+def show_sample_outputs() -> None:
+    processes = (1, 2, 3, 4, 5)
+    pattern = FailurePattern(processes, {2: 0, 5: 6})
+    print("failure pattern:", pattern.describe())
+    sigma, omega = SigmaK(2), OmegaK(2, gst=4)
+    partition = PartitionDetector([[1, 2, 3], [4], [5]], gst=4)
+    rows = []
+    for t in (1, 4, 8):
+        rows.append(
+            (
+                t,
+                sorted(sigma.output(1, t, pattern)),
+                sorted(omega.output(1, t, pattern)),
+                sorted(partition.output(1, t, pattern)["sigma"]),
+            )
+        )
+    print(format_table(("t", "Sigma_2 at p1", "Omega_2 at p1", "Sigma'_3 at p1"), rows))
+    print()
+
+
+def check_lemma9() -> None:
+    n, k = 6, 3
+    detector = PartitionDetector([[1, 2, 3, 4], [5], [6]], gst=0)
+    pattern = FailurePattern(tuple(range(1, n + 1)), {4: 5})
+    from repro.failure_detectors.base import RecordedHistory
+
+    history = RecordedHistory()
+    for t in range(1, 12):
+        for pid in range(1, n + 1):
+            if not pattern.is_crashed(pid, t):
+                history.record(pid, t, detector.output(pid, t, pattern))
+    violations = verify_lemma9(history, pattern, k=k)
+    print(f"Lemma 9 check on a (Sigma'_{k}, Omega'_{k}) history: "
+          f"{len(violations)} violation(s) of the (Sigma_{k}, Omega_{k}) properties")
+    assert not violations
+    print()
+
+
+def run_possibility_side() -> None:
+    n = 5
+    # k = 1: consensus from (Sigma, Omega)
+    model = asynchronous_model(n, n - 1, failure_detector=sigma_omega_k(1, gst=0))
+    run = execute(SigmaOmegaConsensus(n), model, {p: f"v{p}" for p in model.processes})
+    report = KSetAgreementProblem(1).evaluate(run)
+    print(f"(Sigma, Omega) consensus, n={n}: decisions {run.decisions()}  -> {report.summary()}")
+    assert report.all_ok
+
+    # k = n - 1: (n-1)-set agreement from Sigma_{n-1}
+    model = asynchronous_model(n, n - 1, failure_detector=SigmaK(n - 1))
+    pattern = FailurePattern(model.processes, {1: 0, 2: 4})
+    run = execute(SigmaKSetAgreement(n), model, {p: f"v{p}" for p in model.processes},
+                  failure_pattern=pattern)
+    report = KSetAgreementProblem(n - 1).evaluate(run)
+    print(f"Sigma_{n-1} (n-1)-set agreement, n={n}: decisions {run.decisions()}  -> {report.summary()}")
+    assert report.all_ok
+    print()
+
+
+def print_border() -> None:
+    rows = []
+    for n in range(4, 11):
+        verdicts = [str(corollary13_verdict(n, k).verdict) for k in range(1, n)]
+        rows.append((n, ", ".join(f"k={k}:{v}" for k, v in zip(range(1, n), verdicts))))
+    print("Corollary 13 border (solvable with (Sigma_k, Omega_k) iff k=1 or k=n-1):")
+    print(format_table(("n", "verdicts"), rows))
+
+
+def main() -> None:
+    print("=== Failure detectors for k-set agreement ===\n")
+    show_sample_outputs()
+    check_lemma9()
+    run_possibility_side()
+    print_border()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Agreement algorithms: the paper's protocols plus reference baselines.
+
+* :mod:`repro.algorithms.base` — the deterministic-state-machine interface
+  of Section II (transition relation + message sending function) and the
+  restriction operator ``A|D`` of Definition 1,
+* :mod:`repro.algorithms.flp_consensus` — the two-stage FLP protocol for
+  initially dead processes (consensus, ``L = ceil((n+1)/2)``),
+* :mod:`repro.algorithms.kset_initial_crash` — the paper's Section VI
+  generalisation to k-set agreement (``L = n - f``),
+* :mod:`repro.algorithms.trivial` — the wait-free decide-own-value
+  protocol (solves n-set agreement),
+* :mod:`repro.algorithms.sigma_kset` — (n-1)-set agreement from
+  ``Sigma_{n-1}`` (the possibility half of Corollary 13 for ``k = n-1``),
+* :mod:`repro.algorithms.sigma_omega_consensus` — consensus from
+  ``(Sigma, Omega)`` (the possibility half for ``k = 1``),
+* :mod:`repro.algorithms.flawed_candidate` — a deliberately "promising but
+  flawed" ``(Sigma_k, Omega_k)``-based candidate used to demonstrate the
+  Theorem 1 vetting methodology.
+"""
+
+from repro.algorithms.base import (
+    Algorithm,
+    ProcessState,
+    RestrictedAlgorithm,
+    StepOutput,
+    broadcast,
+    send,
+)
+from repro.algorithms.floodset import FloodSetConsensus
+from repro.algorithms.flp_consensus import FLPConsensus
+from repro.algorithms.kset_initial_crash import KSetInitialCrash
+from repro.algorithms.trivial import DecideOwnValue
+from repro.algorithms.sigma_kset import SigmaKSetAgreement
+from repro.algorithms.sigma_omega_consensus import SigmaOmegaConsensus
+from repro.algorithms.flawed_candidate import FlawedQuorumKSet
+
+__all__ = [
+    "Algorithm",
+    "ProcessState",
+    "RestrictedAlgorithm",
+    "StepOutput",
+    "broadcast",
+    "send",
+    "FloodSetConsensus",
+    "FLPConsensus",
+    "KSetInitialCrash",
+    "DecideOwnValue",
+    "SigmaKSetAgreement",
+    "SigmaOmegaConsensus",
+    "FlawedQuorumKSet",
+]

@@ -1,0 +1,158 @@
+"""A "promising but flawed" ``(Sigma_k, Omega_k)`` candidate algorithm.
+
+The Remarks after Theorem 1 point out a second use of the theorem: as a
+*vetting tool* for candidate algorithms.  If a seemingly promising
+algorithm has runs satisfying condition (dec-D) — i.e. the system can be
+driven into ``k - 1`` partitions that decide on their own — then "the
+algorithm is very likely flawed, as the remaining conditions are typically
+easy to construct in sufficiently asynchronous systems".
+
+:class:`FlawedQuorumKSet` is such a candidate.  It generalises the correct
+``Sigma_{n-1}`` protocol (:mod:`repro.algorithms.sigma_kset`) to arbitrary
+``k`` by relaxing the R-alone rule: instead of waiting for the singleton
+quorum ``{i}``, process ``p_i`` decides its own value as soon as the
+``Sigma_k`` quorum contains *no process with a smaller identifier*.  The
+relaxation looks plausible ("nobody smaller is trusted, so nobody smaller
+can be waiting on me") and indeed preserves validity and termination, but
+it breaks k-agreement: under a partitioning failure-detector history the
+smallest process of every block immediately satisfies the relaxed rule and
+decides its own value, while another member of the same block can be
+driven — by delivering it the value of an intermediate process first — to
+decide a different value, producing ``k + 1`` distinct decisions in total.
+The benchmark ``bench_vetting_tool.py`` and the Theorem 10 benchmark
+exhibit exactly this schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+from repro.algorithms.base import Algorithm, ProcessState, StepOutput, broadcast
+from repro.exceptions import ConfigurationError
+from repro.types import ProcessId, Value
+
+__all__ = ["FlawedQuorumKSetState", "FlawedQuorumKSet"]
+
+
+@dataclass(frozen=True)
+class FlawedQuorumKSetState(ProcessState):
+    """Local state of the flawed candidate (mirrors the correct protocol)."""
+
+    sent_val: bool = False
+    smaller_values: FrozenSet[Tuple[ProcessId, Value]] = frozenset()
+    dec_received: Optional[Value] = None
+
+
+class FlawedQuorumKSet(Algorithm):
+    """The flawed candidate: relaxed quorum rule, plausible but wrong.
+
+    Parameters
+    ----------
+    n:
+        System size.
+    k:
+        The k-set agreement parameter the candidate *claims* to solve with
+        ``(Sigma_k, Omega_k)``.
+    """
+
+    requires_failure_detector = True
+
+    def __init__(self, n: int, k: int):
+        if n < 2:
+            raise ConfigurationError(f"need at least 2 processes, got n={n}")
+        if not 1 <= k <= n - 1:
+            raise ConfigurationError(f"k must satisfy 1 <= k <= n-1, got k={k}, n={n}")
+        self.n = n
+        self.k = k
+        self.name = f"flawed-quorum-kset(n={n}, k={k})"
+
+    def initial_state(
+        self, pid: ProcessId, processes: Sequence[ProcessId], proposal: Value
+    ) -> FlawedQuorumKSetState:
+        """Initial state; the process set must match the configured ``n``."""
+        if len(processes) != self.n:
+            raise ConfigurationError(
+                f"{self.name} was configured for n={self.n} but the system has "
+                f"{len(processes)} processes"
+            )
+        return FlawedQuorumKSetState(pid=pid, proposal=proposal)
+
+    def step(
+        self,
+        state: FlawedQuorumKSetState,
+        delivered: Tuple[object, ...],
+        fd_output: Optional[object] = None,
+    ) -> StepOutput:
+        """One atomic step of the flawed candidate."""
+        processes = tuple(range(1, self.n + 1))
+        outgoing = []
+
+        smaller = set(state.smaller_values)
+        dec_received = state.dec_received
+        for message in delivered:
+            payload = message.payload
+            if payload[0] == "VAL":
+                _kind, sender, value = payload
+                if sender < state.pid:
+                    smaller.add((sender, value))
+            elif payload[0] == "DEC" and dec_received is None:
+                dec_received = payload[1]
+
+        new_state = replace(
+            state, smaller_values=frozenset(smaller), dec_received=dec_received
+        )
+
+        if not new_state.sent_val:
+            outgoing.extend(
+                broadcast(processes, ("VAL", state.pid, state.proposal), exclude=(state.pid,))
+            )
+            new_state = replace(new_state, sent_val=True)
+
+        if not new_state.has_decided:
+            quorum = self._quorum(fd_output)
+            decision, fresh = self._decide(new_state, quorum)
+            if decision is not None:
+                new_state = new_state.decide(decision)
+                if fresh:
+                    outgoing.extend(
+                        broadcast(processes, ("DEC", decision), exclude=(state.pid,))
+                    )
+
+        return StepOutput(state=new_state, messages=tuple(outgoing))
+
+    @staticmethod
+    def _quorum(fd_output: Optional[object]) -> Optional[FrozenSet[ProcessId]]:
+        """Accept either a raw quorum or a ``(Sigma_k, Omega_k)`` product output."""
+        if fd_output is None:
+            return None
+        if isinstance(fd_output, dict):
+            fd_output = fd_output.get("sigma")
+        if fd_output is None:
+            return None
+        return frozenset(fd_output)
+
+    @staticmethod
+    def _decide(
+        state: FlawedQuorumKSetState, quorum: Optional[FrozenSet[ProcessId]]
+    ) -> Tuple[Optional[Value], bool]:
+        """The three decision rules; the third one is the flawed relaxation."""
+        if state.dec_received is not None:
+            return state.dec_received, False
+        if state.smaller_values:
+            smallest = min(state.smaller_values, key=lambda item: item[0])
+            return smallest[1], True
+        if quorum is not None and all(member >= state.pid for member in quorum):
+            # Flaw: "no smaller process is trusted" is *not* the same as
+            # "I am alone"; under partitioned quorums every block's smallest
+            # member passes this test immediately.
+            return state.proposal, True
+        return None, False
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: like the Sigma_(n-1) protocol but decides the own "
+            "value as soon as the quorum contains no smaller identifier — "
+            "plausible, terminating, and wrong (it admits the Theorem 1 "
+            "partitioning runs)"
+        )

@@ -1,0 +1,117 @@
+"""FloodSet consensus for synchronous systems (the favourable DDS case).
+
+The consensus catalogue (:mod:`repro.models.catalog`) asserts that with
+synchronous processes *and* synchronous communication, consensus is
+solvable for any number ``f < n`` of crash failures.  This module provides
+the executable evidence: the classic FloodSet protocol, in which every
+process repeatedly broadcasts the set of proposal values it has seen and
+decides, after ``f + 1`` rounds, on the smallest value it knows.
+
+Synchrony assumption
+--------------------
+The protocol is correct under *lockstep* schedules — every alive process
+takes one step per round and receives, in its round-``r`` step, every
+message sent in earlier rounds.  The fair
+:class:`repro.simulation.scheduler.RoundRobinScheduler` provides exactly
+this structure (one cycle = one round, all pending messages delivered),
+which is how the simulator realises the favourable synchrony parameters.
+Under asynchronous (e.g. random or partitioning) schedules the protocol's
+guarantee is void — which is precisely the difference between the
+favourable and unfavourable points of the model lattice, and the paper's
+Theorem 2 shows that losing only the communication synchrony already makes
+k-set agreement impossible for small ``k``.
+
+Values must be totally ordered (the decision rule takes the minimum); the
+library's convention of ordering by ``repr`` is used so that heterogeneous
+value types remain usable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+from repro.algorithms.base import Algorithm, ProcessState, StepOutput, broadcast
+from repro.exceptions import ConfigurationError
+from repro.types import ProcessId, Value
+
+__all__ = ["FloodSetState", "FloodSetConsensus"]
+
+
+@dataclass(frozen=True)
+class FloodSetState(ProcessState):
+    """Local state: the set of values seen so far and the round counter."""
+
+    known: FrozenSet[Value] = frozenset()
+    round: int = 0
+
+
+class FloodSetConsensus(Algorithm):
+    """The (f+1)-round FloodSet consensus protocol.
+
+    Parameters
+    ----------
+    n:
+        System size.
+    f:
+        Crash-failure budget; the protocol runs ``f + 1`` broadcast rounds.
+    """
+
+    requires_failure_detector = False
+
+    def __init__(self, n: int, f: int):
+        if n < 1:
+            raise ConfigurationError(f"need at least one process, got n={n}")
+        if not 0 <= f < n:
+            raise ConfigurationError(f"need 0 <= f < n, got f={f}, n={n}")
+        self.n = n
+        self.f = f
+        self.rounds = f + 1
+        self.name = f"floodset(n={n}, f={f})"
+
+    def initial_state(
+        self, pid: ProcessId, processes: Sequence[ProcessId], proposal: Value
+    ) -> FloodSetState:
+        """Initial state: the process knows only its own proposal."""
+        if len(processes) != self.n:
+            raise ConfigurationError(
+                f"{self.name} was configured for n={self.n} but the system has "
+                f"{len(processes)} processes"
+            )
+        return FloodSetState(pid=pid, proposal=proposal, known=frozenset({proposal}))
+
+    def step(
+        self,
+        state: FloodSetState,
+        delivered: Tuple[object, ...],
+        fd_output: Optional[object] = None,
+    ) -> StepOutput:
+        """Absorb flooded sets; broadcast for ``f + 1`` rounds; then decide."""
+        if state.has_decided:
+            return StepOutput(state=state)
+
+        known = set(state.known)
+        for message in delivered:
+            payload = message.payload
+            if payload[0] == "FLOOD":
+                known.update(payload[2])
+        new_state = replace(state, known=frozenset(known))
+
+        processes = tuple(range(1, self.n + 1))
+        if new_state.round < self.rounds:
+            outgoing = broadcast(
+                processes,
+                ("FLOOD", new_state.round, tuple(sorted(known, key=repr))),
+                exclude=(state.pid,),
+            )
+            new_state = replace(new_state, round=new_state.round + 1)
+            return StepOutput(state=new_state, messages=outgoing)
+
+        decision = min(new_state.known, key=repr)
+        return StepOutput(state=new_state.decide(decision))
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: floods known values for {self.rounds} rounds, then "
+            "decides the minimum; correct under lockstep (synchronous) schedules"
+        )

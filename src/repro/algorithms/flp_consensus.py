@@ -1,0 +1,54 @@
+"""FLP consensus for initially dead processes (the ``k = 1`` baseline).
+
+Fischer, Lynch and Paterson complement their impossibility result with a
+protocol that solves consensus in an asynchronous system in which up to
+``f`` processes may be initially dead, provided a majority of processes is
+correct.  It is the two-stage knowledge-graph protocol with waiting
+threshold ``L = ceil((n + 1) / 2)``: since ``2L > n`` there can be only
+one source component (the *initial clique*), so all processes decide the
+same value.  The paper's Section VI generalisation changes nothing except
+the threshold; see
+:class:`repro.algorithms.kset_initial_crash.KSetInitialCrash`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.algorithms.two_stage import TwoStageKnowledgeProtocol
+from repro.exceptions import ConfigurationError
+
+__all__ = ["FLPConsensus"]
+
+
+class FLPConsensus(TwoStageKnowledgeProtocol):
+    """The FLP initial-crash consensus protocol.
+
+    Parameters
+    ----------
+    n:
+        System size.
+    f:
+        Upper bound on the number of initially dead processes; must leave a
+        correct majority (``n > 2 f``), otherwise the protocol's waiting
+        threshold could exceed the number of processes guaranteed to be
+        alive and termination would be lost.
+    """
+
+    def __init__(self, n: int, f: int):
+        if f < 0:
+            raise ConfigurationError(f"f must be >= 0, got {f}")
+        if n <= 2 * f:
+            raise ConfigurationError(
+                f"FLP consensus requires a correct majority: need n > 2f, got n={n}, f={f}"
+            )
+        threshold = math.ceil((n + 1) / 2)
+        super().__init__(n=n, threshold=threshold, name=f"flp-consensus(n={n}, f={f})")
+        self.f = f
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: two-stage FLP protocol with majority threshold "
+            f"L={self.threshold}; solves consensus with up to {self.f} initially "
+            f"dead processes"
+        )

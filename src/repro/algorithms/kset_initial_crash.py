@@ -1,0 +1,55 @@
+"""The paper's Section VI algorithm: k-set agreement with initial crashes.
+
+Taking the two-stage FLP protocol and lowering the waiting threshold to
+``L = n - f`` yields a protocol that tolerates up to ``f`` initially dead
+processes and decides at most ``floor(n / (n - f))`` distinct values —
+the possibility half of Theorem 8.  Together with the theorem's
+impossibility half (``k * n <= (k + 1) * f`` makes k-set agreement
+unsolvable), the bound is tight: for every ``k >= floor(n / (n - f))``
+(equivalently ``k * n > (k + 1) * f``) this protocol solves k-set
+agreement, and for every smaller ``k`` nothing does.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.two_stage import TwoStageKnowledgeProtocol
+from repro.exceptions import ConfigurationError
+
+__all__ = ["KSetInitialCrash"]
+
+
+class KSetInitialCrash(TwoStageKnowledgeProtocol):
+    """The Section VI protocol with threshold ``L = n - f``.
+
+    Parameters
+    ----------
+    n:
+        System size.
+    f:
+        Upper bound on the number of initially dead processes
+        (``0 <= f < n``).
+    """
+
+    def __init__(self, n: int, f: int):
+        if not 0 <= f < n:
+            raise ConfigurationError(
+                f"the initial-crash bound must satisfy 0 <= f < n, got f={f}, n={n}"
+            )
+        super().__init__(n=n, threshold=n - f, name=f"kset-initial-crash(n={n}, f={f})")
+        self.f = f
+
+    @property
+    def achieved_k(self) -> int:
+        """The smallest ``k`` for which the protocol solves k-set agreement.
+
+        Equals ``floor(n / (n - f))``, the Lemma 6 bound on the number of
+        source components of the stage-1 knowledge graph.
+        """
+        return self.max_distinct_decisions()
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: Section VI protocol, threshold L=n-f={self.threshold}; "
+            f"solves k-set agreement for every k >= {self.achieved_k} with up to "
+            f"{self.f} initially dead processes"
+        )

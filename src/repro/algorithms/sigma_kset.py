@@ -1,0 +1,180 @@
+"""(n-1)-set agreement from the quorum detector ``Sigma_{n-1}``.
+
+Corollary 13 of the paper states that ``(Sigma_k, Omega_k)`` suffices for
+k-set agreement exactly for ``k = 1`` and ``k = n - 1``; for ``k = n - 1``
+the paper points to Bonnet and Raynal's result that ``Sigma_{n-1}`` alone
+is already sufficient.  This module ships a self-contained protocol with
+the same guarantee (the proof below is elementary and only uses the
+defining properties of ``Sigma_{n-1}``; the protocol is not claimed to be
+syntactically identical to Bonnet–Raynal's).
+
+Protocol (process ``p_i`` with proposal ``v_i``)
+------------------------------------------------
+
+1.  In its first step, ``p_i`` broadcasts ``VAL(i, v_i)``.
+2.  In every step ``p_i`` queries ``Sigma_{n-1}`` and applies the first
+    enabled rule:
+
+    * **R-adopt** — if a ``DEC(v)`` message has been received: decide
+      ``v``.
+    * **R-smaller** — if a ``VAL(j, v_j)`` with ``j < i`` has been
+      received: decide the value of the *smallest* such ``j`` received so
+      far and broadcast ``DEC``.
+    * **R-alone** — if the quorum returned by ``Sigma_{n-1}`` is exactly
+      ``{i}``: decide ``v_i`` and broadcast ``DEC``.
+
+Why this solves (n-1)-set agreement (any number of crashes)
+------------------------------------------------------------
+
+*Validity* is immediate.  *Termination*: let ``p_i`` be correct.  If some
+process with a smaller identifier ever sends ``VAL`` and the message
+arrives, R-smaller fires.  Otherwise, if ``p_i`` is not the only correct
+process, every correct ``p_j`` with ``j > i`` receives ``VAL(i, v_i)``
+(reliable channels) and decides by R-smaller (or earlier), broadcasting
+``DEC`` which lets ``p_i`` decide by R-adopt.  If ``p_i`` is the only
+correct process, the liveness property of ``Sigma_{n-1}`` eventually
+returns a quorum containing only correct processes, i.e. ``{i}``, and
+R-alone fires.  *(n-1)-agreement*: suppose for contradiction that all
+``n`` processes decide pairwise distinct values.  Then no process decided
+by R-adopt (it would share a value with the ``DEC`` sender), so every
+decision came from R-smaller (deciding the value of a strictly smaller
+identifier) or R-alone (deciding the own value).  The map "decider ->
+identifier whose value it decided" is then a permutation ``pi`` with
+``pi(i) <= i`` for all ``i``; the only such permutation is the identity,
+so *every* process decided its own value by R-alone, i.e. each ``p_i``
+observed the singleton quorum ``{i}`` at some time ``t_i``.  Those ``n``
+singleton quorums are pairwise disjoint, contradicting the intersection
+property of ``Sigma_{n-1}`` (among any ``n = (n-1)+1`` queries, two
+quorums must intersect).  Hence at most ``n - 1`` distinct values are
+decided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+from repro.algorithms.base import Algorithm, ProcessState, StepOutput, broadcast
+from repro.exceptions import ConfigurationError
+from repro.types import ProcessId, Value
+
+__all__ = ["SigmaKSetState", "SigmaKSetAgreement"]
+
+
+@dataclass(frozen=True)
+class SigmaKSetState(ProcessState):
+    """Local state of the ``Sigma_{n-1}`` protocol."""
+
+    sent_val: bool = False
+    #: proposals received from smaller-identifier processes: (sender, value).
+    smaller_values: FrozenSet[Tuple[ProcessId, Value]] = frozenset()
+    #: first decision value received via a DEC message (or ``None``).
+    dec_received: Optional[Value] = None
+    #: set when the decision was fresh (not adopted) and DEC must be sent.
+    announce: Optional[Value] = None
+
+
+class SigmaKSetAgreement(Algorithm):
+    """(n-1)-set agreement using only ``Sigma_{n-1}`` quorum outputs.
+
+    Parameters
+    ----------
+    n:
+        System size the protocol is configured for.
+    """
+
+    requires_failure_detector = True
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise ConfigurationError(f"the protocol needs at least 2 processes, got n={n}")
+        self.n = n
+        self.name = f"sigma-kset(n={n}, k={n - 1})"
+
+    def initial_state(
+        self, pid: ProcessId, processes: Sequence[ProcessId], proposal: Value
+    ) -> SigmaKSetState:
+        """Initial state; the process set must match the configured ``n``."""
+        if len(processes) != self.n:
+            raise ConfigurationError(
+                f"{self.name} was configured for n={self.n} but the system has "
+                f"{len(processes)} processes"
+            )
+        return SigmaKSetState(pid=pid, proposal=proposal)
+
+    def step(
+        self,
+        state: SigmaKSetState,
+        delivered: Tuple[object, ...],
+        fd_output: Optional[object] = None,
+    ) -> StepOutput:
+        """One atomic step: absorb messages, apply the three decision rules."""
+        processes = tuple(range(1, self.n + 1))
+        outgoing = []
+
+        smaller = set(state.smaller_values)
+        dec_received = state.dec_received
+        for message in delivered:
+            payload = message.payload
+            if payload[0] == "VAL":
+                _kind, sender, value = payload
+                if sender < state.pid:
+                    smaller.add((sender, value))
+            elif payload[0] == "DEC" and dec_received is None:
+                dec_received = payload[1]
+
+        new_state = replace(
+            state, smaller_values=frozenset(smaller), dec_received=dec_received
+        )
+
+        if not new_state.sent_val:
+            outgoing.extend(
+                broadcast(processes, ("VAL", state.pid, state.proposal), exclude=(state.pid,))
+            )
+            new_state = replace(new_state, sent_val=True)
+
+        if not new_state.has_decided:
+            quorum = self._quorum(fd_output)
+            decision, fresh = self._decide(new_state, quorum)
+            if decision is not None:
+                new_state = new_state.decide(decision)
+                if fresh:
+                    outgoing.extend(
+                        broadcast(processes, ("DEC", decision), exclude=(state.pid,))
+                    )
+
+        return StepOutput(state=new_state, messages=tuple(outgoing))
+
+    # -- helpers ----------------------------------------------------------
+
+    @staticmethod
+    def _quorum(fd_output: Optional[object]) -> Optional[FrozenSet[ProcessId]]:
+        """Accept either a raw quorum set or a product-detector output."""
+        if fd_output is None:
+            return None
+        if isinstance(fd_output, dict):
+            fd_output = fd_output.get("sigma")
+        if fd_output is None:
+            return None
+        return frozenset(fd_output)
+
+    @staticmethod
+    def _decide(
+        state: SigmaKSetState, quorum: Optional[FrozenSet[ProcessId]]
+    ) -> Tuple[Optional[Value], bool]:
+        """Return ``(decision, is_fresh)`` for the first enabled rule."""
+        if state.dec_received is not None:
+            return state.dec_received, False
+        if state.smaller_values:
+            smallest = min(state.smaller_values, key=lambda item: item[0])
+            return smallest[1], True
+        if quorum is not None and quorum == frozenset({state.pid}):
+            return state.proposal, True
+        return None, False
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: queries Sigma_{self.n - 1}; decides by adopting a DEC, "
+            "by taking the value of the smallest identifier heard, or by the "
+            "singleton-quorum rule; tolerates any number of crashes"
+        )

@@ -1,0 +1,262 @@
+"""Consensus from ``(Sigma, Omega)`` — the ``k = 1`` half of Corollary 13.
+
+``(Sigma_1, Omega_1) = (Sigma, Omega)`` is the weakest failure detector
+for message-passing consensus; Corollary 13 uses the classic result that
+it is *sufficient*.  This module implements a Paxos-style protocol in the
+paper's step model:
+
+* the ``Omega`` component elects the (eventually unique and correct)
+  leader — a process considers itself leader exactly when the oracle
+  outputs the singleton containing its own identifier;
+* the ``Sigma`` component provides quorums — a leader considers a phase
+  complete when the set of processes it heard from *contains the quorum
+  currently returned by* ``Sigma``.  Because any two ``Sigma`` outputs
+  intersect, any two such response sets intersect, which gives the usual
+  Paxos safety argument; because ``Sigma`` eventually returns only correct
+  processes, a correct leader's phases eventually complete, which gives
+  termination once ``Omega`` has stabilised.
+
+The protocol proceeds in ballots ``(round, leader id)`` ordered
+lexicographically: *prepare/promise* (phase 1), *accept/accepted*
+(phase 2), then a final ``DECIDE`` broadcast that every process adopts.
+A leader whose ballot is rejected (``NACK``) retries with a higher round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+from repro.algorithms.base import Algorithm, Outgoing, ProcessState, StepOutput, broadcast, send
+from repro.exceptions import ConfigurationError
+from repro.types import ProcessId, Value
+
+__all__ = ["Ballot", "SigmaOmegaState", "SigmaOmegaConsensus"]
+
+#: Ballots are (round, proposer id) pairs compared lexicographically.
+Ballot = Tuple[int, ProcessId]
+
+#: The "nothing accepted yet" ballot.
+ZERO_BALLOT: Ballot = (0, 0)
+
+
+@dataclass(frozen=True)
+class SigmaOmegaState(ProcessState):
+    """Local state of the ``(Sigma, Omega)`` consensus protocol."""
+
+    # acceptor side
+    promised: Ballot = ZERO_BALLOT
+    accepted_ballot: Ballot = ZERO_BALLOT
+    accepted_value: Optional[Value] = None
+    # leader side
+    phase: str = "idle"  # "idle" | "prepare" | "accept"
+    current_ballot: Ballot = ZERO_BALLOT
+    chosen_value: Optional[Value] = None
+    promises: FrozenSet[Tuple[ProcessId, Ballot, Optional[Value]]] = frozenset()
+    accepts: FrozenSet[ProcessId] = frozenset()
+    max_seen_round: int = 0
+    # learning
+    dec_received: Optional[Value] = None
+
+
+class SigmaOmegaConsensus(Algorithm):
+    """Paxos-style uniform consensus driven by ``(Sigma, Omega)``.
+
+    Parameters
+    ----------
+    n:
+        System size the protocol is configured for.
+    """
+
+    requires_failure_detector = True
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ConfigurationError(f"need at least one process, got n={n}")
+        self.n = n
+        self.name = f"sigma-omega-consensus(n={n})"
+
+    def initial_state(
+        self, pid: ProcessId, processes: Sequence[ProcessId], proposal: Value
+    ) -> SigmaOmegaState:
+        """Initial state; the process set must match the configured ``n``."""
+        if len(processes) != self.n:
+            raise ConfigurationError(
+                f"{self.name} was configured for n={self.n} but the system has "
+                f"{len(processes)} processes"
+            )
+        return SigmaOmegaState(pid=pid, proposal=proposal)
+
+    # -- step ------------------------------------------------------------------
+
+    def step(
+        self,
+        state: SigmaOmegaState,
+        delivered: Tuple[object, ...],
+        fd_output: Optional[object] = None,
+    ) -> StepOutput:
+        """One atomic step: handle messages, then run the leader logic."""
+        sigma, omega = self._detector_outputs(fd_output)
+        outgoing: list[Outgoing] = []
+
+        new_state = state
+        for message in delivered:
+            new_state, replies = self._handle_message(new_state, message)
+            outgoing.extend(replies)
+
+        if new_state.dec_received is not None and not new_state.has_decided:
+            new_state = new_state.decide(new_state.dec_received)
+
+        is_leader = omega is not None and omega == frozenset({state.pid})
+        if is_leader and not new_state.has_decided and sigma is not None:
+            new_state, leader_messages = self._leader_logic(new_state, sigma)
+            outgoing.extend(leader_messages)
+            if new_state.dec_received is not None and not new_state.has_decided:
+                new_state = new_state.decide(new_state.dec_received)
+
+        return StepOutput(state=new_state, messages=tuple(outgoing))
+
+    # -- message handling ----------------------------------------------------
+
+    def _handle_message(
+        self, state: SigmaOmegaState, message
+    ) -> Tuple[SigmaOmegaState, Tuple[Outgoing, ...]]:
+        payload = message.payload
+        kind = payload[0]
+        replies: Tuple[Outgoing, ...] = ()
+
+        if kind == "PREPARE":
+            _kind, ballot, leader = payload
+            if ballot > state.promised:
+                state = replace(state, promised=ballot)
+                replies = (
+                    send(
+                        leader,
+                        ("PROMISE", ballot, state.accepted_ballot, state.accepted_value, state.pid),
+                    ),
+                )
+            else:
+                replies = (send(leader, ("NACK", ballot, state.promised, state.pid)),)
+
+        elif kind == "PROMISE":
+            _kind, ballot, accepted_ballot, accepted_value, sender = payload
+            if ballot == state.current_ballot and state.phase == "prepare":
+                promises = set(state.promises)
+                promises.add((sender, accepted_ballot, accepted_value))
+                state = replace(state, promises=frozenset(promises))
+
+        elif kind == "ACCEPT":
+            _kind, ballot, value, leader = payload
+            if ballot >= state.promised:
+                state = replace(
+                    state, promised=ballot, accepted_ballot=ballot, accepted_value=value
+                )
+                replies = (send(leader, ("ACCEPTED", ballot, state.pid)),)
+            else:
+                replies = (send(leader, ("NACK", ballot, state.promised, state.pid)),)
+
+        elif kind == "ACCEPTED":
+            _kind, ballot, sender = payload
+            if ballot == state.current_ballot and state.phase == "accept":
+                accepts = set(state.accepts)
+                accepts.add(sender)
+                state = replace(state, accepts=frozenset(accepts))
+
+        elif kind == "NACK":
+            _kind, ballot, their_promised, _sender = payload
+            max_seen = max(state.max_seen_round, their_promised[0])
+            if ballot == state.current_ballot and state.phase in ("prepare", "accept"):
+                state = replace(state, phase="idle", max_seen_round=max_seen)
+            else:
+                state = replace(state, max_seen_round=max_seen)
+
+        elif kind == "DECIDE":
+            _kind, value = payload
+            if state.dec_received is None:
+                state = replace(state, dec_received=value)
+
+        return state, replies
+
+    # -- leader logic --------------------------------------------------------
+
+    def _leader_logic(
+        self, state: SigmaOmegaState, sigma: FrozenSet[ProcessId]
+    ) -> Tuple[SigmaOmegaState, Tuple[Outgoing, ...]]:
+        processes = tuple(range(1, self.n + 1))
+        outgoing: list[Outgoing] = []
+
+        if state.phase == "idle":
+            next_round = (
+                max(state.current_ballot[0], state.promised[0], state.max_seen_round) + 1
+            )
+            ballot: Ballot = (next_round, state.pid)
+            own_promise = (state.pid, state.accepted_ballot, state.accepted_value)
+            state = replace(
+                state,
+                phase="prepare",
+                current_ballot=ballot,
+                promised=max(state.promised, ballot),
+                promises=frozenset({own_promise}),
+                accepts=frozenset(),
+                chosen_value=None,
+            )
+            outgoing.extend(
+                broadcast(processes, ("PREPARE", ballot, state.pid), exclude=(state.pid,))
+            )
+            return state, tuple(outgoing)
+
+        if state.phase == "prepare":
+            responders = frozenset(p for p, _b, _v in state.promises)
+            if sigma.issubset(responders):
+                best = max(state.promises, key=lambda item: item[1])
+                value = best[2] if best[1] > ZERO_BALLOT else state.proposal
+                ballot = state.current_ballot
+                state = replace(
+                    state,
+                    phase="accept",
+                    chosen_value=value,
+                    accepts=frozenset({state.pid}),
+                    accepted_ballot=ballot,
+                    accepted_value=value,
+                )
+                outgoing.extend(
+                    broadcast(
+                        processes, ("ACCEPT", ballot, value, state.pid), exclude=(state.pid,)
+                    )
+                )
+            return state, tuple(outgoing)
+
+        if state.phase == "accept":
+            if sigma.issubset(state.accepts):
+                value = state.chosen_value
+                state = replace(state, dec_received=value)
+                outgoing.extend(
+                    broadcast(processes, ("DECIDE", value), exclude=(state.pid,))
+                )
+            return state, tuple(outgoing)
+
+        return state, tuple(outgoing)
+
+    # -- helpers -----------------------------------------------------------------
+
+    @staticmethod
+    def _detector_outputs(
+        fd_output: Optional[object],
+    ) -> Tuple[Optional[FrozenSet[ProcessId]], Optional[FrozenSet[ProcessId]]]:
+        """Extract the ``Sigma`` and ``Omega`` components of the detector output."""
+        if fd_output is None:
+            return None, None
+        if isinstance(fd_output, dict):
+            sigma = fd_output.get("sigma")
+            omega = fd_output.get("omega")
+            return (
+                frozenset(sigma) if sigma is not None else None,
+                frozenset(omega) if omega is not None else None,
+            )
+        return frozenset(fd_output), None
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: Paxos-style ballots; Omega elects the leader, Sigma "
+            "supplies intersecting quorums; decides via a final DECIDE broadcast"
+        )

@@ -1,0 +1,45 @@
+"""The trivial wait-free protocol: decide your own proposal.
+
+Deciding one's own value without any communication solves n-set agreement
+(and hence k-set agreement for every ``k >= n``) in a wait-free manner.
+The paper uses this observation implicitly: "It is easy to show that k-set
+agreement is impossible in the purely asynchronous model, if we assume a
+wait-free environment: It suffices to simply delay all communication until
+every process has decided on its own propose value" — that is, *this*
+protocol run under the total-silence schedule is the canonical example of
+a run in which all ``n`` proposal values are decided.  The test-suite and
+the independence benchmarks use it as the extreme baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.algorithms.base import Algorithm, ProcessState, StepOutput
+from repro.types import ProcessId, Value
+
+__all__ = ["DecideOwnValue"]
+
+
+class DecideOwnValue(Algorithm):
+    """Each process decides its own proposal in its first step."""
+
+    name = "decide-own-value"
+    requires_failure_detector = False
+
+    def initial_state(
+        self, pid: ProcessId, processes: Sequence[ProcessId], proposal: Value
+    ) -> ProcessState:
+        """The initial state carries only the proposal."""
+        return ProcessState(pid=pid, proposal=proposal)
+
+    def step(
+        self,
+        state: ProcessState,
+        delivered: Tuple[object, ...],
+        fd_output: Optional[object] = None,
+    ) -> StepOutput:
+        """Decide the own proposal (idempotent after the first step)."""
+        if state.has_decided:
+            return StepOutput(state=state)
+        return StepOutput(state=state.decide(state.proposal))

@@ -1,0 +1,195 @@
+"""The two-stage knowledge-graph protocol (FLP Section 4, generalised).
+
+This module implements the protocol the paper describes in Section VI in a
+parametric form.  The protocol is designed for asynchronous systems in
+which up to ``f`` processes may be *initially dead*; its only parameter is
+the waiting threshold ``L``:
+
+* **Stage 1** — every process broadcasts its identifier and waits until it
+  has received ``L - 1`` stage-1 messages from other processes.
+* **Stage 2** — every process broadcasts its proposal together with the
+  list of processes it heard from in stage 1, and waits until it has
+  received such reports from every process in the transitive closure of
+  "heard from" starting at itself.
+* **Decision** — consider the directed graph ``G`` with an edge ``u -> w``
+  whenever ``w`` received ``u``'s stage-1 message.  Every vertex of ``G``
+  has in-degree at least ``L - 1``, so by Lemma 6 the graph has at most
+  ``floor(n / L)`` source components; once a process knows the part of
+  ``G`` it transitively depends on, it decides on the proposal of the
+  smallest-identifier member of a source component that reaches it.
+
+With ``L = ceil((n + 1) / 2)`` (a correct majority) there is exactly one
+source component and the protocol is the FLP consensus algorithm for
+initially dead processes; with ``L = n - f`` it is the paper's k-set
+agreement protocol, correct whenever ``k >= floor(n / (n - f))``, i.e.
+exactly on the solvable side of Theorem 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+from repro.algorithms.base import Algorithm, ProcessState, StepOutput, broadcast
+from repro.exceptions import ConfigurationError
+from repro.graphs.knowledge_graph import KnowledgeGraph
+from repro.types import ProcessId, Value
+
+__all__ = ["TwoStageState", "TwoStageKnowledgeProtocol"]
+
+#: A stage-2 report: (process, the processes it heard from in stage 1, its proposal).
+Report = Tuple[ProcessId, Tuple[ProcessId, ...], Value]
+
+
+@dataclass(frozen=True)
+class TwoStageState(ProcessState):
+    """Local state of the two-stage protocol.
+
+    Fields
+    ------
+    stage:
+        1 while collecting stage-1 messages, 2 afterwards.
+    sent_stage1 / sent_stage2:
+        Whether the respective broadcast has been performed.
+    heard_stage1:
+        Senders of the stage-1 messages received so far.
+    predecessors:
+        The "heard from" list frozen when entering stage 2 (this process's
+        in-neighbourhood in the knowledge graph ``G``).
+    reports:
+        Stage-2 reports received so far (including the process's own).
+    """
+
+    stage: int = 1
+    sent_stage1: bool = False
+    sent_stage2: bool = False
+    heard_stage1: FrozenSet[ProcessId] = frozenset()
+    predecessors: Tuple[ProcessId, ...] = ()
+    reports: FrozenSet[Report] = frozenset()
+
+
+class TwoStageKnowledgeProtocol(Algorithm):
+    """The parametric two-stage protocol with waiting threshold ``L``.
+
+    Parameters
+    ----------
+    n:
+        System size the protocol is configured for (``|Pi|``).
+    threshold:
+        The value ``L``; the protocol waits for ``L - 1`` stage-1 messages
+        from other processes.  Must satisfy ``1 <= L <= n``.
+    """
+
+    requires_failure_detector = False
+
+    def __init__(self, n: int, threshold: int, *, name: Optional[str] = None):
+        if n < 1:
+            raise ConfigurationError(f"n must be positive, got {n}")
+        if not 1 <= threshold <= n:
+            raise ConfigurationError(
+                f"the waiting threshold L must satisfy 1 <= L <= n, got L={threshold}, n={n}"
+            )
+        self.n = n
+        self.threshold = threshold
+        self.name = name or f"two-stage(L={threshold})"
+
+    # -- protocol ------------------------------------------------------------
+
+    def initial_state(
+        self, pid: ProcessId, processes: Sequence[ProcessId], proposal: Value
+    ) -> TwoStageState:
+        """Initial state; the process set must match the configured ``n``."""
+        if len(processes) != self.n:
+            raise ConfigurationError(
+                f"{self.name} was configured for n={self.n} but the system has "
+                f"{len(processes)} processes"
+            )
+        return TwoStageState(pid=pid, proposal=proposal)
+
+    def step(
+        self,
+        state: TwoStageState,
+        delivered: Tuple[object, ...],
+        fd_output: Optional[object] = None,
+    ) -> StepOutput:
+        """One atomic step: absorb messages, advance stages, decide."""
+        if state.has_decided:
+            return StepOutput(state=state)
+
+        processes = tuple(range(1, self.n + 1))
+        outgoing = []
+        heard = set(state.heard_stage1)
+        reports = set(state.reports)
+
+        for message in delivered:
+            payload = message.payload
+            kind = payload[0]
+            if kind == "S1":
+                heard.add(payload[1])
+            elif kind == "S2":
+                _kind, sender, predecessors, value = payload
+                reports.add((sender, tuple(predecessors), value))
+
+        new_state = replace(
+            state, heard_stage1=frozenset(heard), reports=frozenset(reports)
+        )
+
+        if not new_state.sent_stage1:
+            outgoing.extend(
+                broadcast(processes, ("S1", state.pid), exclude=(state.pid,))
+            )
+            new_state = replace(new_state, sent_stage1=True)
+
+        if new_state.stage == 1 and new_state.sent_stage1:
+            if len(new_state.heard_stage1 - {state.pid}) >= self.threshold - 1:
+                predecessors = tuple(sorted(new_state.heard_stage1 - {state.pid}))
+                own_report: Report = (state.pid, predecessors, state.proposal)
+                reports = set(new_state.reports)
+                reports.add(own_report)
+                outgoing.extend(
+                    broadcast(
+                        processes,
+                        ("S2", state.pid, predecessors, state.proposal),
+                        exclude=(state.pid,),
+                    )
+                )
+                new_state = replace(
+                    new_state,
+                    stage=2,
+                    sent_stage2=True,
+                    predecessors=predecessors,
+                    reports=frozenset(reports),
+                )
+
+        if new_state.stage == 2:
+            decision = self._try_decide(new_state)
+            if decision is not None:
+                new_state = new_state.decide(decision)
+
+        return StepOutput(state=new_state, messages=tuple(outgoing))
+
+    # -- decision ------------------------------------------------------------
+
+    def _try_decide(self, state: TwoStageState) -> Optional[Value]:
+        """Return the decision value once the knowledge closure is complete."""
+        knowledge = KnowledgeGraph(owner=state.pid)
+        for process, predecessors, value in state.reports:
+            knowledge.record(process, predecessors, value)
+        if state.pid not in knowledge.heard_from:
+            return None
+        if not knowledge.is_complete():
+            return None
+        return knowledge.decision_value()
+
+    # -- documentation helpers -------------------------------------------------
+
+    def max_distinct_decisions(self) -> int:
+        """Upper bound on distinct decisions: ``floor(n / L)`` (Lemma 6)."""
+        return self.n // self.threshold
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: waits for L-1={self.threshold - 1} stage-1 messages, "
+            f"decides via source components; at most {self.max_distinct_decisions()} "
+            f"distinct decision value(s)"
+        )

@@ -1,0 +1,37 @@
+"""Measurement, sweeps and reporting helpers used by benchmarks and examples.
+
+* :mod:`repro.analysis.run_properties` — per-run statistics and property
+  evaluation,
+* :mod:`repro.analysis.border_sweep` — (n, f, k) sweeps comparing the
+  closed-form Theorem 8 border with simulated outcomes,
+* :mod:`repro.analysis.bivalence` — bounded exploration of reachable
+  configurations for small instances,
+* :mod:`repro.analysis.statistics` — tiny aggregation helpers,
+* :mod:`repro.analysis.reporting` — ASCII tables for benchmark output.
+"""
+
+from repro.analysis.run_properties import decision_histogram, evaluate_kset, run_statistics
+from repro.analysis.border_sweep import (
+    SweepPoint,
+    observe_impossible,
+    observe_solvable,
+    sweep_theorem8,
+)
+from repro.analysis.bivalence import ExplorationReport, explore
+from repro.analysis.statistics import summarize
+from repro.analysis.reporting import format_table, format_sweep
+
+__all__ = [
+    "decision_histogram",
+    "evaluate_kset",
+    "run_statistics",
+    "SweepPoint",
+    "observe_impossible",
+    "observe_solvable",
+    "sweep_theorem8",
+    "ExplorationReport",
+    "explore",
+    "summarize",
+    "format_table",
+    "format_sweep",
+]

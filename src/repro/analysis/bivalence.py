@@ -1,0 +1,138 @@
+"""Bounded exploration of reachable configurations.
+
+The paper discharges "consensus is unsolvable in the sub-system" by citing
+known impossibility results; the library encodes those citations in
+:mod:`repro.models.catalog`.  As a complementary, *executable* sanity
+check for small instances, this module explores the tree of reachable
+configurations of an algorithm under a bounded nondeterministic scheduler
+(any process may step next; it receives either nothing or the oldest
+pending message addressed to it) and reports
+
+* the decision patterns (sets of decided values) that are reachable,
+* whether a configuration violating k-agreement is reachable,
+* whether configurations deciding different single values are reachable
+  from the same initial configuration — the hallmark of a bivalent initial
+  configuration in the FLP sense.
+
+The exploration is exhaustive up to ``max_configs`` visited configurations
+and is intended for very small systems (2-4 processes); the unit tests use
+it to confirm, for example, that the trivial decide-own-value protocol has
+reachable configurations with ``n`` distinct decisions while the FLP
+protocol never exceeds one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping, Optional, Set, Tuple
+
+from repro.algorithms.base import Algorithm
+from repro.simulation.configuration import Configuration
+from repro.types import ProcessId, Value
+
+__all__ = ["ExplorationReport", "explore"]
+
+
+@dataclass(frozen=True)
+class ExplorationReport:
+    """Result of a bounded exploration.
+
+    Attributes
+    ----------
+    decision_patterns:
+        All distinct sets of decided values observed in visited
+        configurations.
+    max_distinct_decisions:
+        The largest number of distinct decided values in any visited
+        configuration.
+    configurations_visited:
+        How many configurations were expanded.
+    exhausted:
+        ``True`` when the frontier was emptied before hitting the budget —
+        the reachable space (under the restricted delivery rule) was
+        explored completely.
+    """
+
+    decision_patterns: FrozenSet[FrozenSet[Value]]
+    max_distinct_decisions: int
+    configurations_visited: int
+    exhausted: bool
+
+    def violates_agreement(self, k: int) -> bool:
+        """``True`` when some visited configuration decided more than ``k`` values."""
+        return self.max_distinct_decisions > k
+
+    def univalent_values(self) -> FrozenSet[Value]:
+        """Values ``v`` such that some visited configuration decided exactly ``{v}``."""
+        return frozenset(
+            next(iter(pattern))
+            for pattern in self.decision_patterns
+            if len(pattern) == 1
+        )
+
+    @property
+    def looks_bivalent(self) -> bool:
+        """``True`` when at least two different single-value decisions are reachable."""
+        return len(self.univalent_values()) >= 2
+
+
+def explore(
+    algorithm: Algorithm,
+    proposals: Mapping[ProcessId, Value],
+    *,
+    fd_output: Optional[object] = None,
+    max_configs: int = 5_000,
+) -> ExplorationReport:
+    """Breadth-first exploration of reachable configurations.
+
+    Parameters
+    ----------
+    algorithm:
+        The algorithm to explore (must not require a failure detector, or a
+        fixed ``fd_output`` must be supplied for every step).
+    proposals:
+        Initial proposals keyed by process identifier.
+    fd_output:
+        A constant failure-detector output handed to every step (the
+        exploration does not model detector dynamics).
+    max_configs:
+        Budget of configurations to expand.
+    """
+    processes = tuple(sorted(proposals))
+    initial = Configuration.initial(algorithm, processes, proposals)
+    seen: Set[Configuration] = {initial}
+    frontier: deque[Configuration] = deque([initial])
+    patterns: Set[FrozenSet[Value]] = {initial.decided_values()}
+    max_distinct = len(initial.decided_values())
+    visited = 0
+    exhausted = True
+
+    while frontier:
+        if visited >= max_configs:
+            exhausted = False
+            break
+        config = frontier.popleft()
+        visited += 1
+        for pid in processes:
+            if config.state_of(pid).has_decided:
+                continue
+            pending = config.pending_for(pid)
+            delivery_choices = [()]
+            if pending:
+                delivery_choices.append((pending[0],))
+            for choice in delivery_choices:
+                successor = config.apply_step(algorithm, pid, choice, fd_output)
+                if successor in seen:
+                    continue
+                seen.add(successor)
+                frontier.append(successor)
+                decided = successor.decided_values()
+                patterns.add(decided)
+                max_distinct = max(max_distinct, len(decided))
+    return ExplorationReport(
+        decision_patterns=frozenset(patterns),
+        max_distinct_decisions=max_distinct,
+        configurations_visited=visited,
+        exhausted=exhausted,
+    )

@@ -1,0 +1,179 @@
+"""Sweeping the Theorem 8 border: prediction vs. simulation.
+
+For every parameter point ``(n, f, k)`` the closed form of Theorem 8 says
+whether k-set agreement with up to ``f`` initially dead processes is
+solvable (``k * n > (k + 1) * f``) or not.  This module checks both sides
+empirically with the paper's own Section VI algorithm:
+
+* on the solvable side, the algorithm is executed under a collection of
+  schedules (fair, random, worst-case initial-crash sets) and all three
+  properties must hold in every run;
+* on the impossible side, the partitioning construction of Section VI is
+  executed — ``k + 1`` disjoint groups of size ``n - f`` run without ever
+  hearing from each other (any leftover processes are initially dead) —
+  and must produce more than ``k`` distinct decision values.
+
+The sweep reports, for every point, the prediction, the observation and
+whether they agree; benchmark E5 asserts full agreement over the swept
+grid, which is the reproduced "figure" for Theorem 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.algorithms.kset_initial_crash import KSetInitialCrash
+from repro.core.borders import theorem8_verdict
+from repro.core.ksetagreement import KSetAgreementProblem, PropertyReport
+from repro.failure_detectors.base import FailurePattern
+from repro.models.initial_crash import initial_crash_model
+from repro.simulation.adversary import PartitioningAdversary
+from repro.simulation.executor import ExecutionSettings, execute
+from repro.simulation.scheduler import RandomScheduler, RoundRobinScheduler
+from repro.types import Verdict
+
+__all__ = ["SweepPoint", "observe_solvable", "observe_impossible", "sweep_theorem8"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One parameter point of the Theorem 8 sweep."""
+
+    n: int
+    f: int
+    k: int
+    predicted: Verdict
+    observed: str
+    agrees: bool
+    details: str = ""
+
+
+def _initial_crash_patterns(n: int, f: int, seeds: Sequence[int]) -> List[frozenset]:
+    """Representative initial-crash sets: none, largest, smallest, seeded."""
+    import random
+
+    processes = tuple(range(1, n + 1))
+    patterns = [frozenset(), frozenset(processes[-f:]) if f else frozenset(),
+                frozenset(processes[:f]) if f else frozenset()]
+    for seed in seeds:
+        rng = random.Random(seed)
+        patterns.append(frozenset(rng.sample(processes, f)) if f else frozenset())
+    unique: List[frozenset] = []
+    for pattern in patterns:
+        if pattern not in unique:
+            unique.append(pattern)
+    return unique
+
+
+def observe_solvable(
+    n: int,
+    f: int,
+    k: int,
+    *,
+    seeds: Sequence[int] = (1, 2),
+    max_steps: int = 20_000,
+) -> Tuple[bool, List[PropertyReport]]:
+    """Exercise the Section VI algorithm on the solvable side.
+
+    Returns ``(all_ok, reports)`` where ``all_ok`` means every executed
+    schedule satisfied k-agreement, validity and termination.
+    """
+    algorithm = KSetInitialCrash(n, f)
+    model = initial_crash_model(n, f)
+    proposals = {pid: pid for pid in model.processes}
+    problem = KSetAgreementProblem(k)
+    reports: List[PropertyReport] = []
+    for dead in _initial_crash_patterns(n, f, seeds):
+        pattern = FailurePattern.initially_dead(model.processes, dead)
+        schedules = [RoundRobinScheduler()] + [RandomScheduler(seed) for seed in seeds]
+        for adversary in schedules:
+            run = execute(
+                algorithm,
+                model,
+                proposals,
+                adversary=adversary,
+                failure_pattern=pattern,
+                settings=ExecutionSettings(max_steps=max_steps),
+            )
+            reports.append(problem.evaluate(run, proposals=proposals))
+    return all(report.all_ok for report in reports), reports
+
+
+def observe_impossible(
+    n: int,
+    f: int,
+    k: int,
+    *,
+    max_steps: int = 20_000,
+) -> Tuple[bool, PropertyReport]:
+    """Run the Section VI partitioning construction on the impossible side.
+
+    Builds ``k + 1`` disjoint groups of size ``n - f`` (possible exactly
+    when ``(k + 1) * (n - f) <= n``, i.e. on the impossible side of the
+    border), declares any leftover processes initially dead, and executes
+    the Section VI algorithm under the partitioning adversary.  Returns
+    ``(violation_found, report)``.
+    """
+    group_size = n - f
+    groups = [
+        frozenset(range(i * group_size + 1, (i + 1) * group_size + 1))
+        for i in range(k + 1)
+    ]
+    covered = frozenset().union(*groups)
+    model = initial_crash_model(n, f)
+    leftover = frozenset(model.processes) - covered
+    pattern = FailurePattern.initially_dead(model.processes, leftover)
+    algorithm = KSetInitialCrash(n, f)
+    proposals = {pid: pid for pid in model.processes}
+    run = execute(
+        algorithm,
+        model,
+        proposals,
+        adversary=PartitioningAdversary(groups),
+        failure_pattern=pattern,
+        settings=ExecutionSettings(max_steps=max_steps),
+    )
+    report = KSetAgreementProblem(k).evaluate(run, proposals=proposals)
+    violation_found = not report.agreement_ok or not report.termination_ok
+    return violation_found, report
+
+
+def sweep_theorem8(
+    n_values: Iterable[int],
+    *,
+    seeds: Sequence[int] = (1, 2),
+    max_steps: int = 20_000,
+) -> List[SweepPoint]:
+    """Sweep the full (n, f, k) grid and compare prediction with observation."""
+    points: List[SweepPoint] = []
+    for n in n_values:
+        for f in range(1, n):
+            for k in range(1, n):
+                verdict = theorem8_verdict(n, f, k)
+                if verdict.is_solvable:
+                    ok, reports = observe_solvable(
+                        n, f, k, seeds=seeds, max_steps=max_steps
+                    )
+                    observed = "all properties hold" if ok else "violation observed"
+                    agrees = ok
+                    details = f"{len(reports)} runs"
+                else:
+                    violated, report = observe_impossible(n, f, k, max_steps=max_steps)
+                    observed = (
+                        "partitioning forces a violation" if violated else "no violation found"
+                    )
+                    agrees = violated
+                    details = report.summary()
+                points.append(
+                    SweepPoint(
+                        n=n,
+                        f=f,
+                        k=k,
+                        predicted=verdict.verdict,
+                        observed=observed,
+                        agrees=agrees,
+                        details=details,
+                    )
+                )
+    return points

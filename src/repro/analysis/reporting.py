@@ -1,0 +1,59 @@
+"""ASCII tables for benchmark and example output.
+
+The benchmark harness prints, for every reproduced theorem, a table whose
+rows mirror the entries of EXPERIMENTS.md (parameter point, paper
+prediction, simulated observation, agreement).  The helpers here render
+such tables without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.analysis.border_sweep import SweepPoint
+
+__all__ = ["format_table", "format_sweep"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a left-aligned ASCII table.
+
+    >>> print(format_table(("a", "b"), [(1, "x")]))
+    a | b
+    --+--
+    1 | x
+    """
+    materialised: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    columns = len(headers)
+    widths = [len(str(h)) for h in headers]
+    for row in materialised:
+        for index in range(columns):
+            cell = row[index] if index < len(row) else ""
+            widths[index] = max(widths[index], len(cell))
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [
+            (cells[i] if i < len(cells) else "").ljust(widths[i]) for i in range(columns)
+        ]
+        return " | ".join(padded).rstrip()
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = [render_row([str(h) for h in headers]), separator]
+    lines.extend(render_row(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def format_sweep(points: Sequence[SweepPoint]) -> str:
+    """Render a Theorem 8 sweep as a table (one row per parameter point)."""
+    headers = ("n", "f", "k", "paper verdict", "simulated observation", "agrees")
+    rows = [
+        (
+            point.n,
+            point.f,
+            point.k,
+            str(point.predicted),
+            point.observed,
+            "yes" if point.agrees else "NO",
+        )
+        for point in points
+    ]
+    return format_table(headers, rows)

@@ -1,0 +1,50 @@
+"""Per-run statistics and property evaluation.
+
+Thin convenience layer over :mod:`repro.core.ksetagreement` used by the
+benchmarks: evaluate the k-set agreement properties of a run, count how
+often each decision value occurs, and extract the volume metrics (steps,
+messages) that the scalability benchmark reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.core.ksetagreement import KSetAgreementProblem, PropertyReport
+from repro.simulation.run import Run
+from repro.types import ProcessId, Value
+
+__all__ = ["evaluate_kset", "decision_histogram", "run_statistics"]
+
+
+def evaluate_kset(
+    run: Run, k: int, *, proposals: Optional[Mapping[ProcessId, Value]] = None
+) -> PropertyReport:
+    """Evaluate the three k-set agreement properties on ``run``."""
+    return KSetAgreementProblem(k).evaluate(run, proposals=proposals)
+
+
+def decision_histogram(run: Run) -> Dict[Value, int]:
+    """How many processes decided each value (undecided processes ignored)."""
+    histogram: Dict[Value, int] = {}
+    for value in run.decisions().values():
+        histogram[value] = histogram.get(value, 0) + 1
+    return histogram
+
+
+def run_statistics(run: Run) -> Dict[str, float]:
+    """Volume metrics of a run: steps, messages, decision latency.
+
+    ``decision_latency`` is the time of the last decision (or the run
+    length when nobody decided), which the scalability benchmark uses as
+    its per-run cost measure.
+    """
+    last_decision = run.last_decision_time()
+    return {
+        "steps": float(run.length),
+        "messages_sent": float(run.messages_sent()),
+        "messages_delivered": float(run.messages_delivered()),
+        "decided_processes": float(len(run.decided_processes())),
+        "distinct_decisions": float(len(run.distinct_decisions())),
+        "decision_latency": float(last_decision if last_decision is not None else run.length),
+    }

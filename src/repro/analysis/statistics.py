@@ -1,0 +1,38 @@
+"""Tiny aggregation helpers for benchmark reporting.
+
+Kept dependency-free on purpose (``numpy`` is available in the benchmark
+environment but the library itself does not require it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+__all__ = ["summarize"]
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Return count, mean, min, max and median of a sequence of numbers.
+
+    An empty sequence yields all-zero statistics rather than raising, which
+    keeps benchmark report code free of special cases.
+
+    >>> summarize([1.0, 2.0, 3.0])["mean"]
+    2.0
+    """
+    data = sorted(float(v) for v in values)
+    if not data:
+        return {"count": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0, "median": 0.0}
+    count = len(data)
+    middle = count // 2
+    if count % 2:
+        median = data[middle]
+    else:
+        median = (data[middle - 1] + data[middle]) / 2.0
+    return {
+        "count": float(count),
+        "mean": sum(data) / count,
+        "min": data[0],
+        "max": data[-1],
+        "median": median,
+    }

@@ -1,0 +1,96 @@
+"""The paper's primary contribution, made executable.
+
+* :mod:`repro.core.ksetagreement` — the k-set agreement problem and its
+  three properties (k-agreement, validity, termination) evaluated on
+  recorded runs,
+* :mod:`repro.core.indistinguishability` — Definition 2
+  (indistinguishability until decision) and Definition 3 (compatibility of
+  run sets),
+* :mod:`repro.core.restriction` — Definition 1 / Section II-B: the
+  restricted algorithm ``A|D`` and the restricted model ``<D>``,
+* :mod:`repro.core.independence` — T-independence (Definition 6) and the
+  classic progress conditions expressed in it (Section IV),
+* :mod:`repro.core.impossibility` — Theorem 1: the conditions (A)-(D), the
+  machinery that constructs and checks witnesses for them on concrete
+  algorithms, and the resulting impossibility conclusion,
+* :mod:`repro.core.reduction` — "Fact 1": extraction of a consensus
+  protocol for ``<D-bar>`` from a purported k-set agreement algorithm,
+* :mod:`repro.core.borders` — the closed-form solvability borders of
+  Theorem 2, Theorem 8 and Corollary 13,
+* :mod:`repro.core.certificates` — machine-checkable possibility /
+  impossibility certificates tying parameters, theorems and witnesses
+  together.
+"""
+
+from repro.core.ksetagreement import (
+    KSetAgreementProblem,
+    PropertyReport,
+    check_agreement,
+    check_termination,
+    check_validity,
+)
+from repro.core.indistinguishability import (
+    indistinguishable_until_decision,
+    distinguishing_processes,
+    runs_compatible,
+)
+from repro.core.restriction import restrict
+from repro.core.independence import (
+    IndependenceWitness,
+    f_resilient_family,
+    obstruction_free_family,
+    wait_free_family,
+    asymmetric_family,
+    check_independence,
+)
+from repro.core.impossibility import (
+    PartitionSpec,
+    ConditionReport,
+    ImpossibilityWitness,
+    TheoremOneApplication,
+)
+from repro.core.reduction import extract_consensus_protocol, run_extracted_consensus
+from repro.core.borders import (
+    BorderVerdict,
+    theorem2_verdict,
+    theorem8_verdict,
+    corollary13_verdict,
+    initial_crash_border_f,
+    partially_synchronous_border_k,
+)
+from repro.core.certificates import (
+    ImpossibilityCertificate,
+    PossibilityCertificate,
+)
+
+__all__ = [
+    "KSetAgreementProblem",
+    "PropertyReport",
+    "check_agreement",
+    "check_termination",
+    "check_validity",
+    "indistinguishable_until_decision",
+    "distinguishing_processes",
+    "runs_compatible",
+    "restrict",
+    "IndependenceWitness",
+    "f_resilient_family",
+    "obstruction_free_family",
+    "wait_free_family",
+    "asymmetric_family",
+    "check_independence",
+    "PartitionSpec",
+    "ConditionReport",
+    "ImpossibilityWitness",
+    "TheoremOneApplication",
+    "extract_consensus_protocol",
+    "run_extracted_consensus",
+    "BorderVerdict",
+    "theorem2_verdict",
+    "theorem8_verdict",
+    "corollary13_verdict",
+    "initial_crash_border_f",
+    "partially_synchronous_border_k",
+    "ImpossibilityCertificate",
+    "PossibilityCertificate",
+]

@@ -1,0 +1,218 @@
+"""Closed-form solvability borders: Theorem 2, Theorem 8, Corollary 13.
+
+The quantitative content of the paper is a set of borders in the
+``(n, f, k)`` parameter space (and, for failure detectors, in ``(n, k)``):
+
+* **Theorem 2 / Corollary 5** — with partially synchronous processes,
+  asynchronous communication and ``f`` faults of which one may occur
+  during the execution, k-set agreement is impossible whenever
+  ``k <= (n - 1) / (n - f)``.
+* **Theorem 8** — with up to ``f`` *initially dead* processes, k-set
+  agreement is solvable **iff** ``k * n > (k + 1) * f`` (equivalently
+  ``k > f / (n - f)``).
+* **Corollary 13** — in an asynchronous system with the failure detector
+  ``(Sigma_k, Omega_k)`` and up to ``n - 1`` crashes, k-set agreement is
+  solvable **iff** ``k = 1`` or ``k = n - 1``.
+
+The functions below return :class:`BorderVerdict` objects carrying the
+verdict, the theorem it follows from and a one-line explanation; the
+benchmark harness sweeps them against the simulated outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.types import Verdict
+
+__all__ = [
+    "BorderVerdict",
+    "theorem2_verdict",
+    "theorem8_verdict",
+    "corollary13_verdict",
+    "initial_crash_border_f",
+    "partially_synchronous_border_k",
+]
+
+
+@dataclass(frozen=True)
+class BorderVerdict:
+    """A solvability verdict for one parameter point.
+
+    Attributes
+    ----------
+    verdict:
+        ``SOLVABLE``, ``IMPOSSIBLE`` or ``UNKNOWN`` (the latter only where
+        the paper makes no claim).
+    source:
+        The theorem the verdict follows from.
+    explanation:
+        One-line justification with the instantiated inequality.
+    parameters:
+        The parameter point the verdict refers to.
+    """
+
+    verdict: Verdict
+    source: str
+    explanation: str
+    parameters: Dict[str, int]
+
+    @property
+    def is_solvable(self) -> bool:
+        """``True`` when the verdict is ``SOLVABLE``."""
+        return self.verdict is Verdict.SOLVABLE
+
+    @property
+    def is_impossible(self) -> bool:
+        """``True`` when the verdict is ``IMPOSSIBLE``."""
+        return self.verdict is Verdict.IMPOSSIBLE
+
+    def __str__(self) -> str:
+        return f"{self.verdict} ({self.source}): {self.explanation}"
+
+
+def _validate(n: int, f: int, k: int) -> None:
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if not 0 <= f <= n:
+        raise ConfigurationError(f"f must satisfy 0 <= f <= n, got f={f}, n={n}")
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+
+
+def theorem2_verdict(n: int, f: int, k: int) -> BorderVerdict:
+    """The Theorem 2 / Corollary 5 verdict for partially synchronous processes.
+
+    The model: synchronous processes, asynchronous communication, atomic
+    broadcast steps, ``f - 1`` initial crashes plus at most one crash
+    during the execution.  The theorem asserts impossibility for
+    ``k <= (n - 1) / (n - f)``; for larger ``k`` (and ``k < n``) it makes
+    no claim, and for ``k >= n`` the problem is trivially solvable without
+    communication.
+    """
+    _validate(n, f, k)
+    parameters = {"n": n, "f": f, "k": k}
+    if k >= n:
+        return BorderVerdict(
+            Verdict.SOLVABLE,
+            "trivial",
+            f"k={k} >= n={n}: every process may decide its own proposal",
+            parameters,
+        )
+    if f >= 1 and f < n and k * (n - f) <= n - 1:
+        return BorderVerdict(
+            Verdict.IMPOSSIBLE,
+            "Theorem 2",
+            f"k*(n-f) = {k * (n - f)} <= n-1 = {n - 1}: the partition into "
+            f"{k - 1} blocks of size n-f={n - f} plus a remainder of size >= "
+            f"{n - f + 1} satisfies conditions (A)-(D) of Theorem 1",
+            parameters,
+        )
+    return BorderVerdict(
+        Verdict.UNKNOWN,
+        "Theorem 2",
+        f"k*(n-f) = {k * (n - f)} > n-1 = {n - 1}: Theorem 2 makes no claim "
+        "for this parameter point (see Theorem 8 for the initial-crash model)",
+        parameters,
+    )
+
+
+def theorem8_verdict(n: int, f: int, k: int) -> BorderVerdict:
+    """The Theorem 8 verdict for asynchronous systems with initial crashes.
+
+    Solvable iff ``k * n > (k + 1) * f``; the possibility side is realised
+    by :class:`repro.algorithms.kset_initial_crash.KSetInitialCrash`, the
+    impossibility side by the (k+1)-group partitioning argument of
+    Section VI.
+    """
+    _validate(n, f, k)
+    parameters = {"n": n, "f": f, "k": k}
+    if k * n > (k + 1) * f:
+        return BorderVerdict(
+            Verdict.SOLVABLE,
+            "Theorem 8",
+            f"k*n = {k * n} > (k+1)*f = {(k + 1) * f}: the Section VI protocol "
+            f"with threshold L=n-f={n - f} decides at most "
+            f"floor(n/(n-f)) = {n // (n - f) if n > f else n} values",
+            parameters,
+        )
+    return BorderVerdict(
+        Verdict.IMPOSSIBLE,
+        "Theorem 8",
+        f"k*n = {k * n} <= (k+1)*f = {(k + 1) * f}: the system can be split "
+        f"into k+1 = {k + 1} groups that each decide their own value",
+        parameters,
+    )
+
+
+def corollary13_verdict(n: int, k: int) -> BorderVerdict:
+    """The Corollary 13 verdict for ``(Sigma_k, Omega_k)``-augmented systems.
+
+    For ``1 <= k <= n - 1`` and up to ``n - 1`` crashes: solvable iff
+    ``k = 1`` or ``k = n - 1``; impossible for ``2 <= k <= n - 2``
+    (Theorem 10).  For ``k >= n`` the problem is trivially solvable.
+    """
+    if n < 2:
+        raise ConfigurationError(f"the failure-detector setting needs n >= 2, got {n}")
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    parameters = {"n": n, "k": k}
+    if k >= n:
+        return BorderVerdict(
+            Verdict.SOLVABLE,
+            "trivial",
+            f"k={k} >= n={n}: every process may decide its own proposal",
+            parameters,
+        )
+    if k == 1:
+        return BorderVerdict(
+            Verdict.SOLVABLE,
+            "Corollary 13",
+            "(Sigma, Omega) is sufficient (and necessary) for consensus",
+            parameters,
+        )
+    if k == n - 1:
+        return BorderVerdict(
+            Verdict.SOLVABLE,
+            "Corollary 13",
+            f"Sigma_{n - 1} alone suffices for (n-1)-set agreement",
+            parameters,
+        )
+    return BorderVerdict(
+        Verdict.IMPOSSIBLE,
+        "Theorem 10",
+        f"2 <= k={k} <= n-2={n - 2}: the partition detector (Sigma'_k, Omega'_k) "
+        "admits k-way partitioning histories while consensus remains unsolvable "
+        "in the remainder block",
+        parameters,
+    )
+
+
+def initial_crash_border_f(n: int, k: int) -> int:
+    """The largest ``f`` for which k-set agreement with initial crashes is solvable.
+
+    By Theorem 8 this is the largest ``f`` with ``(k + 1) * f < k * n``,
+    i.e. ``f_max = ceil(k * n / (k + 1)) - 1``.
+
+    >>> initial_crash_border_f(6, 2)
+    3
+    """
+    if n < 1 or k < 1:
+        raise ConfigurationError("n and k must be >= 1")
+    return (k * n - 1) // (k + 1)
+
+
+def partially_synchronous_border_k(n: int, f: int) -> int:
+    """The smallest ``k`` not covered by Theorem 2's impossibility.
+
+    Theorem 2 rules out every ``k <= (n - 1) / (n - f)``; the returned
+    value is ``floor((n - 1) / (n - f)) + 1``.
+
+    >>> partially_synchronous_border_k(4, 2)
+    2
+    """
+    if n < 1 or not 1 <= f < n:
+        raise ConfigurationError("need n >= 1 and 1 <= f < n")
+    return (n - 1) // (n - f) + 1

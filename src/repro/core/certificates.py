@@ -1,0 +1,119 @@
+"""Machine-checkable possibility / impossibility certificates.
+
+The benchmark harness does not merely print numbers; for every parameter
+point it assembles a *certificate* tying together
+
+* the parameter point and the closed-form verdict
+  (:mod:`repro.core.borders`),
+* the evidence gathered by simulation — property reports of algorithm runs
+  on the possibility side, Theorem 1 witnesses or constructed violations on
+  the impossibility side.
+
+``verify()`` cross-checks the evidence against the claim and raises
+:class:`repro.exceptions.CertificateError` on any mismatch, so a benchmark
+that "passes" has actually validated the reproduced border point rather
+than just executed code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.borders import BorderVerdict
+from repro.core.impossibility import ImpossibilityWitness
+from repro.core.ksetagreement import PropertyReport
+from repro.exceptions import CertificateError
+from repro.types import Verdict
+
+__all__ = ["PossibilityCertificate", "ImpossibilityCertificate"]
+
+
+@dataclass(frozen=True)
+class PossibilityCertificate:
+    """Evidence that a parameter point is solvable.
+
+    Attributes
+    ----------
+    claim:
+        The closed-form verdict being certified (must be ``SOLVABLE``).
+    algorithm_name:
+        The algorithm whose runs provide the evidence.
+    reports:
+        Property reports of the runs exercised (all properties must hold).
+    schedules:
+        Human-readable descriptions of the schedules exercised.
+    """
+
+    claim: BorderVerdict
+    algorithm_name: str
+    reports: Tuple[PropertyReport, ...]
+    schedules: Tuple[str, ...] = ()
+
+    def verify(self) -> "PossibilityCertificate":
+        """Check the evidence against the claim; return ``self`` on success."""
+        if not self.claim.is_solvable:
+            raise CertificateError(
+                f"possibility certificate built for a non-solvable claim: {self.claim}"
+            )
+        if not self.reports:
+            raise CertificateError("possibility certificate carries no runs")
+        for index, report in enumerate(self.reports):
+            if not report.all_ok:
+                raise CertificateError(
+                    f"run {index} of {self.algorithm_name} violates "
+                    f"{self.claim.parameters}: {report.violations}"
+                )
+        return self
+
+    def describe(self) -> str:
+        """One-line summary used in benchmark output."""
+        return (
+            f"SOLVABLE {self.claim.parameters} via {self.algorithm_name}: "
+            f"{len(self.reports)} run(s), all properties hold"
+        )
+
+
+@dataclass(frozen=True)
+class ImpossibilityCertificate:
+    """Evidence that a parameter point is impossible.
+
+    Either a full Theorem 1 witness (all four conditions established for a
+    representative algorithm) or a directly constructed violation — a
+    property report exhibiting an agreement or termination violation of a
+    representative algorithm under the adversarial schedule the proof
+    prescribes — backs the claim.
+    """
+
+    claim: BorderVerdict
+    witness: Optional[ImpossibilityWitness] = None
+    violation_reports: Tuple[PropertyReport, ...] = ()
+    note: str = ""
+
+    def verify(self) -> "ImpossibilityCertificate":
+        """Check the evidence against the claim; return ``self`` on success."""
+        if not self.claim.is_impossible:
+            raise CertificateError(
+                f"impossibility certificate built for a non-impossible claim: {self.claim}"
+            )
+        has_witness = self.witness is not None and self.witness.holds
+        has_violation = any(not report.all_ok for report in self.violation_reports)
+        if not has_witness and not has_violation:
+            raise CertificateError(
+                f"impossibility certificate for {self.claim.parameters} carries "
+                "neither a complete Theorem 1 witness nor a constructed violation"
+            )
+        return self
+
+    def describe(self) -> str:
+        """One-line summary used in benchmark output."""
+        backing = []
+        if self.witness is not None and self.witness.holds:
+            backing.append("Theorem 1 witness")
+        violated = sum(1 for report in self.violation_reports if not report.all_ok)
+        if violated:
+            backing.append(f"{violated} constructed violation(s)")
+        return (
+            f"IMPOSSIBLE {self.claim.parameters} ({self.claim.source}): "
+            + ", ".join(backing or ["unverified"])
+        )

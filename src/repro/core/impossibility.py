@@ -1,0 +1,451 @@
+"""Theorem 1: the generic k-set agreement impossibility machinery.
+
+Theorem 1 of the paper is a *template*: given a k-set agreement algorithm
+``A`` for a model ``M = <Pi>``, disjoint process sets ``D_1, ...,
+D_{k-1}`` with union ``D`` and remainder ``D-bar = Pi \\ D``, it derives a
+contradiction from four conditions:
+
+* **(A)** the set ``R(D)`` of runs satisfying (dec-D) — every ``D_i``
+  contains a process deciding a distinct value proposed within ``D`` —
+  is nonempty;
+* **(B)** ``R(D)`` is compatible (for the processes of ``D-bar``) with the
+  runs ``R(D, D-bar)`` that additionally satisfy (dec-D-bar) — no process
+  of ``D-bar`` hears from ``D`` before all of ``D-bar`` decided;
+* **(C)** consensus is unsolvable in a restricted model ``M' = <D-bar>``;
+* **(D)** every run of the restricted algorithm ``A|D-bar`` in ``M'`` has
+  an indistinguishable (for ``D-bar``) counterpart among the runs of ``A``
+  in ``M``.
+
+If all four hold, ``A`` cannot solve k-set agreement in ``M``.
+
+An impossibility theorem quantifies over all runs and all algorithms and
+cannot be *verified* by finite simulation; what this module does — and what
+the paper's own applications (Theorems 2 and 10) do — is *construct the
+witnesses* the conditions ask for, for a concrete algorithm:
+
+* condition (A)/(B): execute the algorithm under the partitioning
+  adversary, check (dec-D) and (dec-D-bar) on the recorded run, and verify
+  compatibility on the constructed run sets;
+* condition (C): consult the consensus-impossibility catalogue for the
+  restricted model, or accept an explicit justification (Theorem 10's
+  argument via the weakest failure detector for consensus);
+* condition (D): execute ``A|D-bar`` in ``M'`` and the full algorithm in
+  ``M`` with ``D`` initially dead under the same schedule, and check
+  Definition 2 indistinguishability for the processes of ``D-bar``.
+
+The result is an :class:`ImpossibilityWitness`: a machine-checked record
+that the Theorem 1 template applies to this algorithm, partition and
+model.  The same machinery doubles as the "vetting tool" described in the
+paper's remarks — condition (A) being constructible is already strong
+evidence that a candidate algorithm is flawed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.algorithms.base import Algorithm
+from repro.core.indistinguishability import (
+    distinguishing_processes,
+    runs_compatible,
+)
+from repro.core.restriction import restrict
+from repro.exceptions import ConfigurationError, PartitionError
+from repro.failure_detectors.base import FailurePattern
+from repro.models.catalog import consensus_verdict
+from repro.models.model import FailureAssumption, SystemModel
+from repro.simulation.adversary import PartitioningAdversary
+from repro.simulation.executor import ExecutionSettings, execute
+from repro.simulation.run import Run
+from repro.simulation.scheduler import RoundRobinScheduler
+from repro.types import ProcessId, Value, Verdict
+
+__all__ = [
+    "PartitionSpec",
+    "ConditionReport",
+    "ImpossibilityWitness",
+    "TheoremOneApplication",
+]
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """The partition ``D_1, ..., D_{k-1}`` / ``D-bar`` of Theorem 1.
+
+    ``d_blocks`` are the sets ``D_1 .. D_{k-1}``; everything else in
+    ``processes`` forms ``D-bar``.  The implied k-set agreement parameter
+    is ``k = len(d_blocks) + 1``.
+    """
+
+    processes: Tuple[ProcessId, ...]
+    d_blocks: Tuple[FrozenSet[ProcessId], ...]
+
+    def __post_init__(self) -> None:
+        all_processes = set(self.processes)
+        seen: set[ProcessId] = set()
+        for block in self.d_blocks:
+            if not block:
+                raise PartitionError("the sets D_i must be nonempty")
+            if not block.issubset(all_processes):
+                raise PartitionError(
+                    f"block {sorted(block)} contains processes outside the system"
+                )
+            if block & seen:
+                raise PartitionError("the sets D_i must be pairwise disjoint")
+            seen |= block
+        if not (all_processes - seen):
+            raise PartitionError("D-bar = Pi \\ D must be nonempty")
+
+    @property
+    def k(self) -> int:
+        """The k-set agreement parameter the partition targets."""
+        return len(self.d_blocks) + 1
+
+    @property
+    def d_union(self) -> FrozenSet[ProcessId]:
+        """The union ``D`` of the blocks ``D_1 .. D_{k-1}``."""
+        return frozenset().union(*self.d_blocks) if self.d_blocks else frozenset()
+
+    @property
+    def d_bar(self) -> FrozenSet[ProcessId]:
+        """The remainder ``D-bar = Pi \\ D``."""
+        return frozenset(self.processes) - self.d_union
+
+    def all_blocks(self) -> Tuple[FrozenSet[ProcessId], ...]:
+        """The full partition ``D_1, ..., D_{k-1}, D-bar``."""
+        return self.d_blocks + (self.d_bar,)
+
+    def describe(self) -> str:
+        """Human-readable rendering of the partition."""
+        blocks = ", ".join(
+            "D%d={%s}" % (i + 1, ",".join(f"p{p}" for p in sorted(block)))
+            for i, block in enumerate(self.d_blocks)
+        )
+        dbar = ",".join(f"p{p}" for p in sorted(self.d_bar))
+        return f"{blocks}; D-bar={{{dbar}}} (k={self.k})"
+
+
+@dataclass(frozen=True)
+class ConditionReport:
+    """Outcome of checking one of the conditions (A)-(D)."""
+
+    condition: str
+    satisfied: bool
+    details: str
+    runs: Tuple[Run, ...] = ()
+
+
+@dataclass(frozen=True)
+class ImpossibilityWitness:
+    """The assembled application of Theorem 1 to one concrete algorithm."""
+
+    algorithm_name: str
+    model_name: str
+    partition: PartitionSpec
+    reports: Tuple[ConditionReport, ...]
+    conclusion: str
+
+    @property
+    def holds(self) -> bool:
+        """``True`` when all four conditions were established."""
+        return all(report.satisfied for report in self.reports)
+
+    def report(self, condition: str) -> ConditionReport:
+        """Return the report for condition ``"A"``, ``"B"``, ``"C"`` or ``"D"``."""
+        for entry in self.reports:
+            if entry.condition == condition:
+                return entry
+        raise KeyError(condition)
+
+    def describe(self) -> str:
+        """Multi-line rendering used by examples and benchmarks."""
+        lines = [
+            f"Theorem 1 applied to {self.algorithm_name} in {self.model_name}",
+            f"  partition: {self.partition.describe()}",
+        ]
+        for entry in self.reports:
+            status = "satisfied" if entry.satisfied else "NOT satisfied"
+            lines.append(f"  condition ({entry.condition}): {status} — {entry.details}")
+        lines.append(f"  conclusion: {self.conclusion}")
+        return "\n".join(lines)
+
+
+class TheoremOneApplication:
+    """Apply the Theorem 1 template to a concrete algorithm and partition.
+
+    Parameters
+    ----------
+    algorithm:
+        The purported k-set agreement algorithm ``A``.
+    model:
+        The model ``M = <Pi>`` (with its failure detector, if any).
+    partition:
+        The partition ``D_1 .. D_{k-1}`` / ``D-bar``.
+    proposals:
+        Distinct proposals (Theorem 1 considers runs in which every process
+        starts with a distinct input value); defaults to ``{p: p}``.
+    restricted_failures:
+        Failure assumption of the restricted model ``M' = <D-bar>``
+        (defaults to "at most one crash", the Theorem 2 choice).
+    condition_c_justification:
+        Optional textual justification that consensus is unsolvable in
+        ``M'`` when the encoded catalogue does not cover the model (e.g.
+        Theorem 10's argument that the restricted detector is too weak).
+    max_steps:
+        Step budget for every constructed run.
+    """
+
+    def __init__(
+        self,
+        algorithm: Algorithm,
+        model: SystemModel,
+        partition: PartitionSpec,
+        *,
+        proposals: Optional[Mapping[ProcessId, Value]] = None,
+        restricted_failures: Optional[FailureAssumption] = None,
+        condition_c_justification: Optional[str] = None,
+        max_steps: int = 20_000,
+    ):
+        if tuple(sorted(partition.processes)) != tuple(sorted(model.processes)):
+            raise ConfigurationError(
+                "the partition must range over exactly the model's processes"
+            )
+        self.algorithm = algorithm
+        self.model = model
+        self.partition = partition
+        self.proposals: Dict[ProcessId, Value] = dict(
+            proposals if proposals is not None else {p: p for p in model.processes}
+        )
+        if len(set(self.proposals.values())) != len(self.proposals):
+            raise ConfigurationError(
+                "Theorem 1 considers runs with pairwise distinct proposals"
+            )
+        self.restricted_failures = restricted_failures or FailureAssumption(
+            max_failures=1
+        )
+        self.condition_c_justification = condition_c_justification
+        self.max_steps = max_steps
+
+    # -- condition (A) ---------------------------------------------------------
+
+    def check_condition_a(self) -> ConditionReport:
+        """Construct a run witnessing (dec-D) — condition (A)."""
+        run = self._partitioned_run()
+        satisfied, details = self._dec_d_holds(run)
+        return ConditionReport(
+            condition="A",
+            satisfied=satisfied,
+            details=details,
+            runs=(run,),
+        )
+
+    # -- condition (B) ---------------------------------------------------------
+
+    def check_condition_b(self) -> ConditionReport:
+        """Check compatibility ``R(D) <=_{D-bar} R(D, D-bar)`` on witnesses."""
+        run = self._partitioned_run()
+        dec_d, details_d = self._dec_d_holds(run)
+        dec_dbar, details_dbar = self._dec_dbar_holds(run)
+        if not dec_d:
+            return ConditionReport(
+                condition="B",
+                satisfied=False,
+                details=f"no witness for R(D): {details_d}",
+                runs=(run,),
+            )
+        candidates = [run]
+        references = [run] if dec_dbar else []
+        holds, matching = runs_compatible(candidates, references, self.partition.d_bar)
+        details = (
+            "the partitioning run witnesses both (dec-D) and (dec-D-bar); every "
+            "constructed R(D) run has an indistinguishable R(D, D-bar) counterpart "
+            f"for D-bar (matching: {matching})"
+            if holds
+            else f"compatibility failed: {details_dbar}"
+        )
+        return ConditionReport(
+            condition="B", satisfied=holds, details=details, runs=(run,)
+        )
+
+    # -- condition (C) ---------------------------------------------------------
+
+    def restricted_model(self) -> SystemModel:
+        """The restricted model ``M' = <D-bar>`` used for condition (C)/(D)."""
+        _algorithm, model = restrict(
+            self.algorithm,
+            self.model,
+            self.partition.d_bar,
+            failures=self.restricted_failures,
+            failure_detector=None,
+            model_name=f"<D-bar> of {self.model.name}",
+        )
+        return model
+
+    def check_condition_c(self) -> ConditionReport:
+        """Establish that consensus is unsolvable in ``M' = <D-bar>``."""
+        if self.condition_c_justification is not None:
+            return ConditionReport(
+                condition="C",
+                satisfied=True,
+                details=self.condition_c_justification,
+            )
+        model = self.restricted_model()
+        verdict, entry = consensus_verdict(model)
+        if verdict is Verdict.IMPOSSIBLE and entry is not None:
+            return ConditionReport(
+                condition="C",
+                satisfied=True,
+                details=f"{entry.statement} [{entry.reference}]",
+            )
+        return ConditionReport(
+            condition="C",
+            satisfied=False,
+            details=(
+                "the consensus-impossibility catalogue does not certify "
+                f"impossibility for {model.describe()}"
+            ),
+        )
+
+    # -- condition (D) ---------------------------------------------------------
+
+    def check_condition_d(self) -> ConditionReport:
+        """Match a run of ``A|D-bar`` in ``M'`` with an indistinguishable run in ``M``."""
+        d_bar = self.partition.d_bar
+        restricted_algorithm, restricted_model = restrict(
+            self.algorithm,
+            self.model,
+            d_bar,
+            failures=self.restricted_failures,
+            failure_detector=self.model.failure_detector,
+            model_name=f"<D-bar> of {self.model.name}",
+        )
+        restricted_proposals = {p: self.proposals[p] for p in restricted_model.processes}
+        restricted_run = execute(
+            restricted_algorithm,
+            restricted_model,
+            restricted_proposals,
+            adversary=RoundRobinScheduler(),
+            settings=ExecutionSettings(max_steps=self.max_steps),
+        )
+
+        d_union = self.partition.d_union
+        if len(d_union) > self.model.failures.max_failures:
+            return ConditionReport(
+                condition="D",
+                satisfied=False,
+                details=(
+                    f"|D| = {len(d_union)} exceeds the failure bound "
+                    f"f = {self.model.failures.max_failures}, so the 'D initially "
+                    "dead' construction is not available in M"
+                ),
+                runs=(restricted_run,),
+            )
+        pattern = FailurePattern.initially_dead(self.model.processes, d_union)
+        full_run = execute(
+            self.algorithm,
+            self.model,
+            self.proposals,
+            adversary=RoundRobinScheduler(),
+            failure_pattern=pattern,
+            settings=ExecutionSettings(max_steps=self.max_steps),
+        )
+        differing = distinguishing_processes(restricted_run, full_run, d_bar)
+        satisfied = not differing
+        details = (
+            "the run of A|D-bar in <D-bar> and the run of A in M with D initially "
+            "dead are indistinguishable (until decision) for every process of D-bar"
+            if satisfied
+            else f"state sequences differ for processes {sorted(differing)}"
+        )
+        return ConditionReport(
+            condition="D",
+            satisfied=satisfied,
+            details=details,
+            runs=(restricted_run, full_run),
+        )
+
+    # -- assembly ----------------------------------------------------------------
+
+    def apply(self) -> ImpossibilityWitness:
+        """Check all four conditions and assemble the witness."""
+        reports = (
+            self.check_condition_a(),
+            self.check_condition_b(),
+            self.check_condition_c(),
+            self.check_condition_d(),
+        )
+        holds = all(r.satisfied for r in reports)
+        k = self.partition.k
+        if holds:
+            conclusion = (
+                f"Theorem 1 applies: {self.algorithm.name} does not solve "
+                f"{k}-set agreement in {self.model.name}"
+            )
+        else:
+            failed = ", ".join(r.condition for r in reports if not r.satisfied)
+            conclusion = (
+                f"conditions ({failed}) could not be established; Theorem 1 does "
+                "not apply to this algorithm/partition/model combination"
+            )
+        return ImpossibilityWitness(
+            algorithm_name=self.algorithm.name,
+            model_name=self.model.name,
+            partition=self.partition,
+            reports=reports,
+            conclusion=conclusion,
+        )
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _partitioned_run(self) -> Run:
+        """Execute the algorithm under the partitioning adversary."""
+        adversary = PartitioningAdversary(self.partition.all_blocks())
+        return execute(
+            self.algorithm,
+            self.model,
+            self.proposals,
+            adversary=adversary,
+            settings=ExecutionSettings(max_steps=self.max_steps),
+        )
+
+    def _dec_d_holds(self, run: Run) -> Tuple[bool, str]:
+        """Check property (dec-D) on a recorded run."""
+        decisions = run.decisions()
+        proposals_in_d = {self.proposals[p] for p in self.partition.d_union}
+        chosen_values: List[Value] = []
+        for index, block in enumerate(self.partition.d_blocks, start=1):
+            block_decisions = {
+                decisions[p] for p in block if p in decisions
+            } & proposals_in_d
+            fresh = [v for v in block_decisions if v not in chosen_values]
+            if not fresh:
+                return (
+                    False,
+                    f"no process of D_{index} decided a fresh value proposed in D "
+                    f"(block decisions: {sorted(map(repr, block_decisions))})",
+                )
+            chosen_values.append(sorted(fresh, key=repr)[0])
+        return (
+            True,
+            f"blocks D_1..D_{len(self.partition.d_blocks)} decided the distinct "
+            f"values {[repr(v) for v in chosen_values]} proposed within D",
+        )
+
+    def _dec_dbar_holds(self, run: Run) -> Tuple[bool, str]:
+        """Check property (dec-D-bar) on a recorded run."""
+        d_union = self.partition.d_union
+        offenders = {}
+        for pid in self.partition.d_bar:
+            heard = run.received_before_decision(pid) & d_union
+            if heard:
+                offenders[pid] = sorted(heard)
+        if offenders:
+            return False, f"processes of D-bar heard from D before deciding: {offenders}"
+        undecided = self.partition.d_bar - run.decided_processes() - run.failure_pattern.faulty
+        if undecided:
+            return (
+                False,
+                f"processes of D-bar never decided in the constructed run: {sorted(undecided)}",
+            )
+        return True, "no process of D-bar heard from D before every process of D-bar decided"

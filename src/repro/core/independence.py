@@ -1,0 +1,166 @@
+"""T-independence (Definition 6) and the classic progress conditions.
+
+Definition 6 of the paper: an algorithm ``A`` satisfies *T-independence*
+in a model ``M`` — for a family ``T`` of process sets — when for every
+``S`` in ``T`` there is a run of ``A`` in ``M`` in which the processes of
+``S`` only receive messages from other processes of ``S`` until every
+member of ``S`` has decided or crashed.  (*Strong* T-independence requires
+such runs where this only holds eventually; since every run witnessing the
+plain property also witnesses the strong one restricted "from the start",
+Observation 1(a) gives strong => plain, and the library checks the plain
+property.)
+
+Section IV expresses the classic progress conditions in this vocabulary;
+the family constructors below mirror that list:
+
+* wait-freedom         — all nonempty subsets of ``Pi``,
+* obstruction-freedom  — all singletons,
+* f-resilience         — all subsets of size at least ``n - f``,
+* wait-freedom of a single process ``p`` — all subsets containing ``p``.
+
+``check_independence`` verifies the property *constructively*: for every
+``S`` it runs the algorithm under the isolation schedule (only members of
+``S`` take steps, only intra-``S`` messages are delivered) and reports
+whether every correct member of ``S`` decided without hearing from the
+outside.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.algorithms.base import Algorithm
+from repro.exceptions import ConfigurationError
+from repro.failure_detectors.base import FailurePattern
+from repro.models.model import SystemModel
+from repro.simulation.adversary import IsolationAdversary
+from repro.simulation.executor import ExecutionSettings, execute, group_decided
+from repro.simulation.run import Run
+from repro.types import ProcessId, Value
+
+__all__ = [
+    "wait_free_family",
+    "obstruction_free_family",
+    "f_resilient_family",
+    "asymmetric_family",
+    "IndependenceWitness",
+    "check_independence",
+]
+
+
+def wait_free_family(processes: Sequence[ProcessId]) -> Iterator[FrozenSet[ProcessId]]:
+    """All nonempty subsets of the process set (wait-freedom, ``2^Pi``)."""
+    members = tuple(sorted(set(processes)))
+    for size in range(1, len(members) + 1):
+        for combo in itertools.combinations(members, size):
+            yield frozenset(combo)
+
+
+def obstruction_free_family(processes: Sequence[ProcessId]) -> Iterator[FrozenSet[ProcessId]]:
+    """All singletons (obstruction-freedom)."""
+    for pid in sorted(set(processes)):
+        yield frozenset({pid})
+
+
+def f_resilient_family(
+    processes: Sequence[ProcessId], f: int
+) -> Iterator[FrozenSet[ProcessId]]:
+    """All subsets of size at least ``n - f`` (f-resilience)."""
+    members = tuple(sorted(set(processes)))
+    if f < 0 or f > len(members):
+        raise ConfigurationError(f"f must satisfy 0 <= f <= n, got f={f}, n={len(members)}")
+    minimum = len(members) - f
+    for size in range(max(minimum, 1), len(members) + 1):
+        for combo in itertools.combinations(members, size):
+            yield frozenset(combo)
+
+
+def asymmetric_family(
+    processes: Sequence[ProcessId], pivot: ProcessId
+) -> Iterator[FrozenSet[ProcessId]]:
+    """All subsets containing ``pivot`` (wait-freedom of a single process)."""
+    members = tuple(sorted(set(processes)))
+    if pivot not in members:
+        raise ConfigurationError(f"pivot p{pivot} is not a process of the system")
+    rest = tuple(p for p in members if p != pivot)
+    for size in range(0, len(rest) + 1):
+        for combo in itertools.combinations(rest, size):
+            yield frozenset((pivot,) + combo)
+
+
+@dataclass(frozen=True)
+class IndependenceWitness:
+    """The outcome of checking one set ``S`` of the family.
+
+    ``holds`` is ``True`` when the constructed isolation run shows the
+    required run exists: every correct member of ``S`` decided without
+    receiving a message from outside ``S``.
+    """
+
+    subset: FrozenSet[ProcessId]
+    holds: bool
+    run: Run
+    reason: str = ""
+
+
+def check_independence(
+    algorithm: Algorithm,
+    model: SystemModel,
+    family: Iterable[Iterable[ProcessId]],
+    proposals: Mapping[ProcessId, Value],
+    *,
+    failure_pattern: Optional[FailurePattern] = None,
+    max_steps: int = 5_000,
+) -> List[IndependenceWitness]:
+    """Check T-independence of ``algorithm`` in ``model`` for ``family``.
+
+    For every set ``S`` of the family, the algorithm is executed under the
+    isolation schedule for ``S`` (members of ``S`` run fair round-robin
+    among themselves; nobody else takes a step, no message crosses into
+    ``S``); the witness records whether every correct member of ``S``
+    decided this way.  The runs are genuine runs of the (unrestricted)
+    algorithm in the (unrestricted) model — exactly what Definition 6
+    quantifies over.
+    """
+    witnesses: List[IndependenceWitness] = []
+    for subset in family:
+        members = frozenset(subset)
+        if not members or not members.issubset(set(model.processes)):
+            raise ConfigurationError(
+                f"family member {sorted(members)} is not a nonempty subset of the model"
+            )
+        pattern = failure_pattern or FailurePattern.all_correct(model.processes)
+        run = execute(
+            algorithm,
+            model,
+            proposals,
+            adversary=IsolationAdversary(members),
+            failure_pattern=pattern,
+            settings=ExecutionSettings(
+                max_steps=max_steps,
+                stop_condition=group_decided(members),
+            ),
+        )
+        decided_needed = members & run.correct_processes()
+        all_decided = decided_needed.issubset(run.decided_processes())
+        leaked = {
+            pid: run.received_before_decision(pid) - members
+            for pid in members
+            if run.received_before_decision(pid) - members
+        }
+        holds = all_decided and not leaked
+        if not all_decided:
+            reason = (
+                f"correct members {sorted(decided_needed - run.decided_processes())} "
+                f"did not decide in isolation within {max_steps} steps"
+            )
+        elif leaked:
+            reason = f"members received messages from outside S: {leaked}"
+        else:
+            reason = "isolation run exists and every correct member decided"
+        witnesses.append(
+            IndependenceWitness(subset=members, holds=holds, run=run, reason=reason)
+        )
+    return witnesses

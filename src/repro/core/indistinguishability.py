@@ -1,0 +1,109 @@
+"""Indistinguishability (Definition 2) and compatibility (Definition 3).
+
+The paper uses a notion of similarity that is slightly weaker than the
+textbook one: two runs are *indistinguishable until decision* for a
+process ``p`` when ``p`` goes through the same sequence of states in both
+runs up to (and including) the state in which it decides.  The notation
+``alpha ~_D beta`` means the runs are indistinguishable for every process
+of ``D``.  A set of runs ``R'`` is *compatible* with a set ``R`` for the
+processes in ``D`` (written ``R' <=_D R``) when every run of ``R'`` has an
+indistinguishable counterpart in ``R``.
+
+States are compared structurally (the algorithm states are frozen
+dataclasses), which matches the paper's deterministic-state-machine model:
+equal inputs produce equal states.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.simulation.run import Run
+from repro.types import ProcessId
+
+__all__ = [
+    "indistinguishable_until_decision",
+    "distinguishing_processes",
+    "runs_compatible",
+]
+
+
+def _sequence_until_decision(run: Run, pid: ProcessId):
+    return run.state_sequence(pid, until_decision=True)
+
+
+def indistinguishable_until_decision(
+    alpha: Run, beta: Run, processes: Iterable[ProcessId]
+) -> bool:
+    """Check ``alpha ~_D beta`` for ``D = processes`` (Definition 2).
+
+    For every process of ``D``, its sequence of states up to its decision
+    must be identical in both runs.  A process that never decides in either
+    run must have identical full recorded sequences — the conservative
+    reading; the paper's constructions only ever compare processes that do
+    decide.
+    """
+    return not distinguishing_processes(alpha, beta, processes)
+
+
+def distinguishing_processes(
+    alpha: Run, beta: Run, processes: Iterable[ProcessId]
+) -> Tuple[ProcessId, ...]:
+    """Return the processes of ``D`` for which the two runs differ.
+
+    Empty tuple means the runs are indistinguishable (until decision) for
+    every process of ``D``.
+    """
+    differing: List[ProcessId] = []
+    for pid in sorted(set(processes)):
+        seq_a = _sequence_until_decision(alpha, pid)
+        seq_b = _sequence_until_decision(beta, pid)
+        if _decided(seq_a) and _decided(seq_b):
+            if seq_a != seq_b:
+                differing.append(pid)
+        else:
+            # At least one run never decides for this process: compare the
+            # common prefix (a finite prefix can never witness a difference
+            # beyond its own length) and require the shorter to be a prefix
+            # of the longer.
+            shorter, longer = sorted((seq_a, seq_b), key=len)
+            if longer[: len(shorter)] != shorter:
+                differing.append(pid)
+    return tuple(differing)
+
+
+def _decided(sequence) -> bool:
+    return bool(sequence) and sequence[-1].has_decided
+
+
+def runs_compatible(
+    candidate_runs: Sequence[Run],
+    reference_runs: Sequence[Run],
+    processes: Iterable[ProcessId],
+) -> Tuple[bool, Dict[int, Optional[int]]]:
+    """Check ``R' <=_D R`` (Definition 3) for finite sets of recorded runs.
+
+    Returns ``(holds, matching)`` where ``matching`` maps the index of every
+    candidate run to the index of an indistinguishable reference run (or
+    ``None`` when no counterpart exists).  ``holds`` is ``True`` when every
+    candidate found a counterpart.
+
+    The paper's Definition 3 quantifies over the full (usually infinite)
+    run sets of a model; the executable check necessarily works on the
+    finite collections the benchmarks construct, which is exactly how the
+    paper's proofs use it — they exhibit, for each run of interest, one
+    matching run built by an explicit construction.
+    """
+    process_set = tuple(sorted(set(processes)))
+    matching: Dict[int, Optional[int]] = {}
+    holds = True
+    for i, candidate in enumerate(candidate_runs):
+        found: Optional[int] = None
+        for j, reference in enumerate(reference_runs):
+            if indistinguishable_until_decision(candidate, reference, process_set):
+                found = j
+                break
+        matching[i] = found
+        if found is None:
+            holds = False
+    return holds, matching

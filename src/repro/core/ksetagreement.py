@@ -1,0 +1,180 @@
+"""The k-set agreement problem and its property checkers.
+
+Section II-A of the paper defines k-set agreement by three properties over
+the write-once outputs of the processes:
+
+* **k-Agreement** — processes decide on at most ``k`` different values,
+* **Validity** — every decided value was proposed by some process,
+* **Termination** — every correct process eventually decides.
+
+``k = 1`` is (uniform) consensus; ``k = n - 1`` is set agreement.  The
+checkers below evaluate the properties on recorded runs; note that
+k-agreement and validity bind the decisions of *all* processes (correct or
+faulty), while termination only concerns the correct ones.  For a finite
+recorded prefix, "eventually decides" is interpreted as "decided within
+the recorded prefix" — callers that want to treat a truncated run more
+leniently can inspect the report's fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.exceptions import (
+    AgreementViolation,
+    ConfigurationError,
+    TerminationViolation,
+    ValidityViolation,
+)
+from repro.simulation.run import Run
+from repro.types import ProcessId, Value, validate_k
+
+__all__ = [
+    "PropertyReport",
+    "check_agreement",
+    "check_validity",
+    "check_termination",
+    "KSetAgreementProblem",
+]
+
+
+@dataclass(frozen=True)
+class PropertyReport:
+    """Outcome of evaluating the three properties on one run.
+
+    ``violations`` collects human-readable findings; the three booleans
+    summarise them per property.  ``distinct_decisions`` and ``decided``
+    expose the quantities most benchmarks report.
+    """
+
+    k: int
+    agreement_ok: bool
+    validity_ok: bool
+    termination_ok: bool
+    distinct_decisions: FrozenSet[Value]
+    decided: FrozenSet[ProcessId]
+    undecided_correct: FrozenSet[ProcessId]
+    violations: Tuple[str, ...] = ()
+
+    @property
+    def all_ok(self) -> bool:
+        """``True`` when every property holds."""
+        return self.agreement_ok and self.validity_ok and self.termination_ok
+
+    def summary(self) -> str:
+        """One-line summary used in reports."""
+        status = "OK" if self.all_ok else "VIOLATED"
+        return (
+            f"{self.k}-set agreement {status}: "
+            f"{len(self.distinct_decisions)} distinct decision(s), "
+            f"{len(self.decided)} decided, "
+            f"{len(self.undecided_correct)} correct undecided"
+        )
+
+
+def check_agreement(run: Run, k: int) -> List[str]:
+    """Return k-agreement violations of a run (empty list when it holds)."""
+    validate_k(k, len(run.processes))
+    decisions = run.decisions()
+    distinct = set(decisions.values())
+    if len(distinct) <= k:
+        return []
+    by_value: Dict[Value, List[ProcessId]] = {}
+    for pid, value in decisions.items():
+        by_value.setdefault(value, []).append(pid)
+    detail = "; ".join(
+        f"{value!r} decided by {sorted(pids)}" for value, pids in sorted(by_value.items(), key=lambda item: repr(item[0]))
+    )
+    return [
+        f"k-agreement violated: {len(distinct)} distinct decision values for k={k} ({detail})"
+    ]
+
+
+def check_validity(run: Run, proposals: Optional[Mapping[ProcessId, Value]] = None) -> List[str]:
+    """Return validity violations of a run (empty list when it holds)."""
+    proposed = set((proposals or run.proposals).values())
+    violations = []
+    for pid, value in sorted(run.decisions().items()):
+        if value not in proposed:
+            violations.append(
+                f"validity violated: p{pid} decided {value!r}, which nobody proposed"
+            )
+    return violations
+
+
+def check_termination(run: Run) -> List[str]:
+    """Return termination violations of a run (empty list when it holds).
+
+    A correct process that has not decided within the recorded prefix is a
+    termination violation of the prefix.  Runs that completed normally
+    never report violations; truncated runs typically do — which is how the
+    impossibility benchmarks detect "the adversary prevented termination".
+    """
+    undecided = run.correct_processes() - run.decided_processes()
+    if not undecided:
+        return []
+    reason = "the step budget was exhausted" if run.truncated else "the schedule ended"
+    return [
+        f"termination violated: correct process(es) {sorted(undecided)} never decided "
+        f"({reason} after {run.length} steps)"
+    ]
+
+
+@dataclass(frozen=True)
+class KSetAgreementProblem:
+    """The k-set agreement decision task.
+
+    Parameters
+    ----------
+    k:
+        Maximum number of distinct decision values allowed.
+    """
+
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {self.k}")
+
+    @property
+    def is_consensus(self) -> bool:
+        """``True`` for ``k = 1``."""
+        return self.k == 1
+
+    def evaluate(
+        self, run: Run, *, proposals: Optional[Mapping[ProcessId, Value]] = None
+    ) -> PropertyReport:
+        """Evaluate all three properties on a recorded run."""
+        agreement = check_agreement(run, self.k)
+        validity = check_validity(run, proposals)
+        termination = check_termination(run)
+        return PropertyReport(
+            k=self.k,
+            agreement_ok=not agreement,
+            validity_ok=not validity,
+            termination_ok=not termination,
+            distinct_decisions=run.distinct_decisions(),
+            decided=run.decided_processes(),
+            undecided_correct=run.correct_processes() - run.decided_processes(),
+            violations=tuple(agreement + validity + termination),
+        )
+
+    def require(self, run: Run, *, proposals: Optional[Mapping[ProcessId, Value]] = None) -> PropertyReport:
+        """Like :meth:`evaluate` but raise on the first violated property.
+
+        Raises :class:`repro.exceptions.AgreementViolation`,
+        :class:`repro.exceptions.ValidityViolation` or
+        :class:`repro.exceptions.TerminationViolation` with the run attached.
+        """
+        report = self.evaluate(run, proposals=proposals)
+        if not report.agreement_ok:
+            raise AgreementViolation("; ".join(report.violations), run=run)
+        if not report.validity_ok:
+            raise ValidityViolation("; ".join(report.violations), run=run)
+        if not report.termination_ok:
+            raise TerminationViolation("; ".join(report.violations), run=run)
+        return report
+
+    def __str__(self) -> str:
+        return "consensus" if self.is_consensus else f"{self.k}-set agreement"

@@ -1,0 +1,60 @@
+"""Restriction of algorithms and models (Definition 1, Section II-B).
+
+``restrict`` bundles the two halves of the paper's restriction operation:
+given an algorithm ``A`` designed for the model ``M = <Pi>`` and a
+nonempty subset ``D`` of the processes, it returns the restricted
+algorithm ``A|D`` (same code, messages to ``Pi \\ D`` dropped) together
+with a restricted model ``M' = <D>`` whose synchrony spec is inherited but
+whose failure assumption and failure detector are chosen by the caller —
+the paper stresses that the restriction "does not imply anything about the
+synchrony assumptions which hold in M'", and its proofs pick these
+deliberately (e.g. "at most one process can crash in M'" for Theorem 2's
+condition (C)).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.algorithms.base import Algorithm, RestrictedAlgorithm
+from repro.models.model import FailureAssumption, SystemModel
+
+__all__ = ["restrict"]
+
+
+def restrict(
+    algorithm: Algorithm,
+    model: SystemModel,
+    subset: Iterable[int],
+    *,
+    failures: Optional[FailureAssumption] = None,
+    failure_detector: Optional[object] = None,
+    model_name: Optional[str] = None,
+) -> Tuple[RestrictedAlgorithm, SystemModel]:
+    """Return ``(A|D, <D>)`` for ``D = subset``.
+
+    Parameters
+    ----------
+    algorithm:
+        The algorithm ``A`` designed for ``model``.
+    model:
+        The original model ``M = <Pi>``.
+    subset:
+        The nonempty process subset ``D``.
+    failures:
+        Failure assumption of the restricted model (default: inherited,
+        capped at ``|D| - 1``).
+    failure_detector:
+        Failure detector of the restricted model (default: none).
+    model_name:
+        Optional explicit name of the restricted model.
+    """
+    members = tuple(sorted(set(subset)))
+    restricted_algorithm = RestrictedAlgorithm(algorithm, model.processes, members)
+    restricted_model = model.restrict(
+        members,
+        name=model_name,
+        failures=failures,
+        failure_detector=failure_detector,
+    )
+    return restricted_algorithm, restricted_model

@@ -1,0 +1,68 @@
+"""Failure detectors: patterns, histories, and the classes used by the paper.
+
+Section II-C of the paper augments the asynchronous model with failure
+detectors in the sense of Chandra and Toueg: an oracle that every process
+may query at the beginning of each step, whose admissible outputs (the
+*history*) depend only on the *failure pattern* of the run.  This
+subpackage implements:
+
+* :mod:`repro.failure_detectors.base` — failure patterns, recorded
+  histories and the :class:`~repro.failure_detectors.base.FailureDetector`
+  interface,
+* :mod:`repro.failure_detectors.sigma` — the generalised quorum family
+  ``Sigma_k`` (Definition 4),
+* :mod:`repro.failure_detectors.omega` — the generalised leader family
+  ``Omega_k`` (Definition 5),
+* :mod:`repro.failure_detectors.combined` — product detectors such as
+  ``(Sigma_k, Omega_k)``,
+* :mod:`repro.failure_detectors.partition` — the partition detector
+  ``(Sigma'_k, Omega'_k)`` of Definition 7, used by Theorem 10,
+* :mod:`repro.failure_detectors.perfect` — ``P`` and ``diamond-P`` for
+  tests and context,
+* :mod:`repro.failure_detectors.loneliness` — the loneliness detector of
+  the authors' companion work,
+* :mod:`repro.failure_detectors.transformations` — comparison relations
+  between detector classes and the Lemma 9 transformation,
+* :mod:`repro.failure_detectors.registry` — a name-based factory registry.
+"""
+
+from repro.failure_detectors.base import (
+    FailureDetector,
+    FailurePattern,
+    QueryRecord,
+    RecordedHistory,
+)
+from repro.failure_detectors.sigma import SigmaK, check_sigma_history
+from repro.failure_detectors.omega import OmegaK, check_omega_history
+from repro.failure_detectors.combined import ProductDetector, sigma_omega_k
+from repro.failure_detectors.partition import PartitionDetector
+from repro.failure_detectors.perfect import PerfectDetector, EventuallyPerfectDetector
+from repro.failure_detectors.loneliness import LonelinessDetector
+from repro.failure_detectors.transformations import (
+    Transformation,
+    lemma9_transformation,
+    verify_lemma9,
+)
+from repro.failure_detectors.registry import available_detectors, make_detector
+
+__all__ = [
+    "FailureDetector",
+    "FailurePattern",
+    "QueryRecord",
+    "RecordedHistory",
+    "SigmaK",
+    "check_sigma_history",
+    "OmegaK",
+    "check_omega_history",
+    "ProductDetector",
+    "sigma_omega_k",
+    "PartitionDetector",
+    "PerfectDetector",
+    "EventuallyPerfectDetector",
+    "LonelinessDetector",
+    "Transformation",
+    "lemma9_transformation",
+    "verify_lemma9",
+    "available_detectors",
+    "make_detector",
+]

@@ -1,0 +1,237 @@
+"""Failure patterns, recorded histories and the failure-detector interface.
+
+The paper (Section II-C) identifies time with the step index of a run.
+The *failure pattern* ``F(t)`` of a run maps every time to the set of
+processes that have crashed by then; the *faulty* processes are
+``F = union over t of F(t)``.  A failure detector ``D`` assigns to every
+failure pattern a set of admissible *histories* ``H(p, t)`` mapping a
+process and a time to an output value; a run is admissible when every
+query result observed by a process at time ``t`` equals ``H(p, t)`` for
+some admissible history.
+
+The simulator takes the constructive view: a
+:class:`FailureDetector` instance *is* a history function — it computes
+``H(p, t)`` deterministically from the (planned) failure pattern of the
+run being constructed — and every class ships a *checker* that validates a
+recorded history against the class's defining properties, so tests and
+benchmarks can verify that the constructive histories really belong to the
+class they claim (this is exactly what Lemma 9's verification needs).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.types import ProcessId, Time
+
+__all__ = ["FailurePattern", "QueryRecord", "RecordedHistory", "FailureDetector"]
+
+
+@dataclass(frozen=True)
+class FailurePattern:
+    """The failure pattern ``F(.)`` of a run.
+
+    ``crash_times`` maps every faulty process to the time of its crash;
+    processes not in the mapping are correct.  A crash time of ``0`` means
+    the process is initially dead (it never takes a step).
+    """
+
+    processes: Tuple[ProcessId, ...]
+    crash_times: Mapping[ProcessId, Time] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        unknown = [p for p in self.crash_times if p not in self.processes]
+        if unknown:
+            raise ConfigurationError(f"crash times given for unknown processes {unknown}")
+        bad = {p: t for p, t in self.crash_times.items() if t < 0}
+        if bad:
+            raise ConfigurationError(f"crash times must be >= 0, got {bad}")
+        object.__setattr__(self, "crash_times", dict(self.crash_times))
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def all_correct(cls, processes: Sequence[ProcessId]) -> "FailurePattern":
+        """A failure pattern with no crashes at all."""
+        return cls(tuple(processes), {})
+
+    @classmethod
+    def initially_dead(
+        cls, processes: Sequence[ProcessId], dead: Iterable[ProcessId]
+    ) -> "FailurePattern":
+        """A failure pattern in which ``dead`` are initially crashed."""
+        return cls(tuple(processes), {pid: 0 for pid in dead})
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def faulty(self) -> FrozenSet[ProcessId]:
+        """The set ``F`` of processes that crash at some point in the run."""
+        return frozenset(self.crash_times)
+
+    @property
+    def correct(self) -> FrozenSet[ProcessId]:
+        """The processes that never crash."""
+        return frozenset(self.processes) - self.faulty
+
+    @property
+    def initially_dead_set(self) -> FrozenSet[ProcessId]:
+        """Processes whose crash time is 0 (never take a step)."""
+        return frozenset(p for p, t in self.crash_times.items() if t == 0)
+
+    def crashed_at(self, t: Time) -> FrozenSet[ProcessId]:
+        """The set ``F(t)`` of processes crashed at (or before) time ``t``."""
+        return frozenset(p for p, ct in self.crash_times.items() if ct <= t)
+
+    def alive_at(self, t: Time) -> FrozenSet[ProcessId]:
+        """Processes that have not crashed by time ``t``."""
+        return frozenset(self.processes) - self.crashed_at(t)
+
+    def is_crashed(self, pid: ProcessId, t: Time) -> bool:
+        """``True`` when ``pid`` has crashed by time ``t``."""
+        ct = self.crash_times.get(pid)
+        return ct is not None and ct <= t
+
+    @property
+    def last_crash_time(self) -> Time:
+        """The latest crash time (0 when nothing crashes)."""
+        return max(self.crash_times.values(), default=0)
+
+    def restricted_to(self, subset: Iterable[ProcessId]) -> "FailurePattern":
+        """The failure pattern induced on a subset of the processes."""
+        members = tuple(sorted(set(subset)))
+        return FailurePattern(
+            members, {p: t for p, t in self.crash_times.items() if p in members}
+        )
+
+    def merge(self, other: "FailurePattern") -> "FailurePattern":
+        """Combine two patterns over disjoint process sets.
+
+        Used by the run-pasting constructions (Lemma 11): the failure
+        pattern of the pasted run agrees with one constituent pattern on
+        ``D-bar`` and with the other on ``Pi \\ D-bar``.
+        """
+        overlap = set(self.processes) & set(other.processes)
+        if overlap:
+            conflicting = {
+                p
+                for p in overlap
+                if self.crash_times.get(p) != other.crash_times.get(p)
+            }
+            if conflicting:
+                raise ConfigurationError(
+                    f"cannot merge failure patterns that disagree on {sorted(conflicting)}"
+                )
+        processes = tuple(sorted(set(self.processes) | set(other.processes)))
+        crash_times = dict(self.crash_times)
+        crash_times.update(other.crash_times)
+        return FailurePattern(processes, crash_times)
+
+    def describe(self) -> str:
+        """Human-readable summary used by traces."""
+        if not self.crash_times:
+            return "no failures"
+        parts = [
+            f"p{p}@{'init' if t == 0 else t}" for p, t in sorted(self.crash_times.items())
+        ]
+        return "crashes: " + ", ".join(parts)
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """A single failure-detector query observed in a run."""
+
+    pid: ProcessId
+    time: Time
+    output: object
+
+
+class RecordedHistory:
+    """The portion of a failure-detector history observed during a run.
+
+    A history formally assigns an output to *every* ``(process, time)``
+    pair; a simulation only ever observes it at the times processes
+    actually query the detector.  ``RecordedHistory`` stores those observed
+    points and is what the property checkers
+    (:func:`repro.failure_detectors.sigma.check_sigma_history` etc.)
+    operate on.
+    """
+
+    def __init__(self, records: Iterable[QueryRecord] = ()):
+        self._records: List[QueryRecord] = list(records)
+
+    def record(self, pid: ProcessId, time: Time, output: object) -> None:
+        """Append one observed query result."""
+        self._records.append(QueryRecord(pid, time, output))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def records_of(self, pid: ProcessId) -> Tuple[QueryRecord, ...]:
+        """All observed queries of one process, in time order."""
+        return tuple(sorted((r for r in self._records if r.pid == pid), key=lambda r: r.time))
+
+    def processes(self) -> FrozenSet[ProcessId]:
+        """Processes that queried the detector at least once."""
+        return frozenset(r.pid for r in self._records)
+
+    def last_output(self, pid: ProcessId) -> Optional[object]:
+        """The most recent output observed by ``pid`` (or ``None``)."""
+        records = self.records_of(pid)
+        return records[-1].output if records else None
+
+    def outputs_after(self, time: Time) -> Tuple[QueryRecord, ...]:
+        """All query records strictly after ``time``."""
+        return tuple(r for r in self._records if r.time > time)
+
+    def project(self, extract) -> "RecordedHistory":
+        """Return a new history with ``extract`` applied to every output.
+
+        Used to split the history of a product detector into its component
+        histories (e.g. the ``Sigma_k`` part of a ``(Sigma_k, Omega_k)``
+        history).
+        """
+        return RecordedHistory(
+            QueryRecord(r.pid, r.time, extract(r.output)) for r in self._records
+        )
+
+
+class FailureDetector(abc.ABC):
+    """Interface of a constructive failure-detector history function.
+
+    A concrete detector computes the output ``H(p, t)`` of the history it
+    realises, given the (planned) failure pattern of the run under
+    construction.  Implementations must be deterministic functions of
+    ``(pid, t, pattern)`` and the detector's own configuration so that runs
+    are reproducible.
+    """
+
+    #: Short class name, e.g. ``"Sigma_2"`` — set by subclasses.
+    name: str = "detector"
+
+    @abc.abstractmethod
+    def output(self, pid: ProcessId, t: Time, pattern: FailurePattern) -> object:
+        """Return ``H(pid, t)`` for the history realised on ``pattern``."""
+
+    def check_history(
+        self, history: RecordedHistory, pattern: FailurePattern
+    ) -> List[str]:
+        """Validate a recorded history against the class's properties.
+
+        The default implementation accepts everything; concrete classes
+        override it.  Returns a list of human-readable violations (empty
+        means the recorded history is consistent with the class).
+        """
+        return []
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"

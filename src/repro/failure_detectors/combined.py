@@ -1,0 +1,81 @@
+"""Product failure detectors such as ``(Sigma_k, Omega_k)``.
+
+The paper studies the *pair* ``(Sigma_k, Omega_k)``: a detector whose
+output combines a quorum component and a leader component, each of which
+must individually satisfy its class's properties for the run's failure
+pattern.  :class:`ProductDetector` composes any number of named component
+detectors; its output is a dictionary keyed by component name, and its
+history checker simply projects the recorded history onto every component
+and delegates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.failure_detectors.base import (
+    FailureDetector,
+    FailurePattern,
+    RecordedHistory,
+)
+from repro.failure_detectors.omega import OmegaK
+from repro.failure_detectors.sigma import SigmaK
+from repro.types import ProcessId, Time
+
+__all__ = ["ProductDetector", "sigma_omega_k"]
+
+
+class ProductDetector(FailureDetector):
+    """The product of several named component detectors.
+
+    The output at ``(p, t)`` is a mapping ``component name -> component
+    output``; a recorded history of the product is admissible exactly when
+    each projected component history is admissible for its class.
+    """
+
+    def __init__(self, components: Mapping[str, FailureDetector], name: str | None = None):
+        if not components:
+            raise ConfigurationError("a product detector needs at least one component")
+        self.components: Dict[str, FailureDetector] = dict(components)
+        self.name = name or "(" + ", ".join(d.name for d in self.components.values()) + ")"
+
+    def output(self, pid: ProcessId, t: Time, pattern: FailurePattern) -> Dict[str, object]:
+        """Query every component and return the combined output."""
+        return {
+            key: detector.output(pid, t, pattern)
+            for key, detector in self.components.items()
+        }
+
+    def check_history(self, history: RecordedHistory, pattern: FailurePattern) -> List[str]:
+        """Check each component's projected history against its class."""
+        violations: List[str] = []
+        for key, detector in self.components.items():
+            projected = history.project(lambda output, key=key: output[key])
+            for violation in detector.check_history(projected, pattern):
+                violations.append(f"[{key}] {violation}")
+        return violations
+
+    def component(self, key: str) -> FailureDetector:
+        """Return a named component detector."""
+        return self.components[key]
+
+
+def sigma_omega_k(
+    k: int,
+    *,
+    gst: Time = 0,
+    leaders: Tuple[ProcessId, ...] | None = None,
+) -> ProductDetector:
+    """Build the paper's ``(Sigma_k, Omega_k)`` product detector.
+
+    Components are named ``"sigma"`` and ``"omega"``; algorithms access
+    them as ``fd_output["sigma"]`` and ``fd_output["omega"]``.
+    """
+    return ProductDetector(
+        {
+            "sigma": SigmaK(k),
+            "omega": OmegaK(k, gst=gst, leaders=leaders),
+        },
+        name=f"(Sigma_{k}, Omega_{k})",
+    )

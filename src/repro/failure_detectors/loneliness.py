@@ -1,0 +1,63 @@
+"""The loneliness failure detector ``L``.
+
+The authors' companion paper ("Weak synchrony models and failure detectors
+for message passing k-set agreement", OPODIS 2009 — reference [2] of the
+reproduced paper) introduces a *generalised loneliness* family ``L(k)``
+and shows that ``L = L(n-1)`` is tightly linked to (n-1)-set agreement.
+The reproduced paper only mentions the family in passing, so this module
+ships the classic boolean loneliness detector, which is the member the
+related literature uses for (n-1)-set agreement:
+
+* **Safety** — in every run, at least one process never outputs ``True``.
+* **Liveness** — if all processes except one crash, the remaining correct
+  process eventually outputs ``True`` forever.
+
+The constructive history outputs ``True`` at a live process exactly when
+that process is the only one still alive.  Safety holds because the
+process with the smallest crash-free lifetime horizon — in particular any
+run with two or more correct processes — never sees itself alone; when all
+processes are correct nobody ever outputs ``True``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.failure_detectors.base import (
+    FailureDetector,
+    FailurePattern,
+    RecordedHistory,
+)
+from repro.types import ProcessId, Time
+
+__all__ = ["LonelinessDetector"]
+
+
+class LonelinessDetector(FailureDetector):
+    """Constructive history function for the loneliness detector ``L``."""
+
+    name = "L"
+
+    def output(self, pid: ProcessId, t: Time, pattern: FailurePattern) -> bool:
+        """Return ``True`` iff ``pid`` is the only process alive at ``t``."""
+        alive = pattern.alive_at(t)
+        return alive == frozenset({pid})
+
+    def check_history(self, history: RecordedHistory, pattern: FailurePattern) -> List[str]:
+        """Check the safety and (observable) liveness of a recorded history."""
+        violations: List[str] = []
+        lonely = {r.pid for r in history if r.output is True}
+        if lonely == set(pattern.processes) and len(pattern.processes) > 1:
+            violations.append(
+                "L safety violated: every process output True at least once"
+            )
+        if len(pattern.correct) == 1:
+            survivor = next(iter(pattern.correct))
+            records = history.records_of(survivor)
+            late = [r for r in records if r.time > pattern.last_crash_time]
+            if late and not any(r.output is True for r in late):
+                violations.append(
+                    f"L liveness violated: sole survivor p{survivor} never output True "
+                    "after the last crash"
+                )
+        return violations

@@ -1,0 +1,194 @@
+"""The generalised leader oracle ``Omega_k`` (Definition 5).
+
+``Omega_k`` outputs, at every process and every time, a set of exactly
+``k`` process identifiers (*validity*), and guarantees **eventual
+leadership**: there is a time ``t_GST`` and a set ``LD`` of ``k``
+processes containing at least one correct process such that after
+``t_GST`` every query (of every process) returns ``LD``.
+
+The constructive history implemented here takes an explicit stabilisation
+time ``gst`` and an optional explicit leader set.  Before ``gst`` the
+output rotates through ``k``-windows of the process ring (making the
+pre-stabilisation period genuinely unstable, which is what exposes naive
+algorithms); from ``gst`` on it returns the fixed leader set, which by
+default consists of the ``k`` smallest-identifier correct processes
+(padded with faulty ones if fewer than ``k`` processes are correct).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.failure_detectors.base import (
+    FailureDetector,
+    FailurePattern,
+    RecordedHistory,
+)
+from repro.types import ProcessId, Time
+
+__all__ = ["OmegaK", "check_omega_history"]
+
+
+class OmegaK(FailureDetector):
+    """Constructive history function for the class ``Omega_k``.
+
+    Parameters
+    ----------
+    k:
+        Size of the leader set; ``k = 1`` is the classic ``Omega``.
+    gst:
+        Stabilisation time: from this time on, every output equals the
+        final leader set.  Before it the output rotates, modelling the
+        arbitrary behaviour ``Omega_k`` allows pre-stabilisation.
+    leaders:
+        Optional explicit final leader set ``LD`` (must have exactly ``k``
+        members drawn from the pattern's process set and intersect the
+        correct processes).  When omitted, the ``k`` smallest correct
+        identifiers (padded with the smallest faulty ones) are used.
+    rotation_period:
+        How many time units each pre-stabilisation window lasts.
+    universe:
+        Optional fixed process universe to draw leader identifiers from.
+        By default the universe is the failure pattern's process set; the
+        partition detector passes the full system here so that leader sets
+        remain well defined (and identical) when the same detector is
+        queried in a *restricted* execution over a subset of the processes
+        — which is what condition (D) of Theorem 1 compares.
+    """
+
+    def __init__(
+        self,
+        k: int = 1,
+        *,
+        gst: Time = 0,
+        leaders: Optional[Iterable[ProcessId]] = None,
+        rotation_period: int = 3,
+        universe: Optional[Iterable[ProcessId]] = None,
+    ):
+        if k < 1:
+            raise ConfigurationError(f"Omega_k requires k >= 1, got {k}")
+        if gst < 0:
+            raise ConfigurationError(f"gst must be >= 0, got {gst}")
+        if rotation_period < 1:
+            raise ConfigurationError("rotation_period must be >= 1")
+        self.k = k
+        self.gst = gst
+        self.rotation_period = rotation_period
+        self._explicit_leaders = frozenset(leaders) if leaders is not None else None
+        self._universe = tuple(sorted(universe)) if universe is not None else None
+        self.name = f"Omega_{k}" if k != 1 else "Omega"
+
+    # -- helpers ----------------------------------------------------------
+
+    def _process_universe(self, pattern: FailurePattern) -> tuple:
+        if self._universe is not None:
+            return self._universe
+        return tuple(sorted(pattern.processes))
+
+    def final_leaders(self, pattern: FailurePattern) -> FrozenSet[ProcessId]:
+        """The stabilised leader set ``LD`` for a given failure pattern."""
+        processes = sorted(self._process_universe(pattern))
+        if self.k > len(processes):
+            raise ConfigurationError(
+                f"Omega_{self.k} needs at least {self.k} processes, "
+                f"model has {len(processes)}"
+            )
+        if self._explicit_leaders is not None:
+            leaders = self._explicit_leaders
+            if len(leaders) != self.k:
+                raise ConfigurationError(
+                    f"explicit leader set must have exactly k={self.k} members, "
+                    f"got {sorted(leaders)}"
+                )
+            if not set(leaders).issubset(set(processes)):
+                raise ConfigurationError("explicit leader set contains unknown processes")
+            if pattern.correct and not (leaders & pattern.correct):
+                raise ConfigurationError(
+                    "explicit leader set contains no correct process for this pattern"
+                )
+            return leaders
+        correct = sorted(pattern.correct)
+        chosen = correct[: self.k]
+        if len(chosen) < self.k:
+            fillers = [p for p in processes if p not in pattern.correct]
+            chosen += fillers[: self.k - len(chosen)]
+        return frozenset(chosen)
+
+    def _rotating_window(self, t: Time, processes: Sequence[ProcessId]) -> FrozenSet[ProcessId]:
+        ordered = sorted(processes)
+        n = len(ordered)
+        start = (t // self.rotation_period) % n
+        window = [ordered[(start + i) % n] for i in range(min(self.k, n))]
+        return frozenset(window)
+
+    # -- FailureDetector interface -----------------------------------------
+
+    def output(self, pid: ProcessId, t: Time, pattern: FailurePattern) -> FrozenSet[ProcessId]:
+        """Return the leader set at ``(pid, t)``."""
+        if t >= self.gst:
+            return self.final_leaders(pattern)
+        return self._rotating_window(t, self._process_universe(pattern))
+
+    def check_history(self, history: RecordedHistory, pattern: FailurePattern) -> List[str]:
+        """Check a recorded history against Definition 5."""
+        return check_omega_history(history, pattern, self.k)
+
+
+def check_omega_history(
+    history: RecordedHistory, pattern: FailurePattern, k: int
+) -> List[str]:
+    """Validate a recorded history against the ``Omega_k`` properties.
+
+    *Validity* is checked at every observed query (exactly ``k``
+    identifiers from the process set).  *Eventual leadership* is checked by
+    searching for a time after which all observed outputs coincide and the
+    common set intersects the correct processes; since a recorded history
+    is finite, "no stabilisation point found among the observed queries"
+    is reported as a violation — the constructive histories of
+    :class:`OmegaK` always stabilise at their ``gst``.
+    """
+    violations: List[str] = []
+    processes = set(pattern.processes)
+    records: List[Tuple[Time, ProcessId, FrozenSet[ProcessId]]] = []
+    for record in history:
+        output = record.output
+        if not isinstance(output, (set, frozenset)):
+            violations.append(
+                f"Omega output at (p{record.pid}, t={record.time}) is not a set: {output!r}"
+            )
+            continue
+        output = frozenset(output)
+        if len(output) != k:
+            violations.append(
+                f"Omega_{k} validity violated at (p{record.pid}, t={record.time}): "
+                f"output has {len(output)} members instead of {k}"
+            )
+        if not output.issubset(processes):
+            violations.append(
+                f"Omega_{k} output at (p{record.pid}, t={record.time}) mentions "
+                f"unknown processes {sorted(output - processes)}"
+            )
+        records.append((record.time, record.pid, output))
+    if not records:
+        return violations
+
+    records.sort()
+    correct = pattern.correct
+    # Find the latest suffix on which all outputs agree.
+    suffix_start = len(records) - 1
+    final = records[-1][2]
+    while suffix_start > 0 and records[suffix_start - 1][2] == final:
+        suffix_start -= 1
+    stabilised = all(out == final for _t, _p, out in records[suffix_start:])
+    if not stabilised:  # pragma: no cover - by construction of suffix_start
+        violations.append(f"Omega_{k}: no stabilised suffix found")
+        return violations
+    if correct and not (final & correct):
+        violations.append(
+            f"Omega_{k} eventual leadership violated: the stabilised leader set "
+            f"{sorted(final)} contains no correct process"
+        )
+    if suffix_start == len(records) and len(records) > 0:
+        violations.append(f"Omega_{k}: history never stabilises on a common leader set")
+    return violations

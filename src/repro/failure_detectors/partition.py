@@ -1,0 +1,152 @@
+"""The partition failure detector ``(Sigma'_k, Omega'_k)`` of Definition 7.
+
+Theorem 10's proof does not work with ``(Sigma_k, Omega_k)`` directly;
+it works with a *stronger* detector that nevertheless permits the system
+to split into ``k`` partitions:
+
+* Fix a partitioning ``{D_1, ..., D_{k-1}, D_k}`` of the processes (the
+  paper writes ``D-bar = D_k``).
+* The ``Sigma'_k`` output at every process of ``D_i`` is a valid history
+  of the classic quorum detector ``Sigma`` *in the restricted model
+  <D_i>* — only processes of ``D_i`` are ever output — except that a
+  crashed process's output is the full set ``Pi``.
+* ``Omega'_k`` equals ``Omega_k``.
+
+Because quorums in different blocks are disjoint, such histories never
+force communication across blocks; yet Lemma 9 shows every partitioning
+history is also a valid ``(Sigma_k, Omega_k)`` history, which is what
+carries the impossibility over to the weaker detector.
+
+:class:`PartitionDetector` realises exactly these histories: the quorum
+component returns the processes of the querier's block that are still
+alive, and the leader component behaves like :class:`OmegaK`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.failure_detectors.base import (
+    FailureDetector,
+    FailurePattern,
+    RecordedHistory,
+)
+from repro.failure_detectors.omega import OmegaK, check_omega_history
+from repro.failure_detectors.sigma import check_sigma_history
+from repro.types import ProcessId, Time
+
+__all__ = ["PartitionDetector"]
+
+
+class PartitionDetector(FailureDetector):
+    """Constructive history function for ``(Sigma'_k, Omega'_k)``.
+
+    Parameters
+    ----------
+    blocks:
+        The partitioning ``D_1, ..., D_k`` of the process set.  The number
+        of blocks is the detector's parameter ``k``; the last block plays
+        the role of the paper's ``D-bar`` but the detector itself treats
+        all blocks uniformly (Definition 7 does).
+    gst:
+        Stabilisation time of the ``Omega'_k`` component.
+    leaders:
+        Optional explicit final leader set (see :class:`OmegaK`).
+    """
+
+    def __init__(
+        self,
+        blocks: Sequence[Iterable[ProcessId]],
+        *,
+        gst: Time = 0,
+        leaders: Iterable[ProcessId] | None = None,
+    ):
+        block_sets: List[FrozenSet[ProcessId]] = [frozenset(b) for b in blocks]
+        if not block_sets:
+            raise ConfigurationError("the partition must have at least one block")
+        if any(not block for block in block_sets):
+            raise ConfigurationError("partition blocks must be nonempty")
+        all_members: List[ProcessId] = sorted(p for block in block_sets for p in block)
+        if len(all_members) != len(set(all_members)):
+            raise ConfigurationError("partition blocks must be pairwise disjoint")
+        self.blocks: Tuple[FrozenSet[ProcessId], ...] = tuple(block_sets)
+        self.k = len(block_sets)
+        self._block_of: Dict[ProcessId, FrozenSet[ProcessId]] = {
+            p: block for block in block_sets for p in block
+        }
+        self._omega = OmegaK(self.k, gst=gst, leaders=leaders, universe=all_members)
+        self.name = f"(Sigma'_{self.k}, Omega'_{self.k})"
+
+    @property
+    def gst(self) -> Time:
+        """Stabilisation time of the leader component."""
+        return self._omega.gst
+
+    def block_of(self, pid: ProcessId) -> FrozenSet[ProcessId]:
+        """Return the partition block containing ``pid``."""
+        try:
+            return self._block_of[pid]
+        except KeyError:
+            raise ConfigurationError(f"process p{pid} is not covered by the partition") from None
+
+    def output(self, pid: ProcessId, t: Time, pattern: FailurePattern) -> Dict[str, object]:
+        """Return the combined ``{"sigma": ..., "omega": ...}`` output."""
+        return {
+            "sigma": self._sigma_prime(pid, t, pattern),
+            "omega": self._omega.output(pid, t, pattern),
+        }
+
+    def _sigma_prime(
+        self, pid: ProcessId, t: Time, pattern: FailurePattern
+    ) -> FrozenSet[ProcessId]:
+        if pattern.is_crashed(pid, t):
+            # Definition 7: after p_j's crash time the output is the whole set Pi.
+            return frozenset(pattern.processes)
+        block = self.block_of(pid)
+        alive_in_block = block & pattern.alive_at(t)
+        if alive_in_block:
+            return alive_in_block
+        # The querier is alive, so its own block always has a live member.
+        return frozenset({pid})  # pragma: no cover - defensive
+
+    def check_history(self, history: RecordedHistory, pattern: FailurePattern) -> List[str]:
+        """Check Definition 7 on a recorded history.
+
+        The quorum component must be a valid ``Sigma`` (= ``Sigma_1``)
+        history *within each block* (restricted failure pattern), except
+        for crashed queriers whose output must be ``Pi``; the leader
+        component must satisfy ``Omega_k``.
+        """
+        violations: List[str] = []
+        sigma_history = history.project(lambda output: output["sigma"])
+        omega_history = history.project(lambda output: output["omega"])
+
+        for record in sigma_history:
+            if pattern.is_crashed(record.pid, record.time):
+                if frozenset(record.output) != frozenset(pattern.processes):
+                    violations.append(
+                        f"Sigma'_{self.k}: crashed p{record.pid} must output Pi at "
+                        f"t={record.time}, got {sorted(record.output)}"
+                    )
+                continue
+            block = self.block_of(record.pid)
+            if not frozenset(record.output).issubset(block):
+                violations.append(
+                    f"Sigma'_{self.k}: output of p{record.pid} at t={record.time} "
+                    f"leaves its block {sorted(block)}: {sorted(record.output)}"
+                )
+
+        for block in self.blocks:
+            block_records = RecordedHistory(
+                r
+                for r in sigma_history
+                if r.pid in block and not pattern.is_crashed(r.pid, r.time)
+            )
+            block_pattern = pattern.restricted_to(block)
+            for violation in check_sigma_history(block_records, block_pattern, k=1):
+                violations.append(f"[block {sorted(block)}] {violation}")
+
+        for violation in check_omega_history(omega_history, pattern, self.k):
+            violations.append(f"[omega] {violation}")
+        return violations

@@ -1,0 +1,111 @@
+"""The perfect and eventually perfect failure detectors ``P`` and ``<>P``.
+
+Neither class appears in the paper's theorems, but both are standard
+reference points of the Chandra–Toueg hierarchy and are used by the test
+suite as "strong" baselines: ``P`` never suspects a correct process and
+eventually suspects every crashed one; ``<>P`` may make finitely many
+mistakes before behaving like ``P``.  Having them in the library also lets
+examples contrast what ``(Sigma_k, Omega_k)`` can and cannot provide.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List
+
+from repro.exceptions import ConfigurationError
+from repro.failure_detectors.base import (
+    FailureDetector,
+    FailurePattern,
+    RecordedHistory,
+)
+from repro.types import ProcessId, Time
+
+__all__ = ["PerfectDetector", "EventuallyPerfectDetector"]
+
+
+class PerfectDetector(FailureDetector):
+    """The perfect failure detector ``P``.
+
+    Output: the set of *suspected* processes.  Strong completeness
+    (eventually every crashed process is suspected by every correct one)
+    and strong accuracy (no process is suspected before it crashes) hold by
+    construction: the output at time ``t`` is exactly the set of processes
+    crashed by ``t``.
+    """
+
+    name = "P"
+
+    def output(self, pid: ProcessId, t: Time, pattern: FailurePattern) -> FrozenSet[ProcessId]:
+        """Return the set of processes crashed by time ``t``."""
+        return pattern.crashed_at(t)
+
+    def check_history(self, history: RecordedHistory, pattern: FailurePattern) -> List[str]:
+        """Check strong accuracy and (finite-run) completeness."""
+        violations: List[str] = []
+        for record in history:
+            suspected = frozenset(record.output)
+            premature = {
+                p for p in suspected if not pattern.is_crashed(p, record.time)
+            }
+            if premature:
+                violations.append(
+                    f"P accuracy violated: p{record.pid} suspected live processes "
+                    f"{sorted(premature)} at time {record.time}"
+                )
+        horizon = pattern.last_crash_time
+        for record in history.outputs_after(horizon):
+            if record.pid in pattern.faulty:
+                continue
+            missing = pattern.faulty - frozenset(record.output)
+            if missing:
+                violations.append(
+                    f"P completeness violated: p{record.pid} failed to suspect "
+                    f"{sorted(missing)} at time {record.time}"
+                )
+        return violations
+
+
+class EventuallyPerfectDetector(FailureDetector):
+    """The eventually perfect failure detector ``<>P``.
+
+    Before the stabilisation time ``gst`` the detector may erroneously
+    suspect live processes (here: it suspects every process with an
+    identifier larger than the querier's, a deterministic but clearly
+    wrong guess); from ``gst`` on it behaves exactly like ``P``.
+    """
+
+    def __init__(self, gst: Time = 0):
+        if gst < 0:
+            raise ConfigurationError(f"gst must be >= 0, got {gst}")
+        self.gst = gst
+        self.name = "<>P"
+        self._perfect = PerfectDetector()
+
+    def output(self, pid: ProcessId, t: Time, pattern: FailurePattern) -> FrozenSet[ProcessId]:
+        """Return the suspected set at ``(pid, t)``."""
+        if t >= self.gst:
+            return self._perfect.output(pid, t, pattern)
+        wrong_guess = frozenset(p for p in pattern.processes if p > pid)
+        return wrong_guess | pattern.crashed_at(t)
+
+    def check_history(self, history: RecordedHistory, pattern: FailurePattern) -> List[str]:
+        """Check eventual accuracy and completeness on the recorded suffix."""
+        violations: List[str] = []
+        horizon = max(pattern.last_crash_time, self.gst)
+        for record in history.outputs_after(horizon):
+            if record.pid in pattern.faulty:
+                continue
+            suspected = frozenset(record.output)
+            premature = {p for p in suspected if p in pattern.correct}
+            if premature:
+                violations.append(
+                    f"<>P eventual accuracy violated: p{record.pid} suspected correct "
+                    f"processes {sorted(premature)} at time {record.time}"
+                )
+            missing = pattern.faulty - suspected
+            if missing:
+                violations.append(
+                    f"<>P completeness violated: p{record.pid} failed to suspect "
+                    f"{sorted(missing)} at time {record.time}"
+                )
+        return violations

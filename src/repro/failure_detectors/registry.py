@@ -1,0 +1,64 @@
+"""A small name-based registry of failure-detector factories.
+
+Benchmarks, examples and command-line experiments refer to detector
+classes by name (``"sigma_k"``, ``"omega_k"``, ``"sigma_omega_k"``,
+``"partition"``, ``"perfect"``, ``"eventually_perfect"``, ``"loneliness"``)
+rather than importing concrete classes; the registry maps those names to
+factory callables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.failure_detectors.base import FailureDetector
+from repro.failure_detectors.combined import sigma_omega_k
+from repro.failure_detectors.loneliness import LonelinessDetector
+from repro.failure_detectors.omega import OmegaK
+from repro.failure_detectors.partition import PartitionDetector
+from repro.failure_detectors.perfect import EventuallyPerfectDetector, PerfectDetector
+from repro.failure_detectors.sigma import SigmaK
+
+__all__ = ["available_detectors", "make_detector", "register_detector"]
+
+_FACTORIES: Dict[str, Callable[..., FailureDetector]] = {
+    "sigma_k": lambda k=1, **kw: SigmaK(k),
+    "omega_k": lambda k=1, **kw: OmegaK(k, **kw),
+    "sigma_omega_k": lambda k=1, **kw: sigma_omega_k(k, **kw),
+    "partition": lambda blocks, **kw: PartitionDetector(blocks, **kw),
+    "perfect": lambda **kw: PerfectDetector(),
+    "eventually_perfect": lambda gst=0, **kw: EventuallyPerfectDetector(gst),
+    "loneliness": lambda **kw: LonelinessDetector(),
+}
+
+
+def available_detectors() -> Tuple[str, ...]:
+    """Return the registered detector names, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def register_detector(name: str, factory: Callable[..., FailureDetector]) -> None:
+    """Register a custom detector factory under ``name``.
+
+    Re-registering an existing name raises
+    :class:`repro.exceptions.ConfigurationError` to avoid silent clashes.
+    """
+    if name in _FACTORIES:
+        raise ConfigurationError(f"failure detector {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def make_detector(name: str, **kwargs) -> FailureDetector:
+    """Instantiate a registered detector by name.
+
+    >>> make_detector("sigma_k", k=2).name
+    'Sigma_2'
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown failure detector {name!r}; available: {', '.join(available_detectors())}"
+        ) from None
+    return factory(**kwargs)

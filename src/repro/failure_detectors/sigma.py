@@ -1,0 +1,146 @@
+"""The generalised quorum failure detector ``Sigma_k`` (Definition 4).
+
+``Sigma_k`` outputs a set of *trusted* process identifiers subject to
+
+* **Intersection** — for every set of ``k + 1`` processes and every choice
+  of ``k + 1`` query times, at least two of the returned quorums
+  intersect;
+* **Liveness** — eventually the quorum returned to every correct process
+  contains only correct processes.
+
+By convention (as in the paper), once a process has crashed its history
+value is the full process set ``Pi``.
+
+The constructive history implemented here returns, at time ``t``, the set
+of processes that have not crashed by ``t`` (and ``Pi`` for crashed
+queriers).  That history satisfies both properties for *every* ``k``:
+any two outputs contain all correct processes, so they intersect whenever
+at least one process is correct (and equal ``Pi`` otherwise), and after
+the last crash the alive set equals the correct set.  It moreover becomes
+the singleton ``{p}`` when ``p`` is the only surviving process — the
+situation the ``Sigma_{n-1}``-based algorithm for (n-1)-set agreement
+relies on for termination.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, List
+
+from repro.exceptions import ConfigurationError
+from repro.failure_detectors.base import (
+    FailureDetector,
+    FailurePattern,
+    RecordedHistory,
+)
+from repro.types import ProcessId, Time
+
+__all__ = ["SigmaK", "check_sigma_history"]
+
+
+class SigmaK(FailureDetector):
+    """Constructive history function for the class ``Sigma_k``.
+
+    Parameters
+    ----------
+    k:
+        The quorum parameter; ``k = 1`` is the classic quorum detector
+        ``Sigma``.
+    """
+
+    def __init__(self, k: int = 1):
+        if k < 1:
+            raise ConfigurationError(f"Sigma_k requires k >= 1, got {k}")
+        self.k = k
+        self.name = f"Sigma_{k}" if k != 1 else "Sigma"
+
+    def output(self, pid: ProcessId, t: Time, pattern: FailurePattern) -> FrozenSet[ProcessId]:
+        """Return the trusted set at ``(pid, t)``.
+
+        Crashed queriers receive the full process set (the paper's
+        convention); live queriers receive the set of processes that have
+        not crashed by time ``t``.
+        """
+        if pattern.is_crashed(pid, t):
+            return frozenset(pattern.processes)
+        return pattern.alive_at(t)
+
+    def check_history(self, history: RecordedHistory, pattern: FailurePattern) -> List[str]:
+        """Check the recorded history against Definition 4.
+
+        Both properties are checked over the *observed* query points: the
+        intersection property over every ``(k+1)``-subset of querying
+        processes and every combination of one observed query time per
+        member, and liveness as "after the last crash, every output of a
+        correct process avoids the faulty set".
+        """
+        return check_sigma_history(history, pattern, self.k)
+
+
+def check_sigma_history(
+    history: RecordedHistory, pattern: FailurePattern, k: int
+) -> List[str]:
+    """Validate a recorded history against the ``Sigma_k`` properties.
+
+    Returns a list of violation descriptions (empty when the history is
+    consistent with ``Sigma_k`` on the observed query points).
+
+    Notes
+    -----
+    The intersection property quantifies over all times; a recorded history
+    only exposes the query times that actually occurred in the run, so this
+    checker verifies the property at those points.  This is the relevant
+    direction for the paper's arguments: a violation found here disproves
+    membership in ``Sigma_k``, while an absence of violations is evidence
+    (and, for the constructive histories of this module, is backed by the
+    analytic argument in the class docstring).
+    """
+    violations: List[str] = []
+    if k < 1:
+        raise ConfigurationError(f"Sigma_k requires k >= 1, got {k}")
+
+    queriers = sorted(history.processes())
+    for record in history:
+        if not isinstance(record.output, (set, frozenset)):
+            violations.append(
+                f"Sigma output at (p{record.pid}, t={record.time}) is not a set: "
+                f"{record.output!r}"
+            )
+    if violations:
+        return violations
+
+    # Intersection: every (k+1)-subset of queriers, every combination of one
+    # observed query per member.
+    for group in itertools.combinations(queriers, k + 1):
+        group_records = [history.records_of(pid) for pid in group]
+        if any(not records for records in group_records):
+            continue
+        for combo in itertools.product(*group_records):
+            if not _some_pair_intersects([r.output for r in combo]):
+                where = ", ".join(f"(p{r.pid}, t={r.time})" for r in combo)
+                violations.append(
+                    f"Sigma_{k} intersection violated for queries {where}: "
+                    "all returned quorums are pairwise disjoint"
+                )
+                break  # one witness per group keeps reports readable
+
+    # Liveness: after the last crash, outputs of correct processes avoid F.
+    faulty = pattern.faulty
+    horizon = pattern.last_crash_time
+    for record in history.outputs_after(horizon):
+        if record.pid in faulty:
+            continue
+        if frozenset(record.output) & faulty:
+            violations.append(
+                f"Sigma_{k} liveness violated: correct p{record.pid} trusted "
+                f"faulty processes {sorted(frozenset(record.output) & faulty)} "
+                f"at time {record.time} (> last crash time {horizon})"
+            )
+    return violations
+
+
+def _some_pair_intersects(quorums) -> bool:
+    for a, b in itertools.combinations(quorums, 2):
+        if frozenset(a) & frozenset(b):
+            return True
+    return False

@@ -1,0 +1,141 @@
+"""Comparison of failure-detector classes and the Lemma 9 transformation.
+
+Chandra and Toueg compare failure-detector classes through
+*transformations*: an algorithm ``A_{D -> D'}`` that, running in a system
+equipped with ``D``, maintains output variables emulating admissible
+histories of ``D'``.  ``D'`` is then *weaker* than ``D``; two classes are
+*equivalent* when transformations exist in both directions.
+
+The library models a transformation as a pure function on recorded
+histories: given the history observed while querying the source detector
+(plus the run's failure pattern), it produces the emulated history of the
+target class.  A :class:`Transformation` also knows how to *verify* its
+output, by running the target class's checker on the emulated history —
+this is how the benchmark for Lemma 9 demonstrates that every partitioning
+history of ``(Sigma'_k, Omega'_k)`` is admissible for ``(Sigma_k,
+Omega_k)``.
+
+Lemma 9's transformation is the identity: a partitioning history already
+*is* a ``(Sigma_k, Omega_k)`` history, because (i) quorums within a block
+pairwise intersect, and by the pigeonhole principle any ``k + 1`` queried
+processes include two from the same block, and (ii) ``Omega'_k`` equals
+``Omega_k`` by definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.failure_detectors.base import FailurePattern, RecordedHistory
+from repro.failure_detectors.omega import check_omega_history
+from repro.failure_detectors.sigma import check_sigma_history
+
+__all__ = [
+    "Transformation",
+    "identity_transformation",
+    "lemma9_transformation",
+    "verify_lemma9",
+]
+
+
+@dataclass(frozen=True)
+class Transformation:
+    """An emulation of one failure-detector class from another.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name, e.g. ``"(Sigma'_k,Omega'_k) -> (Sigma_k,Omega_k)"``.
+    source:
+        Name of the source class (the detector actually queried).
+    target:
+        Name of the emulated class.
+    emulate:
+        Function mapping ``(history, pattern)`` to the emulated history.
+    verify:
+        Function mapping ``(emulated_history, pattern)`` to a list of
+        violations of the *target* class's properties; an empty list means
+        the emulation produced an admissible target history for this run.
+    """
+
+    name: str
+    source: str
+    target: str
+    emulate: Callable[[RecordedHistory, FailurePattern], RecordedHistory]
+    verify: Callable[[RecordedHistory, FailurePattern], List[str]]
+
+    def apply_and_verify(
+        self, history: RecordedHistory, pattern: FailurePattern
+    ) -> List[str]:
+        """Emulate the target history and return its property violations."""
+        emulated = self.emulate(history, pattern)
+        return self.verify(emulated, pattern)
+
+
+def identity_transformation(
+    name: str,
+    source: str,
+    target: str,
+    verify: Callable[[RecordedHistory, FailurePattern], List[str]],
+) -> Transformation:
+    """Build a transformation whose emulation is the identity function.
+
+    Identity transformations capture "class X is (syntactically) also a
+    class Y history" arguments, of which Lemma 9 is the instance used in
+    the paper.
+    """
+    return Transformation(
+        name=name,
+        source=source,
+        target=target,
+        emulate=lambda history, pattern: history,
+        verify=verify,
+    )
+
+
+def _verify_sigma_omega(k: int):
+    def verify(history: RecordedHistory, pattern: FailurePattern) -> List[str]:
+        violations: List[str] = []
+        sigma_history = history.project(lambda output: output["sigma"])
+        omega_history = history.project(lambda output: output["omega"])
+        violations.extend(
+            f"[sigma] {v}" for v in check_sigma_history(sigma_history, pattern, k)
+        )
+        violations.extend(
+            f"[omega] {v}" for v in check_omega_history(omega_history, pattern, k)
+        )
+        return violations
+
+    return verify
+
+
+def lemma9_transformation(k: int) -> Transformation:
+    """The Lemma 9 transformation ``(Sigma'_k, Omega'_k) -> (Sigma_k, Omega_k)``.
+
+    The emulation is the identity; verification checks the emulated (i.e.
+    original) history against the intersection and liveness properties of
+    ``Sigma_k`` and the validity and eventual-leadership properties of
+    ``Omega_k``.
+    """
+    return identity_transformation(
+        name=f"(Sigma'_{k},Omega'_{k}) -> (Sigma_{k},Omega_{k})",
+        source=f"(Sigma'_{k}, Omega'_{k})",
+        target=f"(Sigma_{k}, Omega_{k})",
+        verify=_verify_sigma_omega(k),
+    )
+
+
+def verify_lemma9(
+    history: RecordedHistory,
+    pattern: FailurePattern,
+    k: int,
+) -> List[str]:
+    """Check Lemma 9 on a recorded partitioning history.
+
+    Returns the list of ``(Sigma_k, Omega_k)`` property violations of the
+    history; an empty list is the Lemma 9 conclusion — the partitioning
+    history is admissible for the weaker detector — for this particular
+    run.
+    """
+    return lemma9_transformation(k).apply_and_verify(history, pattern)

@@ -1,0 +1,51 @@
+"""Directed-graph substrate used by the Section VI algorithm.
+
+The generalisation of the FLP initial-crash consensus protocol to k-set
+agreement rests on a purely combinatorial fact about directed graphs whose
+vertices all have in-degree at least ``delta`` (Lemma 6 and Lemma 7 of the
+paper): every weakly connected component contains a *source component* —
+a strongly connected component with no incoming edges in the condensation
+DAG — of size at least ``delta + 1``, and consequently a graph on ``n``
+vertices has at most ``floor(n / (delta + 1))`` source components.
+
+This subpackage provides:
+
+* :class:`repro.graphs.digraph.DiGraph` — a minimal, dependency-free
+  directed graph,
+* :mod:`repro.graphs.components` — Tarjan strongly connected components,
+  weakly connected components and the condensation DAG,
+* :mod:`repro.graphs.source_components` — source components, initial
+  cliques and the Lemma 6 / Lemma 7 bounds,
+* :mod:`repro.graphs.knowledge_graph` — construction of the stage-1
+  "who heard from whom" graph ``G`` from the messages of a run.
+"""
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.components import (
+    strongly_connected_components,
+    weakly_connected_components,
+    condensation,
+)
+from repro.graphs.source_components import (
+    source_components,
+    source_component_of,
+    min_in_degree,
+    lemma6_bound,
+    verify_lemma6,
+    verify_lemma7,
+)
+from repro.graphs.knowledge_graph import KnowledgeGraph
+
+__all__ = [
+    "DiGraph",
+    "strongly_connected_components",
+    "weakly_connected_components",
+    "condensation",
+    "source_components",
+    "source_component_of",
+    "min_in_degree",
+    "lemma6_bound",
+    "verify_lemma6",
+    "verify_lemma7",
+    "KnowledgeGraph",
+]

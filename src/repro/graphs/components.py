@@ -1,0 +1,131 @@
+"""Connected-component algorithms for :class:`repro.graphs.digraph.DiGraph`.
+
+Provides the three component notions the paper's Section VI needs:
+
+* *strongly connected components* (Tarjan's algorithm, iterative so that
+  large graphs do not hit the Python recursion limit),
+* *weakly connected components* (connected components of the underlying
+  undirected graph), and
+* the *condensation*: the DAG obtained by contracting every strongly
+  connected component to a single vertex, which is where the paper's
+  notion of a *source component* lives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from repro.graphs.digraph import DiGraph
+
+__all__ = [
+    "strongly_connected_components",
+    "weakly_connected_components",
+    "condensation",
+]
+
+Node = Hashable
+
+
+def strongly_connected_components(graph: DiGraph) -> Tuple[frozenset, ...]:
+    """Return the strongly connected components of ``graph``.
+
+    Uses an iterative version of Tarjan's algorithm.  Components are
+    returned as ``frozenset`` objects; the order of components follows the
+    completion order of Tarjan's algorithm (reverse topological order of
+    the condensation), which downstream code must not rely on beyond
+    determinism for a fixed input.
+    """
+    index_counter = 0
+    index: Dict[Node, int] = {}
+    lowlink: Dict[Node, int] = {}
+    on_stack: Dict[Node, bool] = {}
+    stack: List[Node] = []
+    components: List[frozenset] = []
+
+    for root in graph.nodes:
+        if root in index:
+            continue
+        # Each work item is (node, iterator over successors).
+        work: List[Tuple[Node, int]] = [(root, 0)]
+        while work:
+            node, succ_pos = work[-1]
+            if succ_pos == 0:
+                index[node] = index_counter
+                lowlink[node] = index_counter
+                index_counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            recursed = False
+            successors = graph.successors(node)
+            for pos in range(succ_pos, len(successors)):
+                succ = successors[pos]
+                if succ not in index:
+                    work[-1] = (node, pos + 1)
+                    work.append((succ, 0))
+                    recursed = True
+                    break
+                if on_stack.get(succ, False):
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if recursed:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: List[Node] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(frozenset(component))
+    return tuple(components)
+
+
+def weakly_connected_components(graph: DiGraph) -> Tuple[frozenset, ...]:
+    """Return the weakly connected components of ``graph``.
+
+    A weakly connected component is a maximal set of nodes that are mutually
+    reachable when every edge is treated as undirected.
+    """
+    seen: set = set()
+    components: List[frozenset] = []
+    for root in graph.nodes:
+        if root in seen:
+            continue
+        frontier = [root]
+        component = {root}
+        seen.add(root)
+        while frontier:
+            node = frontier.pop()
+            for neighbour in graph.undirected_neighbours(node):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    component.add(neighbour)
+                    frontier.append(neighbour)
+        components.append(frozenset(component))
+    return tuple(components)
+
+
+def condensation(graph: DiGraph) -> Tuple[DiGraph, Dict[Node, frozenset]]:
+    """Contract every strongly connected component into a single vertex.
+
+    Returns a pair ``(dag, membership)`` where ``dag`` is a
+    :class:`~repro.graphs.digraph.DiGraph` whose nodes are the strongly
+    connected components (as ``frozenset`` objects) and ``membership`` maps
+    every original node to its component.  The result is a DAG: the paper's
+    *source components* are exactly the nodes of ``dag`` with in-degree 0.
+    """
+    sccs = strongly_connected_components(graph)
+    membership: Dict[Node, frozenset] = {}
+    for component in sccs:
+        for node in component:
+            membership[node] = component
+    dag = DiGraph(nodes=sccs)
+    for u, v in graph.edges:
+        cu, cv = membership[u], membership[v]
+        if cu is not cv and cu != cv:
+            dag.add_edge(cu, cv)
+    return dag, membership

@@ -1,0 +1,155 @@
+"""A minimal directed simple graph.
+
+The library deliberately ships its own tiny digraph implementation instead
+of depending on :mod:`networkx` for its core code path: the Section VI
+algorithm runs *inside* every simulated process and constructs a fresh
+knowledge graph per decision, so the data structure should be cheap,
+deterministic and free of optional dependencies.  (The benchmark suite
+cross-checks the component algorithms against :mod:`networkx` where that
+package is available.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Set, Tuple
+
+__all__ = ["DiGraph"]
+
+Node = Hashable
+
+
+class DiGraph:
+    """A directed simple graph (no parallel edges, self-loops allowed).
+
+    Nodes may be any hashable objects.  Iteration orders are deterministic:
+    nodes iterate in insertion order, neighbours in insertion order of the
+    corresponding ``add_edge`` calls.
+    """
+
+    def __init__(self, edges: Iterable[Tuple[Node, Node]] = (), nodes: Iterable[Node] = ()):
+        self._succ: Dict[Node, Dict[Node, None]] = {}
+        self._pred: Dict[Node, Dict[Node, None]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # -- construction -------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` to the graph (no-op when already present)."""
+        if node not in self._succ:
+            self._succ[node] = {}
+            self._pred[node] = {}
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Add the directed edge ``u -> v``, creating missing endpoints."""
+        self.add_node(u)
+        self.add_node(v)
+        self._succ[u][v] = None
+        self._pred[v][u] = None
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident edges.
+
+        Raises :class:`KeyError` when the node is not present.
+        """
+        if node not in self._succ:
+            raise KeyError(node)
+        for v in list(self._succ[node]):
+            del self._pred[v][node]
+        for u in list(self._pred[node]):
+            del self._succ[u][node]
+        del self._succ[node]
+        del self._pred[node]
+
+    # -- queries ------------------------------------------------------
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._succ)
+
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        """All nodes, in insertion order."""
+        return tuple(self._succ)
+
+    @property
+    def edges(self) -> Tuple[Tuple[Node, Node], ...]:
+        """All directed edges as ``(u, v)`` pairs."""
+        return tuple((u, v) for u, targets in self._succ.items() for v in targets)
+
+    def number_of_edges(self) -> int:
+        """Total number of directed edges."""
+        return sum(len(t) for t in self._succ.values())
+
+    def successors(self, node: Node) -> Tuple[Node, ...]:
+        """Out-neighbours of ``node``."""
+        return tuple(self._succ[node])
+
+    def predecessors(self, node: Node) -> Tuple[Node, ...]:
+        """In-neighbours of ``node``."""
+        return tuple(self._pred[node])
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Return ``True`` when the edge ``u -> v`` exists."""
+        return u in self._succ and v in self._succ[u]
+
+    def in_degree(self, node: Node) -> int:
+        """Number of incoming edges of ``node``."""
+        return len(self._pred[node])
+
+    def out_degree(self, node: Node) -> int:
+        """Number of outgoing edges of ``node``."""
+        return len(self._succ[node])
+
+    # -- derived graphs -----------------------------------------------
+
+    def subgraph(self, nodes: Iterable[Node]) -> "DiGraph":
+        """Return the subgraph induced by ``nodes`` (unknown nodes ignored)."""
+        keep: Set[Node] = {n for n in nodes if n in self._succ}
+        sub = DiGraph(nodes=sorted(keep, key=self._node_sort_key))
+        for u in keep:
+            for v in self._succ[u]:
+                if v in keep:
+                    sub.add_edge(u, v)
+        return sub
+
+    def reverse(self) -> "DiGraph":
+        """Return a new graph with every edge direction flipped."""
+        rev = DiGraph(nodes=self.nodes)
+        for u, v in self.edges:
+            rev.add_edge(v, u)
+        return rev
+
+    def copy(self) -> "DiGraph":
+        """Return a shallow copy of the graph."""
+        return DiGraph(edges=self.edges, nodes=self.nodes)
+
+    def undirected_neighbours(self, node: Node) -> Tuple[Node, ...]:
+        """Neighbours ignoring edge direction (used for weak connectivity)."""
+        combined: Dict[Node, None] = dict(self._succ[node])
+        combined.update(self._pred[node])
+        return tuple(combined)
+
+    # -- misc ----------------------------------------------------------
+
+    @staticmethod
+    def _node_sort_key(node: Node):
+        return (str(type(node)), str(node))
+
+    def __repr__(self) -> str:
+        return f"DiGraph(|V|={len(self)}, |E|={self.number_of_edges()})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return set(self.nodes) == set(other.nodes) and set(self.edges) == set(other.edges)
+
+    def __hash__(self):  # pragma: no cover - graphs are mutable
+        raise TypeError("DiGraph objects are mutable and unhashable")

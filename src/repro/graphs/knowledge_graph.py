@@ -1,0 +1,153 @@
+"""The stage-1 knowledge graph ``G`` of the Section VI algorithm.
+
+In the two-stage protocol of Fischer, Lynch and Paterson — and in the
+paper's generalisation to k-set agreement — every process broadcasts its
+identifier in the first stage and then waits for ``L - 1`` such messages.
+The resulting "who heard from whom" relation is a directed graph ``G``
+with an edge ``u -> w`` whenever ``w`` received the stage-1 message of
+``u``.  In the second stage every process broadcasts its proposal together
+with the list of the ``L - 1`` processes it heard from, so processes learn
+(parts of) ``G`` transitively.
+
+:class:`KnowledgeGraph` is the per-process view of ``G``: it accumulates
+"``w`` heard from ``{u_1, ...}``" facts, tracks which processes' in-edge
+lists are still missing, and — once the transitive closure of required
+information is complete — exposes the source component that reaches the
+owning process, from which the decision value is derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.source_components import reachable_source_components
+from repro.types import ProcessId, Value
+
+__all__ = ["KnowledgeGraph"]
+
+
+@dataclass
+class KnowledgeGraph:
+    """A process-local, incrementally learned view of the stage-1 graph.
+
+    Parameters
+    ----------
+    owner:
+        The process building the view (decision rules are relative to it).
+    """
+
+    owner: ProcessId
+    #: in-edge lists learned so far: ``w -> set of u with edge u -> w``.
+    heard_from: Dict[ProcessId, FrozenSet[ProcessId]] = field(default_factory=dict)
+    #: proposal values learned so far (stage-2 messages carry them).
+    values: Dict[ProcessId, Value] = field(default_factory=dict)
+
+    def record(self, process: ProcessId, predecessors: Iterable[ProcessId], value: Value) -> None:
+        """Record that ``process`` heard from ``predecessors`` and proposed ``value``.
+
+        Recording the same process twice with different information raises
+        :class:`ValueError` — in the initial-crash model the stage-1 receive
+        set of a process is fixed once it enters stage 2, so conflicting
+        reports indicate a protocol bug.
+        """
+        preds = frozenset(int(p) for p in predecessors)
+        if process in self.heard_from and self.heard_from[process] != preds:
+            raise ValueError(
+                f"conflicting predecessor report for p{process}: "
+                f"{sorted(self.heard_from[process])} vs {sorted(preds)}"
+            )
+        self.heard_from[process] = preds
+        self.values[process] = value
+
+    @property
+    def known_processes(self) -> FrozenSet[ProcessId]:
+        """Processes whose in-edge list (and value) has been learned."""
+        return frozenset(self.heard_from)
+
+    def required_processes(self) -> FrozenSet[ProcessId]:
+        """The transitive closure of processes whose reports are required.
+
+        Starting from the owner, a process needs the reports of everyone it
+        heard from, of everyone those processes heard from, and so on.
+        Unknown processes (mentioned in some list but not yet reported) are
+        included in the result; completeness is checked separately.
+        """
+        required: Set[ProcessId] = {self.owner}
+        frontier = [self.owner]
+        while frontier:
+            current = frontier.pop()
+            for pred in self.heard_from.get(current, frozenset()):
+                if pred not in required:
+                    required.add(pred)
+                    frontier.append(pred)
+        return frozenset(required)
+
+    def missing_processes(self) -> FrozenSet[ProcessId]:
+        """Required processes whose report has not arrived yet."""
+        return frozenset(p for p in self.required_processes() if p not in self.heard_from)
+
+    def is_complete(self) -> bool:
+        """``True`` when every transitively required report has arrived."""
+        return not self.missing_processes()
+
+    def to_digraph(self) -> DiGraph:
+        """Materialise the currently known part of ``G`` as a digraph.
+
+        Only processes with a known in-edge list become nodes; edges from
+        not-yet-reported predecessors are included (their endpoint node is
+        created implicitly), mirroring the partial knowledge a process has.
+        """
+        graph = DiGraph()
+        for process, predecessors in self.heard_from.items():
+            graph.add_node(process)
+            for pred in predecessors:
+                graph.add_edge(pred, process)
+        return graph
+
+    def decision_component(self) -> Optional[FrozenSet[ProcessId]]:
+        """Return the source component that determines the owner's decision.
+
+        Requires :meth:`is_complete`; returns ``None`` otherwise.  When the
+        view is complete, the induced graph on the required processes
+        contains every in-edge of every required process, so its source
+        components are genuine source components of the global graph ``G``.
+        Among the source components that reach the owner, the one whose
+        minimum process identifier is smallest is returned, which makes the
+        decision rule deterministic and identical at every process that
+        computes it on the same graph.
+        """
+        if not self.is_complete():
+            return None
+        required = self.required_processes()
+        graph = self.to_digraph().subgraph(required)
+        candidates = reachable_source_components(graph, self.owner)
+        if not candidates:  # pragma: no cover - owner always reaches itself
+            return None
+        chosen = min(candidates, key=lambda comp: min(comp))
+        return frozenset(chosen)
+
+    def decision_value(self) -> Optional[Value]:
+        """The Section VI decision value, or ``None`` while incomplete.
+
+        The deterministic rule from the paper: take the value proposed by
+        the process with the minimal identifier in the decision source
+        component.
+        """
+        component = self.decision_component()
+        if component is None:
+            return None
+        representative = min(component)
+        if representative not in self.values:  # pragma: no cover - defensive
+            return None
+        return self.values[representative]
+
+    def summary(self) -> Mapping[str, object]:
+        """A small diagnostic mapping used by traces and examples."""
+        return {
+            "owner": self.owner,
+            "known": tuple(sorted(self.heard_from)),
+            "missing": tuple(sorted(self.missing_processes())),
+            "complete": self.is_complete(),
+        }

@@ -1,0 +1,193 @@
+"""Source components and the combinatorial lemmas of Section VI.
+
+The paper's possibility result (Theorem 8) rests on two graph lemmas:
+
+* **Lemma 6.**  Every finite directed simple graph in which every vertex
+  has in-degree at least ``delta > 0`` has a source component of size at
+  least ``delta + 1``.
+* **Lemma 7.**  In every weakly connected component of such a graph there
+  is at least one source component of size at least ``delta + 1``.
+
+A *source component* is a strongly connected component whose vertex in the
+condensation DAG has in-degree 0.  Because source components are disjoint
+and each has size at least ``delta + 1``, a graph on ``n`` vertices has at
+most ``floor(n / (delta + 1))`` of them — which is exactly why waiting for
+``L - 1`` messages in the first stage of the Section VI algorithm bounds
+the number of distinct decision values by ``floor(n / L)``.
+
+This module computes source components, checks the two lemmas on concrete
+graphs (used by the property-based tests and by benchmark E3), and exposes
+the counting bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.graphs.components import condensation, weakly_connected_components
+from repro.graphs.digraph import DiGraph
+
+__all__ = [
+    "source_components",
+    "source_component_of",
+    "reachable_source_components",
+    "min_in_degree",
+    "lemma6_bound",
+    "verify_lemma6",
+    "verify_lemma7",
+    "initial_cliques",
+]
+
+Node = Hashable
+
+
+def source_components(graph: DiGraph) -> Tuple[frozenset, ...]:
+    """Return all source components of ``graph``.
+
+    A source component is a strongly connected component with no incoming
+    edge from any other component.  The empty graph has no source
+    components.
+    """
+    if len(graph) == 0:
+        return ()
+    dag, _membership = condensation(graph)
+    return tuple(component for component in dag.nodes if dag.in_degree(component) == 0)
+
+
+def source_component_of(graph: DiGraph, node: Node) -> Optional[frozenset]:
+    """Return one source component from which ``node`` is reachable.
+
+    Every node of a finite digraph is reachable from at least one source
+    component (walk backwards until the walk closes a cycle inside a
+    component with no external predecessors).  When several source
+    components reach ``node`` the lexicographically smallest one (by sorted
+    string representation of its members) is returned, which makes the
+    Section VI decision rule deterministic.  Returns ``None`` when the node
+    is not in the graph.
+    """
+    if node not in graph:
+        return None
+    candidates = reachable_source_components(graph, node)
+    if not candidates:  # pragma: no cover - impossible for finite graphs
+        return None
+    return min(candidates, key=lambda comp: sorted(str(m) for m in comp))
+
+
+def reachable_source_components(graph: DiGraph, node: Node) -> Tuple[frozenset, ...]:
+    """Return every source component that can reach ``node``.
+
+    Reachability is taken along directed edges from the source component to
+    ``node``.  Used by the Section VI algorithm: a process decides on the
+    value of (the minimum-identifier member of) a source component that
+    reaches it in the knowledge graph.
+    """
+    if node not in graph:
+        return ()
+    dag, membership = condensation(graph)
+    target = membership[node]
+    reverse = dag.reverse()
+    # Which condensation vertices can reach ``target``?  Equivalently,
+    # which vertices are reachable from ``target`` in the reversed DAG.
+    seen = {target}
+    frontier = [target]
+    while frontier:
+        current = frontier.pop()
+        for pred in reverse.successors(current):
+            if pred not in seen:
+                seen.add(pred)
+                frontier.append(pred)
+    return tuple(comp for comp in dag.nodes if comp in seen and dag.in_degree(comp) == 0)
+
+
+def min_in_degree(graph: DiGraph) -> int:
+    """Return the minimum in-degree over all vertices (0 for empty graphs)."""
+    if len(graph) == 0:
+        return 0
+    return min(graph.in_degree(node) for node in graph.nodes)
+
+
+def lemma6_bound(n: int, delta: int) -> int:
+    """Maximum possible number of source components by Lemma 6.
+
+    A graph on ``n`` vertices whose vertices all have in-degree at least
+    ``delta`` has source components of size at least ``delta + 1`` each;
+    since they are disjoint there are at most ``floor(n / (delta + 1))``.
+
+    >>> lemma6_bound(10, 4)
+    2
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+    return n // (delta + 1)
+
+
+def verify_lemma6(graph: DiGraph) -> Dict[str, object]:
+    """Check Lemma 6 on a concrete graph and return the evidence.
+
+    Returns a dictionary with the minimum in-degree ``delta``, the source
+    components found, the largest source-component size and the boolean
+    ``holds`` stating whether some source component has size at least
+    ``delta + 1``.  For graphs with ``delta == 0`` the lemma degenerates
+    (every graph has a source component of size >= 1) and ``holds`` is
+    still reported.
+    """
+    delta = min_in_degree(graph)
+    sources = source_components(graph)
+    largest = max((len(c) for c in sources), default=0)
+    count_bound = lemma6_bound(len(graph), delta) if len(graph) else 0
+    return {
+        "delta": delta,
+        "source_components": sources,
+        "largest_source_size": largest,
+        "holds": (len(graph) == 0) or largest >= delta + 1,
+        "count": len(sources),
+        "count_bound": count_bound,
+        "count_within_bound": (len(graph) == 0) or len(sources) <= max(count_bound, 1),
+    }
+
+
+def verify_lemma7(graph: DiGraph) -> Dict[str, object]:
+    """Check Lemma 7: every weakly connected component hosts a large source.
+
+    For each weakly connected component ``W`` of ``graph`` the induced
+    subgraph must contain a source component of size at least
+    ``delta_W + 1`` where ``delta_W`` is the minimum in-degree *within the
+    whole graph* restricted to ``W`` — the paper states the lemma for
+    graphs whose global minimum in-degree is ``delta``, and in that setting
+    edges never leave a weakly connected component, so the induced subgraph
+    retains all in-edges.
+    """
+    results = []
+    holds = True
+    for component in weakly_connected_components(graph):
+        induced = graph.subgraph(component)
+        evidence = verify_lemma6(induced)
+        results.append({"component": component, **evidence})
+        if not evidence["holds"]:
+            holds = False
+    return {"holds": holds, "components": tuple(results)}
+
+
+def initial_cliques(graph: DiGraph) -> Tuple[frozenset, ...]:
+    """Return the *initial cliques* of ``graph`` in the sense of FLP.
+
+    Fischer, Lynch and Paterson call a set ``C`` an initial clique when the
+    induced subgraph is fully connected (every ordered pair of distinct
+    members is an edge) and no member has an incoming edge from outside
+    ``C``.  The paper observes that finding the initial clique a process is
+    connected to is equivalent to finding its source component; this helper
+    returns the source components that additionally satisfy the clique
+    condition, which is what the original FLP protocol relies on when a
+    majority of processes is correct.
+    """
+    cliques = []
+    for component in source_components(graph):
+        members = sorted(component, key=str)
+        is_clique = all(
+            graph.has_edge(u, v) for u in members for v in members if u != v
+        )
+        if is_clique:
+            cliques.append(component)
+    return tuple(cliques)

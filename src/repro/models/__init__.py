@@ -1,0 +1,57 @@
+"""System models: the Dolev–Dwork–Stockmeyer lattice plus failure detectors.
+
+The paper (Section II) adopts the computing model of Dolev, Dwork and
+Stockmeyer, in which 32 message-passing models arise from five binary
+parameters — each either *favourable* (F) or *unfavourable* (U) for the
+algorithm — and adds a sixth dimension: whether processes may query a
+failure detector at the beginning of each step.
+
+This subpackage provides:
+
+* :mod:`repro.models.parameters` — the parameter lattice and
+  :class:`~repro.models.parameters.SystemModelSpec`,
+* :mod:`repro.models.model` — :class:`~repro.models.model.SystemModel`,
+  failure assumptions, run-admissibility checks and model restriction
+  ``<D>`` (Section II-B),
+* :mod:`repro.models.asynchronous` — the FLP model ``M_ASYNC``,
+* :mod:`repro.models.partially_synchronous` — the Theorem 2 model
+  (synchronous processes, asynchronous communication, atomic broadcast
+  steps),
+* :mod:`repro.models.initial_crash` — the Section VI model in which all
+  ``f`` failures are initial crashes,
+* :mod:`repro.models.catalog` — the consensus possibility/impossibility
+  catalogue the paper invokes as "[11, Table I]" for condition (C).
+"""
+
+from repro.models.parameters import (
+    Favourability,
+    ModelParameter,
+    SystemModelSpec,
+    ALL_SPECS,
+)
+from repro.models.model import FailureAssumption, SystemModel
+from repro.models.asynchronous import asynchronous_model
+from repro.models.partially_synchronous import partially_synchronous_model
+from repro.models.initial_crash import initial_crash_model
+from repro.models.catalog import (
+    CatalogEntry,
+    consensus_verdict,
+    consensus_impossible,
+    catalog_entries,
+)
+
+__all__ = [
+    "Favourability",
+    "ModelParameter",
+    "SystemModelSpec",
+    "ALL_SPECS",
+    "FailureAssumption",
+    "SystemModel",
+    "asynchronous_model",
+    "partially_synchronous_model",
+    "initial_crash_model",
+    "CatalogEntry",
+    "consensus_verdict",
+    "consensus_impossible",
+    "catalog_entries",
+]

@@ -1,0 +1,62 @@
+"""The FLP asynchronous model ``M_ASYNC``.
+
+Section II of the paper singles out the model of Fischer, Lynch and
+Paterson: processes and communication are asynchronous, every correct
+process takes an infinite number of steps, faulty processes execute only
+finitely many steps (and may omit sending messages to a subset of the
+receivers in their very last step), and every message sent to a correct
+receiver is eventually received.
+
+In the simulator, ``M_ASYNC`` is the fully unfavourable point of the
+Dolev–Dwork–Stockmeyer lattice with a crash-failure budget ``f``; the
+fairness conditions are enforced by the executor and checked post-hoc by
+:meth:`repro.models.model.SystemModel.admissibility_violations`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.models.model import FailureAssumption, SystemModel
+from repro.models.parameters import SystemModelSpec
+from repro.types import process_range
+
+__all__ = ["asynchronous_model", "ASYNC_SPEC"]
+
+#: The model spec of ``M_ASYNC``: every parameter unfavourable.
+ASYNC_SPEC = SystemModelSpec()
+
+
+def asynchronous_model(
+    n: int,
+    f: int,
+    *,
+    failure_detector: Optional[object] = None,
+    name: Optional[str] = None,
+) -> SystemModel:
+    """Build the asynchronous model ``M_ASYNC`` with ``n`` processes.
+
+    Parameters
+    ----------
+    n:
+        Number of processes (identifiers ``1..n``).
+    f:
+        Crash-failure budget; crashes may occur at any time.
+    failure_detector:
+        When given, the model becomes the augmented model
+        ``<M_ASYNC, D>`` of Section II-C in which processes may query the
+        detector at the beginning of every step.
+    name:
+        Optional explicit model name.
+    """
+    spec = ASYNC_SPEC
+    if failure_detector is not None:
+        spec = SystemModelSpec(failure_detectors=True)
+    return SystemModel(
+        name=name or (f"M_ASYNC(n={n}, f={f})" if failure_detector is None
+                      else f"<M_ASYNC(n={n}, f={f}), {failure_detector}>"),
+        processes=process_range(n),
+        spec=spec,
+        failures=FailureAssumption(max_failures=f),
+        failure_detector=failure_detector,
+    )

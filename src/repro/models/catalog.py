@@ -1,0 +1,203 @@
+"""The consensus possibility/impossibility catalogue ("[11, Table I]").
+
+Condition (C) of the paper's Theorem 1 requires a model ``M' = <D-bar>``
+in which consensus is *unsolvable*.  The paper discharges this condition
+by citing known results — the FLP impossibility and the classification of
+Dolev, Dwork and Stockmeyer ("On the minimal synchronism needed for
+distributed consensus", JACM 1987, Table I).  This module encodes exactly
+the facts the paper relies on (plus a few well-known neighbouring facts)
+as a verified lookup table:
+
+* **FLP 1985** — in the fully asynchronous model, consensus is impossible
+  as soon as a single process may crash.
+* **DDS 1987, Table I** — in the model with *synchronous processes*,
+  *asynchronous communication*, *atomic broadcast steps* (send and receive
+  in the same atomic step), consensus is still impossible with one crash
+  failure; this is the entry Theorem 2's condition (C) invokes.
+* **Fully synchronous systems** — with synchronous processes and
+  synchronous communication, consensus is solvable for any number of
+  crash failures (``f < n``).
+* **FLP 1985, Section 4** — with only *initially dead* processes,
+  consensus is solvable iff a majority of processes is correct
+  (``n > 2f``); the library additionally ships the algorithm.
+
+Entries deliberately do not attempt to reproduce all 32 rows of DDS'87:
+combinations the paper never relies on are reported as
+:data:`repro.types.Verdict.UNKNOWN` instead of guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.models.model import SystemModel
+from repro.models.parameters import SystemModelSpec
+from repro.types import Verdict
+
+__all__ = [
+    "CatalogEntry",
+    "catalog_entries",
+    "consensus_verdict",
+    "consensus_impossible",
+]
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One known fact about consensus solvability in a family of models.
+
+    Attributes
+    ----------
+    name:
+        Short identifier of the fact.
+    reference:
+        Bibliographic reference (as cited by the paper).
+    matches:
+        Predicate on ``(spec, n, f, initial_only)`` deciding whether the
+        entry applies to a given model.
+    verdict:
+        The solvability verdict the entry asserts.
+    statement:
+        Human-readable statement of the fact.
+    """
+
+    name: str
+    reference: str
+    matches: Callable[[SystemModelSpec, int, int, bool], bool]
+    verdict: Verdict
+    statement: str
+
+
+def _flp_matches(spec: SystemModelSpec, n: int, f: int, initial_only: bool) -> bool:
+    fully_async = (
+        not spec.synchronous_processes
+        and not spec.synchronous_communication
+        and not spec.ordered_messages
+        and not spec.failure_detectors
+    )
+    return fully_async and n >= 2 and f >= 1 and not initial_only
+
+
+def _dds_broadcast_matches(spec: SystemModelSpec, n: int, f: int, initial_only: bool) -> bool:
+    return (
+        spec.synchronous_processes
+        and not spec.synchronous_communication
+        and not spec.ordered_messages
+        and not spec.failure_detectors
+        and n >= 2
+        and f >= 1
+        and not initial_only
+    )
+
+
+def _fully_synchronous_matches(spec: SystemModelSpec, n: int, f: int, initial_only: bool) -> bool:
+    return (
+        spec.synchronous_processes
+        and spec.synchronous_communication
+        and n >= 1
+        and f < n
+    )
+
+
+def _initial_crash_majority(spec: SystemModelSpec, n: int, f: int, initial_only: bool) -> bool:
+    return initial_only and n > 2 * f
+
+
+def _initial_crash_no_majority(spec: SystemModelSpec, n: int, f: int, initial_only: bool) -> bool:
+    return initial_only and f < n and n <= 2 * f and not spec.synchronous_communication
+
+
+_ENTRIES: Tuple[CatalogEntry, ...] = (
+    CatalogEntry(
+        name="flp-asynchronous",
+        reference="Fischer, Lynch, Paterson, JACM 1985 ([14])",
+        matches=_flp_matches,
+        verdict=Verdict.IMPOSSIBLE,
+        statement=(
+            "In the fully asynchronous message-passing model, consensus is "
+            "impossible if a single process may crash."
+        ),
+    ),
+    CatalogEntry(
+        name="dds-sync-processes-async-communication",
+        reference="Dolev, Dwork, Stockmeyer, JACM 1987, Table I ([11])",
+        matches=_dds_broadcast_matches,
+        verdict=Verdict.IMPOSSIBLE,
+        statement=(
+            "With synchronous processes but asynchronous, unordered "
+            "communication — even with atomic broadcast of send and receive "
+            "— consensus is impossible if one process may crash."
+        ),
+    ),
+    CatalogEntry(
+        name="fully-synchronous",
+        reference="Dolev, Dwork, Stockmeyer, JACM 1987 ([11])",
+        matches=_fully_synchronous_matches,
+        verdict=Verdict.SOLVABLE,
+        statement=(
+            "With synchronous processes and synchronous communication, "
+            "consensus is solvable for any number f < n of crash failures."
+        ),
+    ),
+    CatalogEntry(
+        name="initial-crashes-majority",
+        reference="Fischer, Lynch, Paterson, JACM 1985, Section 4 ([14])",
+        matches=_initial_crash_majority,
+        verdict=Verdict.SOLVABLE,
+        statement=(
+            "With only initially dead processes, consensus is solvable when "
+            "a majority of processes is correct (n > 2f)."
+        ),
+    ),
+    CatalogEntry(
+        name="initial-crashes-no-majority",
+        reference="Fischer, Lynch, Paterson, JACM 1985 / partitioning argument (Section VI)",
+        matches=_initial_crash_no_majority,
+        verdict=Verdict.IMPOSSIBLE,
+        statement=(
+            "With up to f initially dead processes and no correct majority "
+            "(n <= 2f), consensus (1-set agreement) is impossible in an "
+            "asynchronous system: the system can be partitioned into two "
+            "halves that never hear from each other."
+        ),
+    ),
+)
+
+
+def catalog_entries() -> Tuple[CatalogEntry, ...]:
+    """Return the encoded catalogue entries, in precedence order."""
+    return _ENTRIES
+
+
+def consensus_verdict(model: SystemModel) -> Tuple[Verdict, Optional[CatalogEntry]]:
+    """Look up the consensus solvability verdict for ``model``.
+
+    Returns ``(verdict, entry)`` where ``entry`` is the catalogue entry
+    that produced the verdict, or ``(UNKNOWN, None)`` when no encoded fact
+    applies.  Failure-detector-augmented models are never matched by the
+    encoded entries (their solvability depends on the detector class and is
+    handled by :mod:`repro.core.borders`).
+    """
+    spec = model.spec
+    n = model.n
+    f = model.failures.max_failures
+    initial_only = model.failures.initial_only
+    if spec.failure_detectors or model.failure_detector is not None:
+        return Verdict.UNKNOWN, None
+    for entry in _ENTRIES:
+        if entry.matches(spec, n, f, initial_only):
+            return entry.verdict, entry
+    return Verdict.UNKNOWN, None
+
+
+def consensus_impossible(model: SystemModel) -> bool:
+    """``True`` when the catalogue certifies consensus impossible in ``model``.
+
+    This is the exact form in which Theorem 1's condition (C) consumes the
+    catalogue: a ``True`` answer is backed by a published impossibility
+    result; a ``False`` answer means "not certified impossible", not
+    "solvable".
+    """
+    verdict, _entry = consensus_verdict(model)
+    return verdict is Verdict.IMPOSSIBLE

@@ -1,0 +1,44 @@
+"""The initially-dead-processes model of Section VI.
+
+The possibility result of the paper (Theorem 8) is proved in an
+asynchronous system in which up to ``f`` processes may be *initially
+dead*: a faulty process never takes a single step, so in particular it
+never sends any message.  This is exactly the failure model of the second
+part of the FLP paper, whose two-stage protocol the paper generalises.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.models.model import FailureAssumption, SystemModel
+from repro.models.parameters import SystemModelSpec
+from repro.types import process_range
+
+__all__ = ["initial_crash_model", "INITIAL_CRASH_SPEC"]
+
+#: Spec of the Section VI model: fully asynchronous, broadcast transmission
+#: available (processes send their stage messages to everybody at once).
+INITIAL_CRASH_SPEC = SystemModelSpec(
+    synchronous_processes=False,
+    synchronous_communication=False,
+    ordered_messages=False,
+    broadcast_transmission=True,
+    atomic_receive_send=False,
+    failure_detectors=False,
+)
+
+
+def initial_crash_model(
+    n: int,
+    f: int,
+    *,
+    name: Optional[str] = None,
+) -> SystemModel:
+    """Build the Section VI model: asynchronous, ``f`` initial crashes only."""
+    return SystemModel(
+        name=name or f"M_INIT(n={n}, f={f})",
+        processes=process_range(n),
+        spec=INITIAL_CRASH_SPEC,
+        failures=FailureAssumption(max_failures=f, initial_only=True),
+    )

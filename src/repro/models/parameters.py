@@ -1,0 +1,177 @@
+"""The Dolev–Dwork–Stockmeyer model parameters, plus the paper's 6th axis.
+
+Dolev, Dwork and Stockmeyer ("On the minimal synchronism needed for
+distributed consensus", JACM 1987) classify message-passing models along
+five binary parameters, each of which can be *favourable* (F) or
+*unfavourable* (U) for the algorithm:
+
+1. **processes** — synchronous (F: relative speeds bounded) or
+   asynchronous (U),
+2. **communication** — synchronous (F: message delays bounded) or
+   asynchronous (U),
+3. **message order** — messages delivered in the real-time order they were
+   sent (F) or in arbitrary order (U),
+4. **transmission** — broadcast, i.e. a process can send to everybody in a
+   single atomic step (F), or point-to-point (U),
+5. **receive/send atomicity** — receiving and sending belong to the same
+   atomic step (F) or are separate steps (U).
+
+The paper adds a sixth parameter:
+
+6. **failure detectors** — processes can query a failure detector at the
+   beginning of each step (F) or have no such oracle (U).
+
+:class:`SystemModelSpec` is an immutable record of one point in this
+64-element lattice, ordered by "favourability" (a spec is at least as
+strong as another when it is favourable in every parameter the other is).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+__all__ = [
+    "Favourability",
+    "ModelParameter",
+    "SystemModelSpec",
+    "ALL_SPECS",
+]
+
+
+class Favourability(enum.Enum):
+    """Whether a model parameter takes its favourable or unfavourable value."""
+
+    FAVOURABLE = "F"
+    UNFAVOURABLE = "U"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def is_favourable(self) -> bool:
+        """``True`` for the favourable (algorithm-friendly) choice."""
+        return self is Favourability.FAVOURABLE
+
+
+class ModelParameter(enum.Enum):
+    """The six binary dimensions spanning the model lattice."""
+
+    PROCESS_SYNCHRONY = "process_synchrony"
+    COMMUNICATION_SYNCHRONY = "communication_synchrony"
+    MESSAGE_ORDER = "message_order"
+    BROADCAST = "broadcast"
+    ATOMIC_RECEIVE_SEND = "atomic_receive_send"
+    FAILURE_DETECTORS = "failure_detectors"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class SystemModelSpec:
+    """One point of the (extended) Dolev–Dwork–Stockmeyer model lattice.
+
+    Each attribute is ``True`` when the corresponding parameter takes its
+    favourable value.  The default constructor yields the fully
+    unfavourable model, i.e. the FLP model ``M_ASYNC`` without failure
+    detectors.
+    """
+
+    synchronous_processes: bool = False
+    synchronous_communication: bool = False
+    ordered_messages: bool = False
+    broadcast_transmission: bool = False
+    atomic_receive_send: bool = False
+    failure_detectors: bool = False
+
+    def value(self, parameter: ModelParameter) -> Favourability:
+        """Return the favourability of ``parameter`` in this spec."""
+        mapping = {
+            ModelParameter.PROCESS_SYNCHRONY: self.synchronous_processes,
+            ModelParameter.COMMUNICATION_SYNCHRONY: self.synchronous_communication,
+            ModelParameter.MESSAGE_ORDER: self.ordered_messages,
+            ModelParameter.BROADCAST: self.broadcast_transmission,
+            ModelParameter.ATOMIC_RECEIVE_SEND: self.atomic_receive_send,
+            ModelParameter.FAILURE_DETECTORS: self.failure_detectors,
+        }
+        return Favourability.FAVOURABLE if mapping[parameter] else Favourability.UNFAVOURABLE
+
+    def as_tuple(self) -> Tuple[bool, ...]:
+        """The six parameter values as a tuple (ordered as in the paper)."""
+        return (
+            self.synchronous_processes,
+            self.synchronous_communication,
+            self.ordered_messages,
+            self.broadcast_transmission,
+            self.atomic_receive_send,
+            self.failure_detectors,
+        )
+
+    def at_least_as_favourable_as(self, other: "SystemModelSpec") -> bool:
+        """Partial order: favourable in every parameter where ``other`` is.
+
+        An impossibility established in a spec carries over to every spec
+        that is *at most* as favourable (Corollary 5 of the paper applies
+        this observation), while a possibility carries over to every spec
+        that is *at least* as favourable.
+        """
+        return all(a >= b for a, b in zip(self.as_tuple(), other.as_tuple()))
+
+    def weaken(self, parameter: ModelParameter) -> "SystemModelSpec":
+        """Return a copy with ``parameter`` made unfavourable."""
+        return self._with(parameter, False)
+
+    def strengthen(self, parameter: ModelParameter) -> "SystemModelSpec":
+        """Return a copy with ``parameter`` made favourable."""
+        return self._with(parameter, True)
+
+    def _with(self, parameter: ModelParameter, value: bool) -> "SystemModelSpec":
+        fields = {
+            ModelParameter.PROCESS_SYNCHRONY: "synchronous_processes",
+            ModelParameter.COMMUNICATION_SYNCHRONY: "synchronous_communication",
+            ModelParameter.MESSAGE_ORDER: "ordered_messages",
+            ModelParameter.BROADCAST: "broadcast_transmission",
+            ModelParameter.ATOMIC_RECEIVE_SEND: "atomic_receive_send",
+            ModelParameter.FAILURE_DETECTORS: "failure_detectors",
+        }
+        kwargs = {
+            "synchronous_processes": self.synchronous_processes,
+            "synchronous_communication": self.synchronous_communication,
+            "ordered_messages": self.ordered_messages,
+            "broadcast_transmission": self.broadcast_transmission,
+            "atomic_receive_send": self.atomic_receive_send,
+            "failure_detectors": self.failure_detectors,
+        }
+        kwargs[fields[parameter]] = value
+        return SystemModelSpec(**kwargs)
+
+    def label(self) -> str:
+        """A compact F/U string such as ``"FUUFF U"`` (5 core + FD axis)."""
+        core = "".join("F" if v else "U" for v in self.as_tuple()[:5])
+        detector = "F" if self.failure_detectors else "U"
+        return f"{core} {detector}"
+
+    def __str__(self) -> str:
+        return self.label()
+
+
+def _all_specs() -> Tuple[SystemModelSpec, ...]:
+    specs = []
+    for values in itertools.product((False, True), repeat=6):
+        specs.append(SystemModelSpec(*values))
+    return tuple(specs)
+
+
+#: All 64 points of the extended lattice (32 DDS models x failure-detector
+#: availability), in lexicographic order of their parameter tuples.
+ALL_SPECS: Tuple[SystemModelSpec, ...] = _all_specs()
+
+
+def iter_core_specs() -> Iterator[SystemModelSpec]:
+    """Iterate over the 32 original DDS'87 models (no failure detectors)."""
+    for spec in ALL_SPECS:
+        if not spec.failure_detectors:
+            yield spec

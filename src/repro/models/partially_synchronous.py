@@ -1,0 +1,60 @@
+"""The partially synchronous model of Theorem 2.
+
+Theorem 2 of the paper is stated for a system in which
+
+* processes are synchronous,
+* communication is asynchronous,
+* a process can broadcast a message in an atomic step, and
+* receiving and sending are part of the same atomic step,
+
+and in which, of the ``f`` possibly faulty processes, ``f - 1`` may fail
+by crashing *initially* while only one process may crash during the
+execution.  Despite the strong process synchrony, the asynchronous
+communication allows the partitioning adversary of the proof to delay all
+messages between the blocks ``D_1, ..., D_{k-1}, D-bar`` until every
+process has decided, and the single non-initial crash supplies the FLP
+impossibility inside ``<D-bar>`` (condition (C) via the DDS'87 catalogue).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.models.model import FailureAssumption, SystemModel
+from repro.models.parameters import SystemModelSpec
+from repro.types import process_range
+
+__all__ = ["partially_synchronous_model", "THEOREM2_SPEC"]
+
+#: The Theorem 2 spec: synchronous processes, asynchronous communication,
+#: broadcast transmission, atomic receive+send, unordered messages, no
+#: failure detector.
+THEOREM2_SPEC = SystemModelSpec(
+    synchronous_processes=True,
+    synchronous_communication=False,
+    ordered_messages=False,
+    broadcast_transmission=True,
+    atomic_receive_send=True,
+    failure_detectors=False,
+)
+
+
+def partially_synchronous_model(
+    n: int,
+    f: int,
+    *,
+    name: Optional[str] = None,
+) -> SystemModel:
+    """Build the Theorem 2 model with ``n`` processes and ``f`` faults.
+
+    The failure assumption allows ``f`` crashes of which at most one may
+    occur after the initial configuration (``f - 1`` initial crashes plus
+    one crash during the execution), exactly as in the theorem statement.
+    """
+    max_non_initial = 1 if f >= 1 else 0
+    return SystemModel(
+        name=name or f"M_PSYNC(n={n}, f={f})",
+        processes=process_range(n),
+        spec=THEOREM2_SPEC,
+        failures=FailureAssumption(max_failures=f, max_non_initial=max_non_initial),
+    )

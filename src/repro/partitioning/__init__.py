@@ -1,0 +1,37 @@
+"""Partition constructions and run pasting used by the paper's proofs.
+
+* :mod:`repro.partitioning.partitions` — the concrete partitions the
+  proofs of Theorem 2, Theorem 8 (border case) and Theorem 10 construct,
+  together with the Lemma 3 size checks,
+* :mod:`repro.partitioning.pasting` — the Lemma 11 / Lemma 12 "pasting"
+  of per-block executions into a single run, and its verification,
+* :mod:`repro.partitioning.scenarios` — named proof scenarios bundling a
+  model, a partition and the remaining Theorem 1 ingredients.
+"""
+
+from repro.partitioning.partitions import (
+    equal_groups,
+    lemma3_check,
+    theorem2_partition,
+    theorem8_border_groups,
+    theorem10_partition,
+)
+from repro.partitioning.pasting import paste_runs, verify_pasting
+from repro.partitioning.scenarios import (
+    Theorem2Scenario,
+    Theorem8BorderScenario,
+    Theorem10Scenario,
+)
+
+__all__ = [
+    "equal_groups",
+    "lemma3_check",
+    "theorem2_partition",
+    "theorem8_border_groups",
+    "theorem10_partition",
+    "paste_runs",
+    "verify_pasting",
+    "Theorem2Scenario",
+    "Theorem8BorderScenario",
+    "Theorem10Scenario",
+]

@@ -1,0 +1,121 @@
+"""The concrete partitions constructed by the paper's proofs.
+
+* **Theorem 2** fixes ``l = n - f`` and takes ``D_i = {p_{(i-1)l+1}, ...,
+  p_{il}}`` for ``1 <= i < k``; the remainder ``D-bar`` then has at least
+  ``n - f + 1`` processes (Lemma 3), which is what lets one more crash
+  reproduce the FLP situation inside ``<D-bar>``.
+* **Theorem 10** takes ``D-bar = {p_1, ..., p_j}`` with ``j = n - k + 1 >=
+  3`` and splits the remaining ``k - 1`` processes into singletons.
+* The **Theorem 8 border case** (``k*n = (k+1)*f``) partitions the system
+  into ``k + 1`` disjoint groups of equal size ``n / (k + 1) = n - f``,
+  each of which is run in isolation and later pasted together.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.impossibility import PartitionSpec
+from repro.exceptions import PartitionError
+from repro.types import ProcessId, process_range
+
+__all__ = [
+    "theorem2_partition",
+    "theorem10_partition",
+    "equal_groups",
+    "theorem8_border_groups",
+    "lemma3_check",
+]
+
+
+def theorem2_partition(n: int, f: int, k: int) -> PartitionSpec:
+    """The Theorem 2 partition: ``k - 1`` blocks of size ``l = n - f``.
+
+    Feasibility requires ``k * (n - f) + 1 <= n``, which is exactly the
+    theorem's failure bound ``k <= (n - 1) / (n - f)``; an infeasible
+    parameter point raises :class:`repro.exceptions.PartitionError`.
+    """
+    if not 1 <= f < n:
+        raise PartitionError(f"need 1 <= f < n, got f={f}, n={n}")
+    if k < 1:
+        raise PartitionError(f"k must be >= 1, got {k}")
+    length = n - f
+    if k * length + 1 > n:
+        raise PartitionError(
+            f"the Theorem 2 partition needs k*(n-f)+1 <= n, got "
+            f"{k}*{length}+1 = {k * length + 1} > {n}"
+        )
+    processes = process_range(n)
+    blocks: List[frozenset] = []
+    for i in range(1, k):
+        start = (i - 1) * length + 1
+        blocks.append(frozenset(range(start, start + length)))
+    return PartitionSpec(processes=processes, d_blocks=tuple(blocks))
+
+
+def theorem10_partition(n: int, k: int) -> PartitionSpec:
+    """The Theorem 10 partition: ``D-bar = {p_1..p_{n-k+1}}`` plus singletons.
+
+    Requires ``2 <= k <= n - 2`` so that ``|D-bar| = n - k + 1 >= 3``.
+    """
+    if not 2 <= k <= n - 2:
+        raise PartitionError(
+            f"the Theorem 10 partition needs 2 <= k <= n-2, got k={k}, n={n}"
+        )
+    processes = process_range(n)
+    j = n - k + 1
+    blocks = tuple(frozenset({pid}) for pid in range(j + 1, n + 1))
+    return PartitionSpec(processes=processes, d_blocks=blocks)
+
+
+def equal_groups(n: int, groups: int) -> Tuple[frozenset, ...]:
+    """Split ``{1..n}`` into ``groups`` consecutive blocks of equal size.
+
+    Raises :class:`repro.exceptions.PartitionError` when ``groups`` does
+    not divide ``n``.
+    """
+    if groups < 1:
+        raise PartitionError(f"need at least one group, got {groups}")
+    if n % groups != 0:
+        raise PartitionError(f"{groups} groups do not evenly divide n={n}")
+    size = n // groups
+    return tuple(
+        frozenset(range(i * size + 1, (i + 1) * size + 1)) for i in range(groups)
+    )
+
+
+def theorem8_border_groups(n: int, f: int, k: int) -> Tuple[frozenset, ...]:
+    """The ``k + 1`` groups of the Theorem 8 border-case argument.
+
+    The border case is ``k * n = (k + 1) * f``, equivalently
+    ``n - f = n / (k + 1)``; the groups are ``k + 1`` blocks of exactly
+    that size.  Parameter points off the border are rejected.
+    """
+    if k < 1 or not 0 < f < n:
+        raise PartitionError(f"need k >= 1 and 0 < f < n, got k={k}, f={f}, n={n}")
+    if k * n != (k + 1) * f:
+        raise PartitionError(
+            f"the border-case construction needs k*n = (k+1)*f, got "
+            f"{k * n} != {(k + 1) * f}"
+        )
+    return equal_groups(n, k + 1)
+
+
+def lemma3_check(partition: PartitionSpec, n: int, f: int) -> Dict[str, object]:
+    """Verify the Lemma 3 size facts for a Theorem 2 partition.
+
+    Returns a dictionary with the observed block sizes, the size of
+    ``D-bar`` and the boolean conclusions ``|D_i| = n - f`` and
+    ``|D-bar| >= n - f + 1``.
+    """
+    length = n - f
+    block_sizes = tuple(len(block) for block in partition.d_blocks)
+    d_bar_size = len(partition.d_bar)
+    return {
+        "block_sizes": block_sizes,
+        "expected_block_size": length,
+        "blocks_ok": all(size == length for size in block_sizes),
+        "d_bar_size": d_bar_size,
+        "d_bar_ok": d_bar_size >= length + 1,
+        "holds": all(size == length for size in block_sizes) and d_bar_size >= length + 1,
+    }

@@ -1,0 +1,154 @@
+"""Run pasting: the constructions of Lemma 11 and Lemma 12.
+
+Lemma 12 of the paper builds a single admissible run ``alpha`` out of
+``k`` per-block executions ``alpha_1, ..., alpha_k``: in ``alpha_i`` every
+process outside ``D_i`` is initially dead and the members of ``D_i`` run
+to completion; ``alpha`` lets every block take exactly the steps of its
+``alpha_i`` — one block after the other — while all messages between
+blocks stay delayed until everyone has decided.  Each block cannot
+distinguish ``alpha`` from its own ``alpha_i``, so each block decides the
+same values as in isolation, and ``alpha`` therefore contains at least as
+many distinct decision values as there are blocks.
+
+:func:`paste_runs` performs this construction on recorded runs and
+:func:`verify_pasting` checks the two claims that make it work:
+per-block indistinguishability (Definition 2) and the resulting decision
+count.  The same machinery implements Lemma 11 (replacing the behaviour of
+``D-bar`` in a partitioned run by the behaviour it has in another run):
+pasting the ``D-bar`` block of one run with the ``D_i`` blocks of another.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.exceptions import PartitionError
+from repro.failure_detectors.base import FailurePattern, QueryRecord, RecordedHistory
+from repro.simulation.events import StepEvent
+from repro.simulation.run import Run
+from repro.types import ProcessId, Value
+
+__all__ = ["paste_runs", "verify_pasting"]
+
+
+def paste_runs(
+    block_runs: Sequence[Run],
+    blocks: Sequence[Iterable[ProcessId]],
+    *,
+    name: str = "pasted",
+) -> Run:
+    """Paste per-block executions into a single run (Lemma 11 / Lemma 12).
+
+    Parameters
+    ----------
+    block_runs:
+        One recorded run per block; run ``i`` supplies the steps of the
+        processes in ``blocks[i]`` (its other events are ignored).  All
+        runs must range over the same process set.
+    blocks:
+        Pairwise disjoint process sets covering the process set of the
+        runs.
+    name:
+        Model-name suffix of the produced run.
+
+    Returns the pasted :class:`~repro.simulation.run.Run`: the events of
+    block 0 (re-timed to ``1..``), then the events of block 1, and so on;
+    the failure pattern agrees with each block run on that block's
+    processes; the failure-detector history is the union of the per-block
+    query records (re-timed the same way).
+    """
+    if len(block_runs) != len(blocks):
+        raise PartitionError("need exactly one recorded run per block")
+    if not block_runs:
+        raise PartitionError("need at least one block")
+    block_sets = [frozenset(b) for b in blocks]
+    processes = block_runs[0].processes
+    for run in block_runs:
+        if run.processes != processes:
+            raise PartitionError("all block runs must range over the same process set")
+    covered: set[ProcessId] = set()
+    for block in block_sets:
+        if block & covered:
+            raise PartitionError("blocks must be pairwise disjoint")
+        if not block.issubset(set(processes)):
+            raise PartitionError(f"block {sorted(block)} contains unknown processes")
+        covered |= block
+    if covered != set(processes):
+        raise PartitionError("blocks must cover the whole process set")
+
+    events: List[StepEvent] = []
+    history = RecordedHistory()
+    crash_times: Dict[ProcessId, int] = {}
+    proposals: Dict[ProcessId, Value] = {}
+    time = 0
+    for run, block in zip(block_runs, block_sets):
+        time_map: Dict[int, int] = {}
+        for event in run.events:
+            if event.pid not in block:
+                continue
+            time += 1
+            time_map[event.time] = time
+            events.append(dataclasses.replace(event, time=time))
+        for record in run.fd_history:
+            if record.pid in block and record.time in time_map:
+                history.record(record.pid, time_map[record.time], record.output)
+        for pid in block:
+            proposals[pid] = run.proposals[pid]
+            crash_time = run.failure_pattern.crash_times.get(pid)
+            if crash_time is not None:
+                crash_times[pid] = 0 if crash_time == 0 else time_map.get(crash_time, time)
+
+    pattern = FailurePattern(processes, crash_times)
+    pasted = Run(
+        algorithm_name=block_runs[0].algorithm_name,
+        model_name=f"{block_runs[0].model_name} [{name}]",
+        processes=processes,
+        proposals=proposals,
+        events=tuple(events),
+        failure_pattern=pattern,
+        fd_history=history,
+        completed=all(run.completed for run in block_runs),
+        truncated=any(run.truncated for run in block_runs),
+        undelivered=tuple(m for run in block_runs for m in run.undelivered),
+    )
+    return pasted
+
+
+def verify_pasting(
+    pasted: Run,
+    block_runs: Sequence[Run],
+    blocks: Sequence[Iterable[ProcessId]],
+) -> Dict[str, object]:
+    """Check the Lemma 12 claims on a pasted run.
+
+    Returns a dictionary with
+
+    * ``indistinguishable`` — for every block, every member's state
+      sequence (until decision) in the pasted run equals the one in its
+      block run (Definition 2),
+    * ``distinct_decisions`` — the number of distinct decision values in
+      the pasted run,
+    * ``per_block_decisions`` — the decision values contributed by each
+      block,
+    * ``holds`` — indistinguishability holds and every block contributed
+      at least one decision value.
+    """
+    block_sets = [frozenset(b) for b in blocks]
+    indistinguishable = True
+    mismatches: List[ProcessId] = []
+    per_block: List[Tuple[Value, ...]] = []
+    decisions = pasted.decisions()
+    for run, block in zip(block_runs, block_sets):
+        for pid in sorted(block):
+            if pasted.state_sequence(pid) != run.state_sequence(pid):
+                indistinguishable = False
+                mismatches.append(pid)
+        per_block.append(tuple(sorted({repr(decisions[p]) for p in block if p in decisions})))
+    return {
+        "indistinguishable": indistinguishable,
+        "mismatches": tuple(mismatches),
+        "distinct_decisions": len(pasted.distinct_decisions()),
+        "per_block_decisions": tuple(per_block),
+        "holds": indistinguishable and all(per_block),
+    }

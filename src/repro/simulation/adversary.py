@@ -1,0 +1,201 @@
+"""Proof-specific adversaries: partitioning, isolation and selective silence.
+
+The impossibility arguments of the paper are *constructions*: given an
+algorithm, they exhibit admissible schedules in which asynchrony and
+failures conspire so that the system effectively splits into blocks whose
+members decide without ever hearing from the other blocks.  The three
+adversaries here are those constructions made executable:
+
+* :class:`PartitioningAdversary` — delays every message that crosses a
+  block boundary of a fixed partition ``D_1, ..., D_{k-1}, D-bar`` until
+  every (alive) process has decided; within a block it schedules fairly.
+  This is the schedule used in Theorem 2 (condition (B)) and in the
+  pasting Lemmas 11/12.
+* :class:`IsolationAdversary` — only processes of one block take steps and
+  only intra-block messages are delivered; the runs ``alpha_i`` of
+  Lemma 12, in which every process outside ``D_i`` is initially dead, are
+  produced with this adversary plus an initial-crash failure pattern.
+* :class:`SilenceAdversary` — processes of a designated group ``D-bar``
+  never receive messages from a designated group ``D`` until every member
+  of ``D-bar`` has decided (condition (dec-D-bar) of Theorem 1); all other
+  communication is unrestricted.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.simulation.message import Message
+from repro.simulation.scheduler import Adversary, AdversaryView, StepDirective
+from repro.types import ProcessId
+
+__all__ = ["PartitioningAdversary", "IsolationAdversary", "SilenceAdversary"]
+
+
+class _BlockedDeliveryAdversary(Adversary):
+    """Shared machinery: fair round-robin with a message-blocking predicate."""
+
+    def __init__(self) -> None:
+        self._last: Optional[ProcessId] = None
+
+    # subclasses override ------------------------------------------------
+
+    def _may_step(self, pid: ProcessId, view: AdversaryView) -> bool:
+        return True
+
+    def _blocked(self, message: Message, view: AdversaryView) -> bool:
+        raise NotImplementedError
+
+    # ----------------------------------------------------------------------
+
+    def next_step(self, view: AdversaryView) -> Optional[StepDirective]:
+        candidates = tuple(
+            pid for pid in view.undecided_alive() if self._may_step(pid, view)
+        )
+        if not candidates:
+            return None
+        pid = self._pick_next(candidates)
+        self._last = pid
+        deliver = tuple(
+            m.msg_id for m in view.pending_for(pid) if not self._blocked(m, view)
+        )
+        return StepDirective(pid=pid, deliver=deliver)
+
+    def _pick_next(self, candidates: Tuple[ProcessId, ...]) -> ProcessId:
+        if self._last is None:
+            return candidates[0]
+        for pid in candidates:
+            if pid > self._last:
+                return pid
+        return candidates[0]
+
+
+class PartitioningAdversary(_BlockedDeliveryAdversary):
+    """Delay all communication between partition blocks.
+
+    Parameters
+    ----------
+    blocks:
+        Disjoint sets of processes.  Processes not covered by any block
+        form an implicit extra block of their own (each such process is
+        alone in it), so the adversary can be used with a partial cover.
+    release_when_all_decided:
+        When ``True`` (default), once every alive process has decided the
+        blocking is lifted — mirroring the proofs, which delay inter-block
+        messages "until every correct process has decided".
+    """
+
+    def __init__(
+        self,
+        blocks: Sequence[Iterable[ProcessId]],
+        *,
+        release_when_all_decided: bool = True,
+    ):
+        super().__init__()
+        block_sets = [frozenset(b) for b in blocks]
+        if any(not block for block in block_sets):
+            raise ConfigurationError("partition blocks must be nonempty")
+        members = [p for block in block_sets for p in block]
+        if len(members) != len(set(members)):
+            raise ConfigurationError("partition blocks must be pairwise disjoint")
+        self.blocks: Tuple[FrozenSet[ProcessId], ...] = tuple(block_sets)
+        self.release_when_all_decided = release_when_all_decided
+        self._block_index = {p: i for i, block in enumerate(block_sets) for p in block}
+
+    def _same_block(self, a: ProcessId, b: ProcessId) -> bool:
+        ia = self._block_index.get(a)
+        ib = self._block_index.get(b)
+        if ia is None or ib is None:
+            # Uncovered processes are singleton blocks: only messages to
+            # themselves (which do not exist) would be intra-block.
+            return a == b
+        return ia == ib
+
+    def _released(self, view: AdversaryView) -> bool:
+        if not self.release_when_all_decided:
+            return False
+        return view.alive.issubset(view.decided)
+
+    def _blocked(self, message: Message, view: AdversaryView) -> bool:
+        if self._released(view):
+            return False
+        return not self._same_block(message.sender, message.receiver)
+
+    def describe(self) -> str:
+        blocks = " | ".join("{" + ",".join(f"p{p}" for p in sorted(b)) + "}" for b in self.blocks)
+        return f"PartitioningAdversary({blocks})"
+
+
+class IsolationAdversary(_BlockedDeliveryAdversary):
+    """Only one block of processes runs; everything else stays silent.
+
+    Used to produce the runs in which the processes of a single block
+    ``D_i`` execute "on their own": only members of ``active`` are
+    scheduled and only messages between members of ``active`` are
+    delivered.  Whether the remaining processes are crashed or merely
+    very slow is determined by the failure pattern the executor is given
+    — both readings appear in the paper's constructions.
+    """
+
+    def __init__(self, active: Iterable[ProcessId]):
+        super().__init__()
+        self.active: FrozenSet[ProcessId] = frozenset(active)
+        if not self.active:
+            raise ConfigurationError("the active block must be nonempty")
+
+    def _may_step(self, pid: ProcessId, view: AdversaryView) -> bool:
+        return pid in self.active
+
+    def _blocked(self, message: Message, view: AdversaryView) -> bool:
+        return message.sender not in self.active or message.receiver not in self.active
+
+    def describe(self) -> str:
+        return "IsolationAdversary({" + ",".join(f"p{p}" for p in sorted(self.active)) + "})"
+
+
+class SilenceAdversary(_BlockedDeliveryAdversary):
+    """Withhold messages from ``silenced`` senders to ``listeners`` receivers.
+
+    This is condition (dec-D-bar) of Theorem 1 made operational: a process
+    of ``listeners`` (the paper's ``D-bar``) receives no message from any
+    process of ``silenced`` (the paper's ``D``) until every member of
+    ``listeners`` has decided.  All other messages flow freely and every
+    alive process keeps taking steps.
+    """
+
+    def __init__(
+        self,
+        silenced: Iterable[ProcessId],
+        listeners: Iterable[ProcessId],
+        *,
+        release_when_listeners_decided: bool = True,
+    ):
+        super().__init__()
+        self.silenced: FrozenSet[ProcessId] = frozenset(silenced)
+        self.listeners: FrozenSet[ProcessId] = frozenset(listeners)
+        if not self.silenced or not self.listeners:
+            raise ConfigurationError("both the silenced and the listener group must be nonempty")
+        if self.silenced & self.listeners:
+            raise ConfigurationError("the silenced and listener groups must be disjoint")
+        self.release_when_listeners_decided = release_when_listeners_decided
+
+    def _released(self, view: AdversaryView) -> bool:
+        if not self.release_when_listeners_decided:
+            return False
+        alive_listeners = self.listeners & view.alive
+        return alive_listeners.issubset(view.decided)
+
+    def _blocked(self, message: Message, view: AdversaryView) -> bool:
+        if self._released(view):
+            return False
+        return message.sender in self.silenced and message.receiver in self.listeners
+
+    def describe(self) -> str:
+        return (
+            "SilenceAdversary(from {"
+            + ",".join(f"p{p}" for p in sorted(self.silenced))
+            + "} to {"
+            + ",".join(f"p{p}" for p in sorted(self.listeners))
+            + "})"
+        )

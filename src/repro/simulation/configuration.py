@@ -1,0 +1,129 @@
+"""Immutable configurations for exhaustive exploration.
+
+The executor works with mutable state for speed; the bounded
+model-checking utilities (:mod:`repro.analysis.bivalence`) instead need
+immutable, hashable snapshots of "where the system is" so they can explore
+the tree of reachable configurations.  A :class:`Configuration` captures
+the local states of all processes together with the multiset of messages
+in flight, exactly the paper's notion of a configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+from repro.algorithms.base import Algorithm, ProcessState
+from repro.types import ProcessId, Value
+
+__all__ = ["PendingMessage", "Configuration"]
+
+
+@dataclass(frozen=True)
+class PendingMessage:
+    """A message in flight, identified positionally for exploration.
+
+    Unlike :class:`repro.simulation.message.Message`, exploration messages
+    carry no global identifier or timestamp: two configurations that differ
+    only in such bookkeeping should compare equal.
+    """
+
+    sender: ProcessId
+    receiver: ProcessId
+    payload: object
+
+    def key(self) -> Tuple[ProcessId, ProcessId, str]:
+        """A canonical sort key (payloads compared by ``repr``)."""
+        return (self.sender, self.receiver, repr(self.payload))
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A snapshot of local states plus in-flight messages.
+
+    ``states`` maps every process to its algorithm state; ``in_flight`` is
+    a tuple of pending messages in canonical order (so structurally equal
+    configurations compare and hash equal, which the exploration relies on
+    for memoisation).
+    """
+
+    states: Tuple[Tuple[ProcessId, ProcessState], ...]
+    in_flight: Tuple[PendingMessage, ...]
+
+    @classmethod
+    def initial(
+        cls,
+        algorithm: Algorithm,
+        processes: Tuple[ProcessId, ...],
+        proposals: Mapping[ProcessId, Value],
+    ) -> "Configuration":
+        """The initial configuration for given proposals."""
+        states = tuple(
+            (pid, algorithm.initial_state(pid, processes, proposals[pid]))
+            for pid in processes
+        )
+        return cls(states=states, in_flight=())
+
+    # -- accessors ---------------------------------------------------------
+
+    def state_of(self, pid: ProcessId) -> ProcessState:
+        """The local state of ``pid``."""
+        for candidate, state in self.states:
+            if candidate == pid:
+                return state
+        raise KeyError(pid)
+
+    @property
+    def processes(self) -> Tuple[ProcessId, ...]:
+        """All process identifiers of the configuration."""
+        return tuple(pid for pid, _state in self.states)
+
+    def decisions(self) -> Dict[ProcessId, Value]:
+        """Decisions present in this configuration."""
+        return {
+            pid: state.decision for pid, state in self.states if state.has_decided
+        }
+
+    def decided_values(self) -> FrozenSet[Value]:
+        """The distinct decision values present in this configuration."""
+        return frozenset(self.decisions().values())
+
+    def pending_for(self, pid: ProcessId) -> Tuple[PendingMessage, ...]:
+        """Messages currently in flight towards ``pid``."""
+        return tuple(m for m in self.in_flight if m.receiver == pid)
+
+    # -- transitions ---------------------------------------------------------
+
+    def apply_step(
+        self,
+        algorithm: Algorithm,
+        pid: ProcessId,
+        deliver: Tuple[PendingMessage, ...] = (),
+        fd_output: Optional[object] = None,
+    ) -> "Configuration":
+        """Apply one step of ``pid`` consuming ``deliver`` and return the successor.
+
+        The delivered messages must currently be in flight towards ``pid``;
+        they are removed, the algorithm's transition is applied (the
+        delivered messages are wrapped so that ``.payload`` and ``.sender``
+        behave like real messages), and the messages it sends are appended
+        to the in-flight multiset.
+        """
+        remaining = list(self.in_flight)
+        for message in deliver:
+            if message.receiver != pid or message not in remaining:
+                raise ValueError(f"{message} is not deliverable to p{pid}")
+            remaining.remove(message)
+        output = algorithm.step(self.state_of(pid), tuple(deliver), fd_output)
+        new_states = tuple(
+            (candidate, output.state if candidate == pid else state)
+            for candidate, state in self.states
+        )
+        for outgoing in output.messages:
+            remaining.append(
+                PendingMessage(sender=pid, receiver=outgoing.receiver, payload=outgoing.payload)
+            )
+        return Configuration(
+            states=new_states,
+            in_flight=tuple(sorted(remaining, key=PendingMessage.key)),
+        )

@@ -1,0 +1,315 @@
+"""The simulation engine.
+
+:func:`execute` drives one execution of an algorithm in a system model
+under the control of an adversary, producing a recorded
+:class:`~repro.simulation.run.Run`.  The engine enforces the step contract
+of Section II:
+
+* only processes of the model take steps, and never after their planned
+  crash time,
+* a step consumes the chosen messages from the process's buffer, queries
+  the failure detector (when the model has one) and applies the
+  algorithm's transition exactly once,
+* the write-once output ``y_p`` can never be overwritten,
+* messages are only sent to processes of the executed system — an
+  algorithm designed for a larger ``Pi`` must be wrapped in
+  :class:`repro.algorithms.base.RestrictedAlgorithm` first (Definition 1).
+
+The executor stops when its *stop condition* holds (by default: every
+correct process has decided), when the adversary has nothing left to
+schedule, or when the step budget is exhausted, whichever comes first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Mapping, Optional
+
+from repro.algorithms.base import Algorithm, ProcessState
+from repro.exceptions import (
+    AdmissibilityError,
+    AlgorithmError,
+    ConfigurationError,
+    ScheduleExhaustedError,
+)
+from repro.failure_detectors.base import FailurePattern, RecordedHistory
+from repro.models.model import SystemModel
+from repro.simulation.events import StepEvent
+from repro.simulation.message import MessageBuffer
+from repro.simulation.run import Run
+from repro.simulation.scheduler import Adversary, AdversaryView, RoundRobinScheduler
+from repro.types import ProcessId, Value
+
+__all__ = [
+    "StopCondition",
+    "all_correct_decided",
+    "all_alive_decided",
+    "group_decided",
+    "ExecutionSettings",
+    "execute",
+]
+
+#: A stop condition receives the current states, the set of processes that
+#: already decided and the set of correct processes, and returns ``True``
+#: when the execution may stop.
+StopCondition = Callable[
+    [Mapping[ProcessId, ProcessState], FrozenSet[ProcessId], FrozenSet[ProcessId]], bool
+]
+
+
+def all_correct_decided(
+    states: Mapping[ProcessId, ProcessState],
+    decided: FrozenSet[ProcessId],
+    correct: FrozenSet[ProcessId],
+) -> bool:
+    """Stop once every correct process has decided (the default)."""
+    return correct.issubset(decided)
+
+
+def all_alive_decided(
+    states: Mapping[ProcessId, ProcessState],
+    decided: FrozenSet[ProcessId],
+    correct: FrozenSet[ProcessId],
+) -> bool:
+    """Stop once every process that ever takes steps has decided.
+
+    Useful for isolation runs in which the "correct" processes of the full
+    model are deliberately kept out of the schedule.
+    """
+    undecided_with_state = {
+        pid for pid, state in states.items() if not state.has_decided
+    }
+    return not (undecided_with_state & correct)
+
+
+def group_decided(group) -> StopCondition:
+    """Stop once every *correct* member of ``group`` has decided."""
+    members = frozenset(group)
+
+    def condition(
+        states: Mapping[ProcessId, ProcessState],
+        decided: FrozenSet[ProcessId],
+        correct: FrozenSet[ProcessId],
+    ) -> bool:
+        return (members & correct).issubset(decided)
+
+    return condition
+
+
+@dataclass(frozen=True)
+class ExecutionSettings:
+    """Tunable knobs of one execution.
+
+    Attributes
+    ----------
+    max_steps:
+        Step budget; reaching it marks the run as truncated.
+    stop_condition:
+        When to stop early (default: every correct process decided).
+    raise_on_exhaustion:
+        When ``True`` a truncated run raises
+        :class:`repro.exceptions.ScheduleExhaustedError` instead of being
+        returned; the partial run is attached to the exception.
+    """
+
+    max_steps: int = 10_000
+    stop_condition: Optional[StopCondition] = None
+    raise_on_exhaustion: bool = False
+
+
+def execute(
+    algorithm: Algorithm,
+    model: SystemModel,
+    proposals: Mapping[ProcessId, Value],
+    *,
+    adversary: Optional[Adversary] = None,
+    failure_pattern: Optional[FailurePattern] = None,
+    settings: Optional[ExecutionSettings] = None,
+) -> Run:
+    """Execute ``algorithm`` in ``model`` and return the recorded run.
+
+    Parameters
+    ----------
+    algorithm:
+        The algorithm to run (possibly a
+        :class:`~repro.algorithms.base.RestrictedAlgorithm`).
+    model:
+        The system model; its process set defines who executes.
+    proposals:
+        Initial value ``x_p`` for every process of the model.
+    adversary:
+        Schedule and delivery choices; defaults to the fair
+        :class:`~repro.simulation.scheduler.RoundRobinScheduler`.
+    failure_pattern:
+        The planned crash schedule (defaults to "nobody crashes").  It must
+        range over the model's processes and satisfy the model's failure
+        assumption — violations raise
+        :class:`repro.exceptions.AdmissibilityError`.
+    settings:
+        Step budget and stop condition.
+    """
+    settings = settings or ExecutionSettings()
+    adversary = adversary or RoundRobinScheduler()
+    stop_condition = settings.stop_condition or all_correct_decided
+
+    processes = model.processes
+    _validate_proposals(proposals, processes)
+    pattern = failure_pattern or FailurePattern.all_correct(processes)
+    _validate_pattern(pattern, model)
+
+    detector = model.failure_detector
+    if algorithm.requires_failure_detector and detector is None:
+        raise ConfigurationError(
+            f"algorithm {algorithm.name} queries a failure detector but model "
+            f"{model.name} provides none"
+        )
+
+    states: Dict[ProcessId, ProcessState] = {
+        pid: algorithm.initial_state(pid, processes, proposals[pid]) for pid in processes
+    }
+    _validate_initial_states(states)
+
+    buffer = MessageBuffer(processes)
+    history = RecordedHistory()
+    events: list[StepEvent] = []
+    decided: set[ProcessId] = {pid for pid, s in states.items() if s.has_decided}
+    correct = pattern.correct & frozenset(processes)
+
+    completed = stop_condition(states, frozenset(decided), correct)
+    time = 0
+    while not completed and time < settings.max_steps:
+        time += 1
+        view = AdversaryView(
+            time=time,
+            processes=processes,
+            states=dict(states),
+            pending={pid: buffer.pending_for(pid) for pid in processes},
+            alive=pattern.alive_at(time),
+            correct=correct,
+            decided=frozenset(decided),
+        )
+        directive = adversary.next_step(view)
+        if directive is None:
+            time -= 1
+            break
+        pid = directive.pid
+        if pid not in states:
+            raise AdmissibilityError(f"adversary scheduled unknown process p{pid}")
+        if pattern.is_crashed(pid, time):
+            raise AdmissibilityError(
+                f"adversary scheduled p{pid} at time {time}, but it crashes at "
+                f"time {pattern.crash_times.get(pid)}"
+            )
+
+        fd_output = None
+        if detector is not None:
+            fd_output = detector.output(pid, time, pattern)
+            history.record(pid, time, fd_output)
+
+        delivered = buffer.take(pid, directive.deliver)
+        for message in delivered:
+            if message.receiver != pid:  # pragma: no cover - defensive
+                raise AdmissibilityError(
+                    f"message #{message.msg_id} addressed to p{message.receiver} "
+                    f"was delivered to p{pid}"
+                )
+
+        old_state = states[pid]
+        output = algorithm.step(old_state, delivered, fd_output)
+        new_state = output.state
+        _validate_transition(pid, old_state, new_state)
+
+        sent = []
+        for outgoing in output.messages:
+            if outgoing.receiver not in states:
+                raise AlgorithmError(
+                    f"p{pid} sent a message to p{outgoing.receiver}, which is not "
+                    f"part of the executed system; wrap the algorithm in "
+                    f"RestrictedAlgorithm to run it on a subsystem"
+                )
+            sent.append(buffer.put(pid, outgoing.receiver, outgoing.payload, time))
+
+        states[pid] = new_state
+        newly_decided = new_state.has_decided and not old_state.has_decided
+        if newly_decided:
+            decided.add(pid)
+        events.append(
+            StepEvent(
+                time=time,
+                pid=pid,
+                delivered=delivered,
+                fd_output=fd_output,
+                sent=tuple(sent),
+                state_after=new_state,
+                newly_decided=newly_decided,
+            )
+        )
+        completed = stop_condition(states, frozenset(decided), correct)
+
+    truncated = not completed and time >= settings.max_steps
+    run = Run(
+        algorithm_name=algorithm.name,
+        model_name=model.name,
+        processes=processes,
+        proposals=dict(proposals),
+        events=tuple(events),
+        failure_pattern=pattern,
+        fd_history=history,
+        completed=completed,
+        truncated=truncated,
+        undelivered=buffer.all_pending(),
+    )
+    if truncated and settings.raise_on_exhaustion:
+        raise ScheduleExhaustedError(
+            f"run of {algorithm.name} in {model.name} exhausted its budget of "
+            f"{settings.max_steps} steps",
+            partial_run=run,
+        )
+    return run
+
+
+# -- validation helpers ------------------------------------------------------
+
+
+def _validate_proposals(proposals: Mapping[ProcessId, Value], processes) -> None:
+    missing = [p for p in processes if p not in proposals]
+    if missing:
+        raise ConfigurationError(f"missing proposals for processes {missing}")
+    extra = [p for p in proposals if p not in processes]
+    if extra:
+        raise ConfigurationError(f"proposals given for unknown processes {extra}")
+
+
+def _validate_pattern(pattern: FailurePattern, model: SystemModel) -> None:
+    if set(pattern.processes) != set(model.processes):
+        raise ConfigurationError(
+            "the failure pattern must range over exactly the model's processes"
+        )
+    crash_times = tuple(pattern.crash_times.items())
+    if not model.failures.allows(crash_times):
+        raise AdmissibilityError(
+            f"planned crash schedule {sorted(crash_times)} violates the model's "
+            f"failure assumption ({model.failures.describe()})"
+        )
+
+
+def _validate_initial_states(states: Mapping[ProcessId, ProcessState]) -> None:
+    for pid, state in states.items():
+        if state.pid != pid:
+            raise AlgorithmError(
+                f"initial_state({pid}) returned a state for p{state.pid}"
+            )
+
+
+def _validate_transition(pid: ProcessId, old: ProcessState, new: ProcessState) -> None:
+    if new.pid != pid:
+        raise AlgorithmError(f"step of p{pid} returned a state for p{new.pid}")
+    if old.has_decided and new.decision != old.decision:
+        raise AlgorithmError(
+            f"p{pid} changed its write-once decision from {old.decision!r} to "
+            f"{new.decision!r}"
+        )
+    if old.proposal != new.proposal:
+        raise AlgorithmError(
+            f"p{pid} modified its proposal from {old.proposal!r} to {new.proposal!r}"
+        )

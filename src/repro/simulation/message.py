@@ -1,0 +1,128 @@
+"""Messages and per-process message buffers.
+
+The communication subsystem of the paper's model is "one buffer per
+process, which contains messages that have been sent to that process but
+not yet received".  :class:`MessageBuffer` is exactly that: a mapping from
+receivers to their pending messages, with no ordering guarantees beyond
+what an adversary chooses to deliver (the unfavourable message-order
+parameter); ordered-delivery models are obtained by using schedulers that
+always deliver the oldest pending messages first.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.exceptions import SimulationError
+from repro.types import ProcessId, Time
+
+__all__ = ["Message", "MessageBuffer"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single message in flight or delivered.
+
+    Attributes
+    ----------
+    msg_id:
+        Unique identifier within one execution (assigned by the buffer).
+    sender / receiver:
+        Process identifiers.
+    payload:
+        Arbitrary algorithm-defined content.
+    sent_at:
+        The time (global step index) of the sending step.
+    """
+
+    msg_id: int
+    sender: ProcessId
+    receiver: ProcessId
+    payload: object
+    sent_at: Time
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(#{self.msg_id} p{self.sender}->p{self.receiver} "
+            f"@{self.sent_at} {self.payload!r})"
+        )
+
+
+class MessageBuffer:
+    """The per-process buffers of the communication subsystem.
+
+    The buffer assigns message identifiers, tracks pending (sent but not
+    yet received) messages per receiver and remembers how many messages
+    were ever sent/delivered — counters the benchmarks report.
+    """
+
+    def __init__(self, processes: Iterable[ProcessId]):
+        self._pending: Dict[ProcessId, List[Message]] = {p: [] for p in processes}
+        self._ids = itertools.count(1)
+        self.sent_count = 0
+        self.delivered_count = 0
+
+    # -- sending ----------------------------------------------------------
+
+    def put(self, sender: ProcessId, receiver: ProcessId, payload: object, sent_at: Time) -> Message:
+        """Place a new message into the receiver's buffer and return it."""
+        if receiver not in self._pending:
+            raise SimulationError(f"message addressed to unknown process p{receiver}")
+        message = Message(
+            msg_id=next(self._ids),
+            sender=sender,
+            receiver=receiver,
+            payload=payload,
+            sent_at=sent_at,
+        )
+        self._pending[receiver].append(message)
+        self.sent_count += 1
+        return message
+
+    # -- receiving ---------------------------------------------------------
+
+    def pending_for(self, receiver: ProcessId) -> Tuple[Message, ...]:
+        """All messages currently buffered for ``receiver`` (oldest first)."""
+        return tuple(self._pending.get(receiver, ()))
+
+    def take(self, receiver: ProcessId, msg_ids: Iterable[int]) -> Tuple[Message, ...]:
+        """Remove and return the messages with the given ids for ``receiver``.
+
+        Requesting an id that is not pending for the receiver raises
+        :class:`repro.exceptions.SimulationError` — adversaries must only
+        deliver messages that exist.
+        """
+        wanted = set(msg_ids)
+        if not wanted:
+            return ()
+        queue = self._pending.get(receiver, [])
+        selected = [m for m in queue if m.msg_id in wanted]
+        if len(selected) != len(wanted):
+            missing = wanted - {m.msg_id for m in selected}
+            raise SimulationError(
+                f"cannot deliver unknown/foreign message ids {sorted(missing)} to p{receiver}"
+            )
+        self._pending[receiver] = [m for m in queue if m.msg_id not in wanted]
+        self.delivered_count += len(selected)
+        return tuple(selected)
+
+    # -- inspection ----------------------------------------------------------
+
+    def in_flight(self) -> int:
+        """Total number of pending messages."""
+        return sum(len(queue) for queue in self._pending.values())
+
+    def all_pending(self) -> Tuple[Message, ...]:
+        """Every pending message, grouped by receiver."""
+        return tuple(m for queue in self._pending.values() for m in queue)
+
+    def receivers(self) -> Tuple[ProcessId, ...]:
+        """The processes this buffer knows about."""
+        return tuple(self._pending)
+
+    def oldest_pending(self, receiver: ProcessId) -> Optional[Message]:
+        """The oldest pending message for ``receiver`` (or ``None``)."""
+        queue = self._pending.get(receiver, [])
+        return queue[0] if queue else None

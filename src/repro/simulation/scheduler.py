@@ -1,0 +1,179 @@
+"""Adversaries and basic schedulers.
+
+In the paper the environment — which process takes the next step, which
+messages it receives, who crashes when — is chosen by an adversary subject
+to the model's admissibility conditions.  The simulator mirrors this: an
+:class:`Adversary` is asked, before every step, to pick the next stepping
+process and the subset of its buffered messages to deliver, based on a
+read-only :class:`AdversaryView` of the execution so far.
+
+Two general-purpose schedulers live here:
+
+* :class:`RoundRobinScheduler` — fair, deterministic: cycles through the
+  alive, undecided processes in identifier order and delivers every
+  pending message to the stepping process.  This is the "benign" schedule
+  the possibility results are exercised under.
+* :class:`RandomScheduler` — a seeded random schedule with a built-in
+  fairness bound (no message stays pending longer than ``max_delay`` steps
+  once its receiver is scheduled), used for randomised testing of the
+  possibility results.
+
+The proof-specific adversaries (partitioning, isolation, selective
+silence) are in :mod:`repro.simulation.adversary`.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+from repro.algorithms.base import ProcessState
+from repro.simulation.message import Message
+from repro.types import ProcessId, Time
+
+__all__ = [
+    "AdversaryView",
+    "StepDirective",
+    "Adversary",
+    "RoundRobinScheduler",
+    "RandomScheduler",
+]
+
+
+@dataclass(frozen=True)
+class AdversaryView:
+    """Read-only snapshot handed to the adversary before every step.
+
+    Attributes
+    ----------
+    time:
+        The time the next step would have (1-based global step index).
+    processes:
+        All processes of the executed system.
+    states:
+        Current local state of every process.
+    pending:
+        Buffered (sent, not yet received) messages per receiver.
+    alive:
+        Processes that have not crashed yet (according to the planned
+        failure pattern).
+    correct:
+        Processes that never crash in the planned failure pattern.
+    decided:
+        Processes whose write-once output is already set.
+    """
+
+    time: Time
+    processes: Tuple[ProcessId, ...]
+    states: Mapping[ProcessId, ProcessState]
+    pending: Mapping[ProcessId, Tuple[Message, ...]]
+    alive: FrozenSet[ProcessId]
+    correct: FrozenSet[ProcessId]
+    decided: FrozenSet[ProcessId]
+
+    def undecided_alive(self) -> Tuple[ProcessId, ...]:
+        """Alive processes that have not decided yet, in identifier order."""
+        return tuple(sorted(self.alive - self.decided))
+
+    def pending_for(self, pid: ProcessId) -> Tuple[Message, ...]:
+        """Messages currently buffered for ``pid``."""
+        return self.pending.get(pid, ())
+
+
+@dataclass(frozen=True)
+class StepDirective:
+    """The adversary's choice for the next step.
+
+    ``deliver`` lists the identifiers of messages (currently pending for
+    ``pid``) that the step consumes; an empty tuple is a legitimate step
+    with no message receptions.
+    """
+
+    pid: ProcessId
+    deliver: Tuple[int, ...] = ()
+
+
+class Adversary(abc.ABC):
+    """Chooses the schedule of a run, one step at a time."""
+
+    @abc.abstractmethod
+    def next_step(self, view: AdversaryView) -> Optional[StepDirective]:
+        """Return the next step to take, or ``None`` to end the run.
+
+        Returning ``None`` tells the executor that the adversary has no
+        further steps to schedule (for example because every alive process
+        already decided); the executor then stops and evaluates its stop
+        condition.
+        """
+
+    def describe(self) -> str:
+        """Human-readable description used in traces."""
+        return type(self).__name__
+
+
+class RoundRobinScheduler(Adversary):
+    """Deterministic fair schedule.
+
+    Cycles through the alive, undecided processes in ascending identifier
+    order; the stepping process receives *all* of its pending messages.
+    Once every alive process has decided, the scheduler returns ``None``.
+    """
+
+    def __init__(self) -> None:
+        self._last: Optional[ProcessId] = None
+
+    def next_step(self, view: AdversaryView) -> Optional[StepDirective]:
+        candidates = view.undecided_alive()
+        if not candidates:
+            return None
+        pid = self._pick_next(candidates)
+        self._last = pid
+        deliver = tuple(m.msg_id for m in view.pending_for(pid))
+        return StepDirective(pid=pid, deliver=deliver)
+
+    def _pick_next(self, candidates: Tuple[ProcessId, ...]) -> ProcessId:
+        if self._last is None:
+            return candidates[0]
+        for pid in candidates:
+            if pid > self._last:
+                return pid
+        return candidates[0]
+
+
+class RandomScheduler(Adversary):
+    """Seeded random schedule with a fairness bound.
+
+    Every step, a uniformly random alive undecided process is chosen.  Each
+    of its pending messages is delivered with probability ``delivery_bias``
+    — except that messages older than ``max_delay`` steps are always
+    delivered, which keeps the schedule admissible (no message to a correct
+    process is delayed forever as long as its receiver keeps being
+    scheduled, which random choice over a finite set guarantees with
+    probability one and the executor's step budget bounds in practice).
+    """
+
+    def __init__(self, seed: int = 0, *, delivery_bias: float = 0.5, max_delay: int = 20):
+        if not 0.0 <= delivery_bias <= 1.0:
+            raise ValueError("delivery_bias must be within [0, 1]")
+        if max_delay < 0:
+            raise ValueError("max_delay must be >= 0")
+        self._rng = random.Random(seed)
+        self.delivery_bias = delivery_bias
+        self.max_delay = max_delay
+
+    def next_step(self, view: AdversaryView) -> Optional[StepDirective]:
+        candidates = view.undecided_alive()
+        if not candidates:
+            return None
+        pid = self._rng.choice(list(candidates))
+        deliver = []
+        for message in view.pending_for(pid):
+            overdue = (view.time - message.sent_at) >= self.max_delay
+            if overdue or self._rng.random() < self.delivery_bias:
+                deliver.append(message.msg_id)
+        return StepDirective(pid=pid, deliver=tuple(deliver))
+
+    def describe(self) -> str:
+        return f"RandomScheduler(bias={self.delivery_bias}, max_delay={self.max_delay})"

@@ -1,0 +1,74 @@
+"""Trace rendering: human-readable views of recorded runs.
+
+These helpers never affect the semantics of a run; they only turn
+:class:`~repro.simulation.run.Run` objects into text for examples, error
+messages and the benchmark reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.simulation.run import Run
+from repro.types import UNDECIDED, ProcessId
+
+__all__ = ["format_run", "format_decisions", "format_summary"]
+
+
+def format_decisions(run: Run) -> str:
+    """A one-line rendering of who decided what (and who did not)."""
+    parts: List[str] = []
+    decisions = run.decisions()
+    for pid in run.processes:
+        if pid in decisions:
+            parts.append(f"p{pid}={decisions[pid]!r}")
+        elif pid in run.failure_pattern.faulty:
+            parts.append(f"p{pid}=crashed")
+        else:
+            parts.append(f"p{pid}=undecided")
+    return ", ".join(parts)
+
+
+def format_summary(run: Run) -> str:
+    """A multi-line summary with counts and the failure pattern."""
+    summary = run.summary()
+    lines = [
+        f"run of {summary['algorithm']} in {summary['model']}",
+        f"  steps: {summary['steps']}, messages sent/delivered: "
+        f"{summary['messages_sent']}/{summary['messages_delivered']}",
+        f"  failures: {summary['failures']}",
+        f"  decided: {summary['decided']}/{len(run.processes)} processes, "
+        f"{summary['distinct_decisions']} distinct value(s)",
+        f"  completed: {summary['completed']}, truncated: {summary['truncated']}",
+        f"  decisions: {format_decisions(run)}",
+    ]
+    return "\n".join(lines)
+
+
+def format_run(
+    run: Run,
+    *,
+    processes: Optional[Iterable[ProcessId]] = None,
+    max_events: Optional[int] = None,
+) -> str:
+    """Render the step-by-step trace of a run.
+
+    Parameters
+    ----------
+    processes:
+        Restrict the trace to steps of these processes (default: all).
+    max_events:
+        Truncate the trace after this many events (default: no limit).
+    """
+    wanted = set(processes) if processes is not None else None
+    lines = [format_summary(run), "  trace:"]
+    shown = 0
+    for event in run.events:
+        if wanted is not None and event.pid not in wanted:
+            continue
+        lines.append("    " + event.describe())
+        shown += 1
+        if max_events is not None and shown >= max_events:
+            lines.append(f"    ... ({run.length - shown} further events omitted)")
+            break
+    return "\n".join(lines)

@@ -1,0 +1,185 @@
+"""Shared primitive types used throughout the :mod:`repro` library.
+
+The paper models a system ``Pi = {p_1, ..., p_n}`` of ``n`` processes with
+unique identifiers ``1..n`` that communicate by message passing.  Time is
+discrete and identified with the index of a step in a run.  This module
+collects the corresponding type aliases and small value objects so that the
+rest of the library can share a single vocabulary.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+__all__ = [
+    "ProcessId",
+    "Value",
+    "Time",
+    "UNDECIDED",
+    "Undecided",
+    "Verdict",
+    "ProcessSet",
+    "process_range",
+    "validate_process_ids",
+    "validate_k",
+]
+
+#: Process identifier.  The paper numbers processes ``1..n``; the library
+#: follows that convention (identifiers are 1-based everywhere).
+ProcessId = int
+
+#: Proposal / decision values.  Any hashable object may be proposed; the
+#: paper only requires ``|V| >= n`` so that runs in which all processes
+#: propose distinct values exist.
+Value = Hashable
+
+#: Discrete time: the index of a step in a run (the ``i``-th step of a run
+#: occurs at time ``i``), exactly as in Section II-C of the paper.
+Time = int
+
+
+class Undecided:
+    """Singleton sentinel for the initial output value ``bottom``.
+
+    The paper initialises the write-once output ``y_p`` of every process to
+    a value that is not an element of the proposal universe ``V``.  Using a
+    dedicated sentinel (rather than ``None``) keeps ``None`` available as a
+    legitimate proposal value in user code.
+    """
+
+    _instance: "Undecided | None" = None
+
+    def __new__(cls) -> "Undecided":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "UNDECIDED"
+
+    def __reduce__(self):  # keep singleton identity across copy/pickle
+        return (Undecided, ())
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The unique "not yet decided" sentinel (the paper's ``bottom``).
+UNDECIDED = Undecided()
+
+
+class Verdict(enum.Enum):
+    """Outcome of a solvability question for a parameter point.
+
+    ``SOLVABLE``   -- an algorithm exists (and the library ships one).
+    ``IMPOSSIBLE`` -- the paper proves no algorithm exists.
+    ``UNKNOWN``    -- outside the region the paper characterises.
+    """
+
+    SOLVABLE = "solvable"
+    IMPOSSIBLE = "impossible"
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class ProcessSet:
+    """An immutable, canonically ordered set of process identifiers.
+
+    The proofs in the paper constantly manipulate sets of processes
+    (partitions ``D_1, ..., D_{k-1}``, the remainder ``D-bar``, quorums,
+    crash sets).  ``ProcessSet`` wraps a ``frozenset`` but iterates in
+    ascending identifier order which makes traces and error messages
+    deterministic.
+    """
+
+    members: frozenset[ProcessId]
+
+    def __init__(self, members: Iterable[ProcessId] = ()):
+        object.__setattr__(self, "members", frozenset(int(p) for p in members))
+
+    def __iter__(self):
+        return iter(sorted(self.members))
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, pid: object) -> bool:
+        return pid in self.members
+
+    def __or__(self, other: "ProcessSet | Iterable[ProcessId]") -> "ProcessSet":
+        return ProcessSet(self.members | ProcessSet(other).members)
+
+    def __and__(self, other: "ProcessSet | Iterable[ProcessId]") -> "ProcessSet":
+        return ProcessSet(self.members & ProcessSet(other).members)
+
+    def __sub__(self, other: "ProcessSet | Iterable[ProcessId]") -> "ProcessSet":
+        return ProcessSet(self.members - ProcessSet(other).members)
+
+    def __repr__(self) -> str:
+        return "{" + ", ".join(f"p{p}" for p in sorted(self.members)) + "}"
+
+    def isdisjoint(self, other: "ProcessSet | Iterable[ProcessId]") -> bool:
+        """Return ``True`` when the two sets share no process."""
+        return self.members.isdisjoint(ProcessSet(other).members)
+
+    def issubset(self, other: "ProcessSet | Iterable[ProcessId]") -> bool:
+        """Return ``True`` when every member also belongs to ``other``."""
+        return self.members.issubset(ProcessSet(other).members)
+
+    @property
+    def smallest(self) -> ProcessId:
+        """The minimum process identifier in the set.
+
+        Raises :class:`ValueError` for the empty set.
+        """
+        if not self.members:
+            raise ValueError("empty ProcessSet has no smallest member")
+        return min(self.members)
+
+
+def process_range(n: int) -> tuple[ProcessId, ...]:
+    """Return the canonical process identifiers ``(1, ..., n)``.
+
+    >>> process_range(4)
+    (1, 2, 3, 4)
+    """
+    if n < 1:
+        raise ValueError(f"a system needs at least one process, got n={n}")
+    return tuple(range(1, n + 1))
+
+
+def validate_process_ids(processes: Sequence[ProcessId]) -> tuple[ProcessId, ...]:
+    """Validate and canonicalise a sequence of process identifiers.
+
+    Identifiers must be positive integers without duplicates.  The returned
+    tuple is sorted ascending.
+    """
+    seen: set[ProcessId] = set()
+    for pid in processes:
+        if not isinstance(pid, int) or isinstance(pid, bool) or pid < 1:
+            raise ValueError(f"process ids must be positive integers, got {pid!r}")
+        if pid in seen:
+            raise ValueError(f"duplicate process id {pid}")
+        seen.add(pid)
+    if not seen:
+        raise ValueError("a system needs at least one process")
+    return tuple(sorted(seen))
+
+
+def validate_k(k: int, n: int) -> int:
+    """Validate the set-agreement parameter ``k`` against the system size.
+
+    The paper considers ``1 <= k``; values ``k >= n`` make the problem
+    trivially solvable (every process decides its own proposal), and the
+    library accepts them, but ``k < 1`` is rejected.
+    """
+    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+        raise ValueError(f"k must be a positive integer, got {k!r}")
+    if n < 1:
+        raise ValueError(f"n must be a positive integer, got {n!r}")
+    return k

@@ -1,0 +1,130 @@
+"""Tests for the algorithm interface, restriction (Definition 1) and the baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.base import (
+    Outgoing,
+    ProcessState,
+    RestrictedAlgorithm,
+    StepOutput,
+    broadcast,
+    send,
+)
+from repro.algorithms.kset_initial_crash import KSetInitialCrash
+from repro.algorithms.trivial import DecideOwnValue
+from repro.exceptions import AlgorithmError, ConfigurationError
+from repro.models.initial_crash import initial_crash_model
+from repro.simulation.adversary import PartitioningAdversary
+from repro.simulation.executor import execute
+from repro.types import UNDECIDED
+
+
+class TestProcessState:
+    def test_initially_undecided(self):
+        state = ProcessState(pid=1, proposal="v")
+        assert not state.has_decided
+        assert state.decision is UNDECIDED
+
+    def test_decide_once(self):
+        state = ProcessState(pid=1, proposal="v").decide("w")
+        assert state.has_decided and state.decision == "w"
+
+    def test_decide_same_value_idempotent(self):
+        state = ProcessState(pid=1, proposal="v").decide("w")
+        assert state.decide("w") is state
+
+    def test_decide_conflicting_value_rejected(self):
+        state = ProcessState(pid=1, proposal="v").decide("w")
+        with pytest.raises(AlgorithmError):
+            state.decide("x")
+
+
+class TestMessageHelpers:
+    def test_send(self):
+        assert send(3, "hi") == Outgoing(receiver=3, payload="hi")
+
+    def test_broadcast_excludes(self):
+        messages = broadcast((1, 2, 3, 4), "x", exclude=(2,))
+        assert [m.receiver for m in messages] == [1, 3, 4]
+        assert all(m.payload == "x" for m in messages)
+
+    def test_broadcast_empty(self):
+        assert broadcast((), "x") == ()
+
+
+class TestDecideOwnValue:
+    def test_decides_in_first_step(self):
+        algorithm = DecideOwnValue()
+        state = algorithm.initial_state(2, (1, 2, 3), "mine")
+        output = algorithm.step(state, ())
+        assert output.state.decision == "mine"
+        assert output.messages == ()
+
+    def test_idempotent_after_decision(self):
+        algorithm = DecideOwnValue()
+        state = algorithm.initial_state(2, (1, 2, 3), "mine")
+        decided = algorithm.step(state, ()).state
+        assert algorithm.step(decided, ()).state is decided
+
+    def test_solves_n_set_agreement_wait_free(self):
+        model = initial_crash_model(5, 4)
+        run = execute(
+            DecideOwnValue(), model, {p: p for p in model.processes},
+            adversary=PartitioningAdversary([[p] for p in model.processes]),
+        )
+        assert run.completed
+        assert len(run.distinct_decisions()) == 5
+
+
+class TestRestrictedAlgorithm:
+    def test_rejects_bad_subsets(self):
+        inner = DecideOwnValue()
+        with pytest.raises(ConfigurationError):
+            RestrictedAlgorithm(inner, (1, 2, 3), ())
+        with pytest.raises(ConfigurationError):
+            RestrictedAlgorithm(inner, (1, 2, 3), (4,))
+
+    def test_keeps_original_system_size(self):
+        # Definition 1: the restricted algorithm still uses |Pi| internally.
+        inner = KSetInitialCrash(6, 3)
+        restricted = RestrictedAlgorithm(inner, tuple(range(1, 7)), {4, 5, 6})
+        state = restricted.initial_state(4, (4, 5, 6), proposal=4)
+        assert isinstance(state, type(inner.initial_state(4, tuple(range(1, 7)), 4)))
+
+    def test_initial_state_outside_subset_rejected(self):
+        inner = DecideOwnValue()
+        restricted = RestrictedAlgorithm(inner, (1, 2, 3), {1, 2})
+        with pytest.raises(ConfigurationError):
+            restricted.initial_state(3, (1, 2, 3), 3)
+
+    def test_messages_outside_subset_dropped(self):
+        inner = KSetInitialCrash(6, 3)
+        restricted = RestrictedAlgorithm(inner, tuple(range(1, 7)), {4, 5, 6})
+        state = restricted.initial_state(4, (4, 5, 6), proposal=4)
+        output = restricted.step(state, ())
+        receivers = {m.receiver for m in output.messages}
+        assert receivers <= {5, 6}
+        # the unrestricted algorithm would have sent to all other five processes
+        unrestricted = inner.step(inner.initial_state(4, tuple(range(1, 7)), 4), ())
+        assert {m.receiver for m in unrestricted.messages} == {1, 2, 3, 5, 6}
+
+    def test_name_and_detector_flag(self):
+        inner = KSetInitialCrash(4, 1)
+        restricted = RestrictedAlgorithm(inner, (1, 2, 3, 4), {1, 2})
+        assert restricted.name.endswith("|D")
+        assert restricted.requires_failure_detector == inner.requires_failure_detector
+
+    def test_restricted_execution_runs_in_subsystem(self):
+        # A|D run in <D> behaves like the protocol among D only.
+        n, f = 6, 3
+        inner = KSetInitialCrash(n, f)
+        model = initial_crash_model(n, f)
+        subset = (4, 5, 6)
+        restricted_model = model.restrict(subset)
+        restricted = RestrictedAlgorithm(inner, model.processes, subset)
+        run = execute(restricted, restricted_model, {p: p for p in subset})
+        assert run.completed
+        assert run.decided_processes() == set(subset)
+        assert run.distinct_decisions() == {4}

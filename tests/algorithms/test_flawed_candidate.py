@@ -1,0 +1,70 @@
+"""Tests for the deliberately flawed ``(Sigma_k, Omega_k)`` candidate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.flawed_candidate import FlawedQuorumKSet, FlawedQuorumKSetState
+from repro.core.ksetagreement import KSetAgreementProblem
+from repro.exceptions import ConfigurationError
+from repro.failure_detectors.combined import sigma_omega_k
+from repro.models.asynchronous import asynchronous_model
+from repro.partitioning.scenarios import Theorem10Scenario
+from repro.simulation.executor import execute
+
+
+class TestConfiguration:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FlawedQuorumKSet(1, 1)
+        with pytest.raises(ConfigurationError):
+            FlawedQuorumKSet(4, 0)
+        with pytest.raises(ConfigurationError):
+            FlawedQuorumKSet(4, 4)
+        with pytest.raises(ConfigurationError):
+            FlawedQuorumKSet(4, 2).initial_state(1, (1, 2), 1)
+
+    def test_relaxed_rule(self):
+        state = FlawedQuorumKSetState(pid=3, proposal="mine")
+        # quorum without smaller identifiers triggers the (flawed) decision
+        assert FlawedQuorumKSet._decide(state, frozenset({3, 4, 5}))[0] == "mine"
+        # a smaller trusted identifier blocks it
+        assert FlawedQuorumKSet._decide(state, frozenset({2, 3}))[0] is None
+
+
+class TestBehaviour:
+    def test_terminates_and_looks_correct_on_benign_runs(self):
+        # The candidate is "promising": with the genuine (Sigma_k, Omega_k)
+        # detector and a fair schedule it terminates and all three
+        # properties hold — which is exactly why vetting matters.
+        n, k = 6, 3
+        model = asynchronous_model(n, n - 1, failure_detector=sigma_omega_k(k, gst=0))
+        algorithm = FlawedQuorumKSet(n, k)
+        run = execute(algorithm, model, {p: p for p in model.processes})
+        report = KSetAgreementProblem(k).evaluate(run)
+        assert run.completed
+        assert report.all_ok
+
+    def test_violates_k_agreement_under_partition_detector(self):
+        # The Theorem 10 schedule drives it to k+1 distinct decisions.
+        n, k = 6, 3
+        scenario = Theorem10Scenario(n=n, k=k)
+        run, report = scenario.violation_run(FlawedQuorumKSet(n, k))
+        assert run.completed
+        assert len(run.distinct_decisions()) == k + 1
+        assert not report.agreement_ok
+
+    def test_violation_scales_with_k(self):
+        for n, k in [(5, 2), (7, 4), (8, 3)]:
+            scenario = Theorem10Scenario(n=n, k=k)
+            run, report = scenario.violation_run(FlawedQuorumKSet(n, k))
+            assert not report.agreement_ok, (n, k)
+            assert len(run.distinct_decisions()) >= k + 1
+
+    def test_satisfies_condition_a_of_theorem1(self):
+        # The vetting tool: condition (A) is constructible for the candidate.
+        n, k = 6, 3
+        scenario = Theorem10Scenario(n=n, k=k)
+        witness = scenario.apply(FlawedQuorumKSet(n, k))
+        assert witness.report("A").satisfied
+        assert witness.holds

@@ -1,0 +1,98 @@
+"""Tests for the synchronous FloodSet consensus protocol."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.floodset import FloodSetConsensus
+from repro.core.ksetagreement import KSetAgreementProblem
+from repro.exceptions import ConfigurationError
+from repro.failure_detectors.base import FailurePattern
+from repro.models.model import FailureAssumption, SystemModel
+from repro.models.parameters import SystemModelSpec
+from repro.simulation.executor import execute
+from repro.types import process_range
+
+
+def synchronous_model(n: int, f: int) -> SystemModel:
+    return SystemModel(
+        name=f"sync(n={n}, f={f})",
+        processes=process_range(n),
+        spec=SystemModelSpec(synchronous_processes=True, synchronous_communication=True),
+        failures=FailureAssumption(f),
+    )
+
+
+def run_floodset(n, f, crash_times, proposals=None):
+    model = synchronous_model(n, f)
+    proposals = proposals or {p: p for p in model.processes}
+    pattern = FailurePattern(model.processes, crash_times)
+    run = execute(FloodSetConsensus(n, f), model, proposals, failure_pattern=pattern)
+    return run, proposals
+
+
+class TestConfiguration:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FloodSetConsensus(0, 0)
+        with pytest.raises(ConfigurationError):
+            FloodSetConsensus(3, 3)
+        with pytest.raises(ConfigurationError):
+            FloodSetConsensus(3, 1).initial_state(1, (1, 2), 1)
+
+    def test_round_count(self):
+        assert FloodSetConsensus(5, 2).rounds == 3
+        assert "rounds" in FloodSetConsensus(5, 2).describe()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n,f", [(2, 1), (3, 2), (5, 3), (7, 6)])
+    def test_no_crashes(self, n, f):
+        run, proposals = run_floodset(n, f, {})
+        report = KSetAgreementProblem(1).evaluate(run, proposals=proposals)
+        assert report.all_ok, report.violations
+        assert set(run.decisions().values()) == {min(proposals.values())}
+
+    @pytest.mark.parametrize(
+        "n,f,crashes",
+        [
+            (4, 3, {1: 0, 2: 0, 3: 0}),
+            (5, 4, {1: 3, 2: 7, 3: 11, 4: 15}),
+            (6, 5, {1: 0, 2: 5, 3: 9}),
+        ],
+    )
+    def test_with_crashes_beyond_any_majority(self, n, f, crashes):
+        # Unlike the asynchronous initial-crash protocol, FloodSet tolerates
+        # any number of crashes f < n in the synchronous model.
+        run, proposals = run_floodset(n, f, crashes)
+        report = KSetAgreementProblem(1).evaluate(run, proposals=proposals)
+        assert report.all_ok, report.violations
+
+    @given(st.integers(min_value=2, max_value=6), st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_random_crash_schedules(self, n, data):
+        f = n - 1
+        crash_count = data.draw(st.integers(min_value=0, max_value=f))
+        victims = data.draw(st.permutations(range(1, n + 1)))[:crash_count]
+        crashes = {p: data.draw(st.integers(min_value=0, max_value=3 * n)) for p in victims}
+        run, proposals = run_floodset(n, f, crashes)
+        report = KSetAgreementProblem(1).evaluate(run, proposals=proposals)
+        assert report.all_ok, (crashes, report.violations)
+
+    def test_validity_with_string_values(self):
+        proposals = {1: "cherry", 2: "apple", 3: "banana"}
+        run, _ = run_floodset(3, 2, {}, proposals=proposals)
+        assert set(run.decisions().values()) <= set(proposals.values())
+        assert len(set(run.decisions().values())) == 1
+
+    def test_supports_fully_synchronous_catalogue_entry(self):
+        # Executable evidence for the catalogue's SOLVABLE verdict.
+        from repro.models.catalog import consensus_verdict
+        from repro.types import Verdict
+
+        model = synchronous_model(5, 4)
+        assert consensus_verdict(model)[0] is Verdict.SOLVABLE
+        run, proposals = run_floodset(5, 4, {2: 0, 3: 4, 4: 8, 5: 12})
+        assert KSetAgreementProblem(1).evaluate(run, proposals=proposals).all_ok

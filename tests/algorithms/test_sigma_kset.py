@@ -1,0 +1,134 @@
+"""Tests for the ``Sigma_{n-1}`` (n-1)-set agreement protocol."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.sigma_kset import SigmaKSetAgreement
+from repro.core.ksetagreement import KSetAgreementProblem
+from repro.exceptions import ConfigurationError
+from repro.failure_detectors.base import FailurePattern
+from repro.failure_detectors.sigma import SigmaK
+from repro.models.asynchronous import asynchronous_model
+from repro.simulation.executor import ExecutionSettings, execute
+from repro.simulation.scheduler import RandomScheduler, RoundRobinScheduler
+
+
+def run_sigma_kset(n, crash_times, *, seed=None, proposals=None, max_steps=8_000):
+    model = asynchronous_model(n, n - 1, failure_detector=SigmaK(n - 1))
+    algorithm = SigmaKSetAgreement(n)
+    proposals = proposals or {p: p for p in model.processes}
+    pattern = FailurePattern(model.processes, crash_times)
+    adversary = RandomScheduler(seed) if seed is not None else RoundRobinScheduler()
+    run = execute(
+        algorithm, model, proposals,
+        adversary=adversary,
+        failure_pattern=pattern,
+        settings=ExecutionSettings(max_steps=max_steps),
+    )
+    return run, proposals
+
+
+class TestConfiguration:
+    def test_needs_two_processes(self):
+        with pytest.raises(ConfigurationError):
+            SigmaKSetAgreement(1)
+
+    def test_system_size_checked(self):
+        with pytest.raises(ConfigurationError):
+            SigmaKSetAgreement(4).initial_state(1, (1, 2), 1)
+
+    def test_requires_failure_detector(self):
+        assert SigmaKSetAgreement(3).requires_failure_detector
+
+    def test_quorum_extraction_accepts_both_shapes(self):
+        assert SigmaKSetAgreement._quorum(frozenset({1})) == {1}
+        assert SigmaKSetAgreement._quorum({"sigma": {1, 2}}) == {1, 2}
+        assert SigmaKSetAgreement._quorum(None) is None
+        assert SigmaKSetAgreement._quorum({"omega": {1}}) is None
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_all_correct_fair_schedule(self, n):
+        run, proposals = run_sigma_kset(n, {})
+        report = KSetAgreementProblem(n - 1).evaluate(run, proposals=proposals)
+        assert report.all_ok, report.violations
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_single_survivor_terminates_via_singleton_quorum(self, n):
+        # Everyone but the largest-identifier process crashes early: the
+        # survivor never hears from a smaller process that is still relevant,
+        # and must decide through the R-alone rule.
+        crash_times = {p: 0 for p in range(1, n)}
+        run, proposals = run_sigma_kset(n, crash_times)
+        report = KSetAgreementProblem(n - 1).evaluate(run, proposals=proposals)
+        assert report.all_ok, report.violations
+        assert run.decisions()[n] == proposals[n]
+
+    def test_smallest_correct_process_adopts_from_others(self):
+        # p1 crashes before sending anything is impossible (it sends in its
+        # first step), so kill p1 initially: p2 is the smallest correct
+        # process and must adopt a DEC or use its own rules.
+        run, proposals = run_sigma_kset(4, {1: 0})
+        report = KSetAgreementProblem(3).evaluate(run, proposals=proposals)
+        assert report.all_ok, report.violations
+
+    @given(st.integers(min_value=2, max_value=6), st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_any_crash_pattern_and_schedule(self, n, data):
+        # Any number of crashes (up to n-1), any crash times, random schedule.
+        crash_count = data.draw(st.integers(min_value=0, max_value=n - 1))
+        victims = data.draw(st.permutations(range(1, n + 1)))[:crash_count]
+        crash_times = {
+            p: data.draw(st.integers(min_value=0, max_value=20)) for p in victims
+        }
+        seed = data.draw(st.integers(min_value=0, max_value=10_000))
+        run, proposals = run_sigma_kset(n, crash_times, seed=seed)
+        report = KSetAgreementProblem(n - 1).evaluate(run, proposals=proposals)
+        assert report.all_ok, (crash_times, seed, report.violations)
+
+    def test_never_n_distinct_decisions(self):
+        # Core of the (n-1)-agreement argument: even under schedules trying
+        # to isolate everyone, at most n-1 distinct values are decided.
+        from repro.simulation.adversary import PartitioningAdversary
+
+        n = 5
+        model = asynchronous_model(n, n - 1, failure_detector=SigmaK(n - 1))
+        algorithm = SigmaKSetAgreement(n)
+        run = execute(
+            algorithm, model, {p: p for p in model.processes},
+            adversary=PartitioningAdversary([[p] for p in model.processes]),
+            settings=ExecutionSettings(max_steps=8_000),
+        )
+        assert len(run.distinct_decisions()) <= n - 1
+
+
+class TestDecisionRules:
+    def test_dec_adoption_prefers_received_decision(self):
+        from repro.algorithms.sigma_kset import SigmaKSetState
+
+        state = SigmaKSetState(pid=3, proposal=3, dec_received="adopted",
+                               smaller_values=frozenset({(1, "one")}))
+        decision, fresh = SigmaKSetAgreement._decide(state, frozenset({3}))
+        assert decision == "adopted" and not fresh
+
+    def test_smaller_rule_takes_minimum_id(self):
+        from repro.algorithms.sigma_kset import SigmaKSetState
+
+        state = SigmaKSetState(pid=4, proposal=4,
+                               smaller_values=frozenset({(2, "two"), (1, "one")}))
+        decision, fresh = SigmaKSetAgreement._decide(state, None)
+        assert decision == "one" and fresh
+
+    def test_alone_rule_requires_exact_singleton(self):
+        from repro.algorithms.sigma_kset import SigmaKSetState
+
+        state = SigmaKSetState(pid=2, proposal="mine")
+        assert SigmaKSetAgreement._decide(state, frozenset({2}))[0] == "mine"
+        assert SigmaKSetAgreement._decide(state, frozenset({2, 3}))[0] is None
+        assert SigmaKSetAgreement._decide(state, frozenset({1, 2}))[0] is None

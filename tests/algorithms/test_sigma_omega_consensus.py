@@ -1,0 +1,137 @@
+"""Tests for the ``(Sigma, Omega)`` Paxos-style consensus protocol."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.sigma_omega_consensus import (
+    ZERO_BALLOT,
+    SigmaOmegaConsensus,
+    SigmaOmegaState,
+)
+from repro.core.ksetagreement import KSetAgreementProblem
+from repro.exceptions import ConfigurationError
+from repro.failure_detectors.base import FailurePattern
+from repro.failure_detectors.combined import sigma_omega_k
+from repro.models.asynchronous import asynchronous_model
+from repro.simulation.executor import ExecutionSettings, execute
+from repro.simulation.scheduler import RandomScheduler, RoundRobinScheduler
+
+
+def run_consensus(n, crash_times, *, gst=0, seed=None, proposals=None, max_steps=20_000):
+    model = asynchronous_model(n, n - 1, failure_detector=sigma_omega_k(1, gst=gst))
+    algorithm = SigmaOmegaConsensus(n)
+    proposals = proposals or {p: p * 11 for p in model.processes}
+    pattern = FailurePattern(model.processes, crash_times)
+    adversary = RandomScheduler(seed, max_delay=8) if seed is not None else RoundRobinScheduler()
+    run = execute(
+        algorithm, model, proposals,
+        adversary=adversary,
+        failure_pattern=pattern,
+        settings=ExecutionSettings(max_steps=max_steps),
+    )
+    return run, proposals
+
+
+class TestConfiguration:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SigmaOmegaConsensus(0)
+        with pytest.raises(ConfigurationError):
+            SigmaOmegaConsensus(3).initial_state(1, (1, 2), 1)
+
+    def test_detector_output_extraction(self):
+        sigma, omega = SigmaOmegaConsensus._detector_outputs(
+            {"sigma": {1, 2}, "omega": {1}}
+        )
+        assert sigma == {1, 2} and omega == {1}
+        sigma, omega = SigmaOmegaConsensus._detector_outputs(frozenset({1}))
+        assert sigma == {1} and omega is None
+        assert SigmaOmegaConsensus._detector_outputs(None) == (None, None)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7])
+    def test_all_correct_stable_leader(self, n):
+        run, proposals = run_consensus(n, {})
+        report = KSetAgreementProblem(1).evaluate(run, proposals=proposals)
+        assert report.all_ok, report.violations
+        # with an immediately stable leader p1, the decided value is p1's
+        assert set(run.decisions().values()) == {proposals[1]}
+
+    @pytest.mark.parametrize("n,crashes", [(3, {3: 0}), (4, {1: 0}), (5, {1: 0, 2: 7}), (4, {2: 5, 3: 5, 4: 5})])
+    def test_with_crashes(self, n, crashes):
+        run, proposals = run_consensus(n, crashes)
+        report = KSetAgreementProblem(1).evaluate(run, proposals=proposals)
+        assert report.all_ok, report.violations
+
+    def test_unstable_leader_before_gst(self):
+        run, proposals = run_consensus(4, {}, gst=30)
+        report = KSetAgreementProblem(1).evaluate(run, proposals=proposals)
+        assert report.all_ok, report.violations
+
+    @given(st.integers(min_value=1, max_value=5), st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_random_schedules_and_crashes(self, n, data):
+        crash_count = data.draw(st.integers(min_value=0, max_value=n - 1))
+        victims = data.draw(st.permutations(range(1, n + 1)))[:crash_count]
+        crash_times = {p: data.draw(st.integers(min_value=0, max_value=15)) for p in victims}
+        gst = data.draw(st.integers(min_value=0, max_value=20))
+        seed = data.draw(st.integers(min_value=0, max_value=1000))
+        run, proposals = run_consensus(n, crash_times, gst=gst, seed=seed)
+        report = KSetAgreementProblem(1).evaluate(run, proposals=proposals)
+        assert report.all_ok, (crash_times, gst, seed, report.violations)
+
+    def test_uniformity_binds_faulty_deciders(self):
+        # A process that decides and later crashes must agree with the rest.
+        run, proposals = run_consensus(4, {2: 40})
+        decisions = run.decisions()
+        assert len(set(decisions.values())) == 1
+
+
+class TestProtocolInternals:
+    def test_ballots_order_lexicographically(self):
+        assert (1, 2) > ZERO_BALLOT
+        assert (2, 1) > (1, 9)
+
+    def test_prepare_generates_promise_or_nack(self):
+        algorithm = SigmaOmegaConsensus(3)
+        state = algorithm.initial_state(2, (1, 2, 3), "v")
+
+        class Msg:
+            def __init__(self, payload):
+                self.payload = payload
+                self.sender = 1
+
+        promoted, replies = algorithm._handle_message(state, Msg(("PREPARE", (1, 1), 1)))
+        assert promoted.promised == (1, 1)
+        assert replies[0].payload[0] == "PROMISE"
+        demoted, replies2 = algorithm._handle_message(promoted, Msg(("PREPARE", (0, 1), 1)))
+        assert replies2[0].payload[0] == "NACK"
+
+    def test_accept_updates_accepted_value(self):
+        algorithm = SigmaOmegaConsensus(3)
+        state = algorithm.initial_state(2, (1, 2, 3), "v")
+
+        class Msg:
+            def __init__(self, payload):
+                self.payload = payload
+                self.sender = 1
+
+        accepted, replies = algorithm._handle_message(state, Msg(("ACCEPT", (1, 1), "w", 1)))
+        assert accepted.accepted_value == "w"
+        assert replies[0].payload[0] == "ACCEPTED"
+
+    def test_decide_message_adopted(self):
+        algorithm = SigmaOmegaConsensus(2)
+        state = algorithm.initial_state(2, (1, 2), "v")
+
+        class Msg:
+            def __init__(self, payload):
+                self.payload = payload
+                self.sender = 1
+
+        output = algorithm.step(state, (Msg(("DECIDE", "w")),), {"sigma": {1, 2}, "omega": {1}})
+        assert output.state.decision == "w"

@@ -1,0 +1,139 @@
+"""Tests for the two-stage protocol, FLP consensus and the Section VI algorithm."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.flp_consensus import FLPConsensus
+from repro.algorithms.kset_initial_crash import KSetInitialCrash
+from repro.algorithms.two_stage import TwoStageKnowledgeProtocol
+from repro.core.ksetagreement import KSetAgreementProblem
+from repro.exceptions import ConfigurationError
+from repro.failure_detectors.base import FailurePattern
+from repro.models.initial_crash import initial_crash_model
+from repro.simulation.executor import ExecutionSettings, execute
+from repro.simulation.scheduler import RandomScheduler, RoundRobinScheduler
+
+
+class TestConfigurationValidation:
+    def test_threshold_bounds(self):
+        with pytest.raises(ConfigurationError):
+            TwoStageKnowledgeProtocol(4, 0)
+        with pytest.raises(ConfigurationError):
+            TwoStageKnowledgeProtocol(4, 5)
+        with pytest.raises(ConfigurationError):
+            TwoStageKnowledgeProtocol(0, 1)
+
+    def test_flp_requires_majority(self):
+        with pytest.raises(ConfigurationError):
+            FLPConsensus(4, 2)
+        FLPConsensus(5, 2)  # fine
+
+    def test_kset_requires_f_below_n(self):
+        with pytest.raises(ConfigurationError):
+            KSetInitialCrash(4, 4)
+        with pytest.raises(ConfigurationError):
+            KSetInitialCrash(4, -1)
+
+    def test_system_size_mismatch_rejected(self):
+        algorithm = KSetInitialCrash(4, 1)
+        with pytest.raises(ConfigurationError):
+            algorithm.initial_state(1, (1, 2, 3), 1)
+
+    def test_max_distinct_decisions(self):
+        assert KSetInitialCrash(6, 3).max_distinct_decisions() == 2
+        assert KSetInitialCrash(6, 4).max_distinct_decisions() == 3
+        assert FLPConsensus(5, 2).max_distinct_decisions() == 1
+        assert KSetInitialCrash(7, 4).achieved_k == 2
+
+    def test_describe(self):
+        assert "L=n-f=3" in KSetInitialCrash(6, 3).describe()
+        assert "majority" in FLPConsensus(5, 2).describe()
+
+
+def run_protocol(n, f, dead, adversary=None, proposals=None, max_steps=8_000):
+    model = initial_crash_model(n, f)
+    algorithm = KSetInitialCrash(n, f)
+    proposals = proposals or {p: p for p in model.processes}
+    pattern = FailurePattern.initially_dead(model.processes, dead)
+    return execute(
+        algorithm, model, proposals,
+        adversary=adversary or RoundRobinScheduler(),
+        failure_pattern=pattern,
+        settings=ExecutionSettings(max_steps=max_steps),
+    ), proposals
+
+
+class TestFLPConsensus:
+    @pytest.mark.parametrize("n,f", [(3, 1), (5, 2), (7, 3), (9, 4)])
+    def test_consensus_with_majority(self, n, f):
+        model = initial_crash_model(n, f)
+        algorithm = FLPConsensus(n, f)
+        dead = set(range(n - f + 1, n + 1))
+        pattern = FailurePattern.initially_dead(model.processes, dead)
+        run = execute(algorithm, model, {p: p * 7 for p in model.processes},
+                      failure_pattern=pattern)
+        report = KSetAgreementProblem(1).evaluate(run)
+        assert report.all_ok, report.violations
+
+    def test_consensus_under_random_schedules(self):
+        n, f = 5, 2
+        model = initial_crash_model(n, f)
+        for seed in range(4):
+            rng = random.Random(seed)
+            dead = set(rng.sample(range(1, n + 1), rng.randint(0, f)))
+            pattern = FailurePattern.initially_dead(model.processes, dead)
+            run = execute(
+                FLPConsensus(n, f), model, {p: p for p in model.processes},
+                adversary=RandomScheduler(seed),
+                failure_pattern=pattern,
+            )
+            report = KSetAgreementProblem(1).evaluate(run)
+            assert report.all_ok, (seed, report.violations)
+
+
+class TestKSetInitialCrash:
+    @pytest.mark.parametrize(
+        "n,f,k",
+        [(4, 1, 1), (4, 2, 2), (6, 3, 2), (6, 4, 3), (8, 4, 2), (9, 6, 3), (10, 5, 2)],
+    )
+    def test_properties_hold_on_solvable_side(self, n, f, k):
+        # k = floor(n / (n - f)) is exactly the guarantee of the protocol.
+        assert k == n // (n - f)
+        run, proposals = run_protocol(n, f, dead=set(range(n - f + 1, n + 1)))
+        report = KSetAgreementProblem(k).evaluate(run, proposals=proposals)
+        assert report.all_ok, report.violations
+
+    def test_no_crash_run_decides_single_value(self):
+        run, _ = run_protocol(6, 3, dead=set())
+        assert run.completed
+        assert len(run.distinct_decisions()) == 1
+
+    def test_validity_with_non_identity_proposals(self):
+        proposals = {1: "a", 2: "b", 3: "c", 4: "d", 5: "e", 6: "f"}
+        run, _ = run_protocol(6, 3, dead={5, 6}, proposals=proposals)
+        assert run.distinct_decisions() <= set(proposals.values())
+
+    @given(
+        st.integers(min_value=3, max_value=8),
+        st.data(),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_random_crashes_and_schedules_respect_bound(self, n, data):
+        f = data.draw(st.integers(min_value=1, max_value=n - 1))
+        dead_count = data.draw(st.integers(min_value=0, max_value=f))
+        dead = set(data.draw(st.permutations(range(1, n + 1)))[:dead_count])
+        seed = data.draw(st.integers(min_value=0, max_value=100))
+        run, proposals = run_protocol(n, f, dead, adversary=RandomScheduler(seed))
+        k = n // (n - f)
+        report = KSetAgreementProblem(k).evaluate(run, proposals=proposals)
+        assert report.all_ok, report.violations
+
+    def test_decisions_trace_back_to_source_components(self):
+        run, _ = run_protocol(6, 4, dead={5, 6})
+        # threshold is 2, four alive processes: at most 2 source components
+        assert 1 <= len(run.distinct_decisions()) <= 2

@@ -1,0 +1,117 @@
+"""Tests for the analysis helpers (run properties, statistics, reporting, bivalence)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms.flp_consensus import FLPConsensus
+from repro.algorithms.kset_initial_crash import KSetInitialCrash
+from repro.algorithms.trivial import DecideOwnValue
+from repro.analysis.bivalence import explore
+from repro.analysis.reporting import format_sweep, format_table
+from repro.analysis.run_properties import decision_histogram, evaluate_kset, run_statistics
+from repro.analysis.statistics import summarize
+from repro.models.initial_crash import initial_crash_model
+from repro.simulation.adversary import PartitioningAdversary
+from repro.simulation.executor import execute
+
+
+@pytest.fixture(scope="module")
+def sample_run():
+    model = initial_crash_model(6, 3)
+    return execute(
+        KSetInitialCrash(6, 3), model, {p: p for p in model.processes},
+        adversary=PartitioningAdversary([[1, 2, 3], [4, 5, 6]]),
+    )
+
+
+class TestRunProperties:
+    def test_evaluate_kset(self, sample_run):
+        assert not evaluate_kset(sample_run, 1).agreement_ok
+        assert evaluate_kset(sample_run, 2).all_ok
+
+    def test_decision_histogram(self, sample_run):
+        histogram = decision_histogram(sample_run)
+        assert histogram == {1: 3, 4: 3}
+
+    def test_run_statistics(self, sample_run):
+        stats = run_statistics(sample_run)
+        assert stats["steps"] == sample_run.length
+        assert stats["decided_processes"] == 6.0
+        assert stats["distinct_decisions"] == 2.0
+        assert stats["decision_latency"] <= stats["steps"]
+
+
+class TestStatistics:
+    def test_summarize_basic(self):
+        stats = summarize([4.0, 1.0, 3.0, 2.0])
+        assert stats["count"] == 4
+        assert stats["mean"] == 2.5
+        assert stats["min"] == 1.0 and stats["max"] == 4.0
+        assert stats["median"] == 2.5
+
+    def test_summarize_odd_length(self):
+        assert summarize([3, 1, 2])["median"] == 2.0
+
+    def test_summarize_empty(self):
+        assert summarize([])["count"] == 0.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1))
+    def test_summarize_bounds(self, values):
+        stats = summarize(values)
+        assert stats["min"] <= stats["median"] <= stats["max"]
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(("name", "value"), [("a", 1), ("long-name", 22)])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+        assert all("|" in line for line in lines if line and "-+-" not in line)
+
+    def test_format_table_handles_short_rows(self):
+        table = format_table(("a", "b"), [(1,)])
+        assert "1" in table
+
+    def test_format_sweep(self):
+        from repro.analysis.border_sweep import SweepPoint
+        from repro.types import Verdict
+
+        points = [
+            SweepPoint(4, 2, 1, Verdict.IMPOSSIBLE, "partitioning forces a violation", True),
+            SweepPoint(4, 1, 1, Verdict.SOLVABLE, "all properties hold", True),
+        ]
+        rendered = format_sweep(points)
+        assert "paper verdict" in rendered
+        assert "impossible" in rendered and "solvable" in rendered
+
+
+class TestBivalenceExploration:
+    def test_trivial_algorithm_reaches_all_n_values(self):
+        report = explore(DecideOwnValue(), {1: "a", 2: "b", 3: "c"}, max_configs=500)
+        assert report.exhausted
+        assert report.max_distinct_decisions == 3
+        assert report.violates_agreement(2)
+        assert not report.violates_agreement(3)
+
+    def test_flp_consensus_never_exceeds_one_value(self):
+        report = explore(FLPConsensus(3, 1), {1: "a", 2: "b", 3: "c"}, max_configs=1_500)
+        assert report.max_distinct_decisions <= 1
+
+    def test_flp_consensus_initial_config_is_bivalent(self):
+        # Different schedules can lead to different decided values — the
+        # seed of the FLP bivalence argument, observable even in the
+        # initial-crash protocol when the exploration favours different
+        # processes.
+        report = explore(FLPConsensus(3, 1), {1: "a", 2: "b", 3: "c"}, max_configs=4_000)
+        assert report.looks_bivalent
+        assert len(report.univalent_values()) >= 2
+
+    def test_budget_reported(self):
+        report = explore(KSetInitialCrash(3, 1), {1: 1, 2: 2, 3: 3}, max_configs=10)
+        assert not report.exhausted
+        assert report.configurations_visited == 10

@@ -1,0 +1,50 @@
+"""Tests for the Theorem 8 border sweep (:mod:`repro.analysis.border_sweep`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.border_sweep import (
+    observe_impossible,
+    observe_solvable,
+    sweep_theorem8,
+)
+from repro.types import Verdict
+
+
+class TestObservations:
+    def test_solvable_point(self):
+        ok, reports = observe_solvable(5, 2, 2, seeds=(1,), max_steps=4_000)
+        assert ok
+        assert all(report.all_ok for report in reports)
+        assert len(reports) >= 4
+
+    def test_impossible_point(self):
+        violated, report = observe_impossible(6, 4, 2, max_steps=4_000)
+        assert violated
+        assert not report.agreement_ok or not report.termination_ok
+
+    def test_impossible_point_strictly_inside_region(self):
+        # f larger than the border value: groups of size n-f leave leftover
+        # processes that are declared initially dead.
+        violated, _report = observe_impossible(7, 5, 2, max_steps=4_000)
+        assert violated
+
+    def test_consensus_with_majority_is_solvable(self):
+        ok, _reports = observe_solvable(5, 2, 1, seeds=(3,), max_steps=4_000)
+        assert ok
+
+
+class TestSweep:
+    def test_small_sweep_agrees_everywhere(self):
+        points = sweep_theorem8([4, 5], seeds=(1,), max_steps=4_000)
+        assert points
+        disagreements = [p for p in points if not p.agrees]
+        assert disagreements == []
+        # both sides of the border appear in the sweep
+        assert any(p.predicted is Verdict.SOLVABLE for p in points)
+        assert any(p.predicted is Verdict.IMPOSSIBLE for p in points)
+
+    def test_sweep_covers_full_grid(self):
+        points = sweep_theorem8([4], seeds=(1,), max_steps=4_000)
+        assert len(points) == 3 * 3  # f in 1..3, k in 1..3

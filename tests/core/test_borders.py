@@ -1,0 +1,162 @@
+"""Tests for the closed-form borders (Theorem 2, Theorem 8, Corollary 13)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.borders import (
+    corollary13_verdict,
+    initial_crash_border_f,
+    partially_synchronous_border_k,
+    theorem2_verdict,
+    theorem8_verdict,
+)
+from repro.exceptions import ConfigurationError
+from repro.types import Verdict
+
+
+class TestTheorem2:
+    def test_paper_examples(self):
+        # n=4, f=2: impossible for k=1 only.
+        assert theorem2_verdict(4, 2, 1).is_impossible
+        assert theorem2_verdict(4, 2, 2).verdict is Verdict.UNKNOWN
+        # n=7, f=4: impossible up to k=2.
+        assert theorem2_verdict(7, 4, 1).is_impossible
+        assert theorem2_verdict(7, 4, 2).is_impossible
+        assert theorem2_verdict(7, 4, 3).verdict is Verdict.UNKNOWN
+
+    def test_trivial_region(self):
+        assert theorem2_verdict(3, 1, 3).is_solvable
+        assert theorem2_verdict(3, 1, 5).is_solvable
+
+    def test_no_failures_makes_no_claim(self):
+        assert theorem2_verdict(5, 0, 1).verdict is Verdict.UNKNOWN
+
+    def test_consensus_with_single_failure_impossible_for_small_systems(self):
+        # k=1, f=1: impossible iff n - 1 <= n - 1, i.e. always (n >= 2).
+        for n in range(2, 8):
+            assert theorem2_verdict(n, 1, 1).is_impossible
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            theorem2_verdict(0, 0, 1)
+        with pytest.raises(ConfigurationError):
+            theorem2_verdict(3, 4, 1)
+        with pytest.raises(ConfigurationError):
+            theorem2_verdict(3, 1, 0)
+
+    def test_border_k_helper(self):
+        assert partially_synchronous_border_k(4, 2) == 2
+        assert partially_synchronous_border_k(7, 4) == 3
+        with pytest.raises(ConfigurationError):
+            partially_synchronous_border_k(4, 0)
+
+    @given(st.integers(min_value=2, max_value=30), st.integers(min_value=1, max_value=29))
+    def test_impossible_region_downward_closed_in_k(self, n, f):
+        if f >= n:
+            return
+        for k in range(2, n):
+            if theorem2_verdict(n, f, k).is_impossible:
+                assert theorem2_verdict(n, f, k - 1).is_impossible
+
+
+class TestTheorem8:
+    def test_paper_borderline_examples(self):
+        # consensus needs a correct majority
+        assert theorem8_verdict(5, 2, 1).is_solvable
+        assert theorem8_verdict(4, 2, 1).is_impossible
+        # 2-set agreement: solvable iff 2n > 3f
+        assert theorem8_verdict(6, 3, 2).is_solvable
+        assert theorem8_verdict(6, 4, 2).is_impossible
+        assert theorem8_verdict(7, 4, 2).is_solvable
+
+    def test_exact_border_case_is_impossible(self):
+        # k*n == (k+1)*f
+        assert theorem8_verdict(6, 4, 2).is_impossible
+        assert theorem8_verdict(8, 6, 3).is_impossible
+
+    def test_f_zero_always_solvable(self):
+        for n in range(1, 10):
+            for k in range(1, n + 1):
+                assert theorem8_verdict(n, 0, k).is_solvable
+
+    def test_border_f_helper(self):
+        assert initial_crash_border_f(6, 2) == 3
+        assert initial_crash_border_f(5, 1) == 2
+        for n in range(2, 12):
+            for k in range(1, n):
+                f_max = initial_crash_border_f(n, k)
+                assert theorem8_verdict(n, f_max, k).is_solvable
+                if f_max + 1 <= n:
+                    assert theorem8_verdict(n, f_max + 1, k).is_impossible
+
+    def test_consistency_with_section6_algorithm_guarantee(self):
+        # The Section VI protocol decides at most floor(n/(n-f)) values;
+        # Theorem 8's solvable region is exactly k >= that bound.
+        for n in range(2, 15):
+            for f in range(0, n):
+                achieved = n // (n - f)
+                for k in range(1, n + 1):
+                    expected = k >= achieved
+                    assert theorem8_verdict(n, f, k).is_solvable == expected, (n, f, k)
+
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=1, max_value=40),
+    )
+    def test_monotonicity(self, n, f, k):
+        if f > n:
+            return
+        verdict = theorem8_verdict(n, f, k)
+        if verdict.is_solvable:
+            # more allowed values or fewer failures keeps it solvable
+            assert theorem8_verdict(n, f, k + 1).is_solvable
+            if f > 0:
+                assert theorem8_verdict(n, f - 1, k).is_solvable
+        else:
+            assert theorem8_verdict(n, f, max(k - 1, 1)).is_impossible or k == 1
+            if f < n:
+                assert theorem8_verdict(n, f + 1, k).is_impossible
+
+
+class TestCorollary13:
+    def test_border(self):
+        for n in range(4, 10):
+            assert corollary13_verdict(n, 1).is_solvable
+            assert corollary13_verdict(n, n - 1).is_solvable
+            for k in range(2, n - 1):
+                assert corollary13_verdict(n, k).is_impossible, (n, k)
+
+    def test_small_systems_have_no_impossible_region(self):
+        assert corollary13_verdict(2, 1).is_solvable
+        assert corollary13_verdict(3, 1).is_solvable
+        assert corollary13_verdict(3, 2).is_solvable
+
+    def test_trivial_region(self):
+        assert corollary13_verdict(4, 4).is_solvable
+        assert corollary13_verdict(4, 9).is_solvable
+
+    def test_sources_cited(self):
+        assert corollary13_verdict(6, 3).source == "Theorem 10"
+        assert corollary13_verdict(6, 1).source == "Corollary 13"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            corollary13_verdict(1, 1)
+        with pytest.raises(ConfigurationError):
+            corollary13_verdict(4, 0)
+
+
+class TestBorderVerdictObject:
+    def test_flags(self):
+        verdict = theorem8_verdict(6, 3, 2)
+        assert verdict.is_solvable and not verdict.is_impossible
+        assert "Theorem 8" in str(verdict)
+        assert verdict.parameters == {"n": 6, "f": 3, "k": 2}
+
+    def test_explanations_carry_numbers(self):
+        assert "12" in theorem8_verdict(6, 4, 2).explanation  # k*n = 12
+        assert "n-f" in theorem2_verdict(6, 3, 1).explanation

@@ -1,0 +1,141 @@
+"""Tests for the Theorem 1 machinery (:mod:`repro.core.impossibility`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.flawed_candidate import FlawedQuorumKSet
+from repro.algorithms.kset_initial_crash import KSetInitialCrash
+from repro.algorithms.sigma_omega_consensus import SigmaOmegaConsensus
+from repro.core.impossibility import PartitionSpec, TheoremOneApplication
+from repro.exceptions import ConfigurationError, PartitionError
+from repro.failure_detectors.combined import sigma_omega_k
+from repro.models.asynchronous import asynchronous_model
+from repro.models.model import FailureAssumption
+from repro.models.partially_synchronous import partially_synchronous_model
+from repro.partitioning.partitions import theorem2_partition
+from repro.partitioning.scenarios import Theorem10Scenario, Theorem2Scenario
+
+
+class TestPartitionSpec:
+    def test_basic_properties(self):
+        spec = PartitionSpec(processes=(1, 2, 3, 4, 5), d_blocks=(frozenset({1, 2}),))
+        assert spec.k == 2
+        assert spec.d_union == {1, 2}
+        assert spec.d_bar == {3, 4, 5}
+        assert spec.all_blocks() == (frozenset({1, 2}), frozenset({3, 4, 5}))
+        assert "D-bar" in spec.describe()
+
+    def test_validation(self):
+        with pytest.raises(PartitionError):
+            PartitionSpec(processes=(1, 2), d_blocks=(frozenset(),))
+        with pytest.raises(PartitionError):
+            PartitionSpec(processes=(1, 2), d_blocks=(frozenset({3}),))
+        with pytest.raises(PartitionError):
+            PartitionSpec(processes=(1, 2, 3), d_blocks=(frozenset({1}), frozenset({1, 2})))
+        with pytest.raises(PartitionError):
+            # D-bar would be empty
+            PartitionSpec(processes=(1, 2), d_blocks=(frozenset({1}), frozenset({2})))
+
+    def test_k1_partition_has_no_blocks(self):
+        spec = PartitionSpec(processes=(1, 2, 3), d_blocks=())
+        assert spec.k == 1
+        assert spec.d_union == frozenset()
+        assert spec.d_bar == {1, 2, 3}
+
+
+class TestApplicationValidation:
+    def test_partition_must_match_model(self):
+        model = partially_synchronous_model(4, 2)
+        foreign = PartitionSpec(processes=(1, 2, 3, 4, 5), d_blocks=(frozenset({1, 2}),))
+        with pytest.raises(ConfigurationError):
+            TheoremOneApplication(KSetInitialCrash(4, 2), model, foreign)
+
+    def test_proposals_must_be_distinct(self):
+        model = partially_synchronous_model(4, 2)
+        partition = theorem2_partition(4, 2, 1)
+        with pytest.raises(ConfigurationError):
+            TheoremOneApplication(
+                KSetInitialCrash(4, 2), model, partition,
+                proposals={1: "x", 2: "x", 3: "y", 4: "z"},
+            )
+
+
+class TestTheorem2Application:
+    def test_all_conditions_hold_for_section6_algorithm(self):
+        scenario = Theorem2Scenario(n=7, f=4, k=2, max_steps=6_000)
+        witness = scenario.apply(KSetInitialCrash(7, 4))
+        assert witness.holds
+        assert [r.condition for r in witness.reports] == ["A", "B", "C", "D"]
+        assert "does not solve 2-set agreement" in witness.conclusion
+        assert "Dolev" in witness.report("C").details
+
+    def test_condition_a_run_attached(self):
+        scenario = Theorem2Scenario(n=4, f=2, k=1, max_steps=3_000)
+        report = scenario.application(KSetInitialCrash(4, 2)).check_condition_a()
+        assert report.satisfied
+        assert report.runs and report.runs[0].completed
+
+    def test_condition_c_uses_catalogue(self):
+        scenario = Theorem2Scenario(n=4, f=2, k=1)
+        application = scenario.application(KSetInitialCrash(4, 2))
+        restricted = application.restricted_model()
+        assert restricted.n >= 3
+        assert application.check_condition_c().satisfied
+
+    def test_condition_a_fails_for_robust_algorithm(self):
+        # The (Sigma,Omega) consensus protocol never decides without quorum
+        # communication, so the partitioning run cannot satisfy (dec-D):
+        # Theorem 1 is not applicable — consistent with consensus being
+        # solvable once the model is augmented with (Sigma, Omega).
+        n, f, k = 7, 4, 2
+        detector = sigma_omega_k(1, gst=0)
+        model = asynchronous_model(n, n - 1, failure_detector=detector)
+        partition = theorem2_partition(n, f, k)
+        application = TheoremOneApplication(
+            SigmaOmegaConsensus(n), model, partition,
+            restricted_failures=FailureAssumption(1),
+            max_steps=1_500,
+        )
+        report = application.check_condition_a()
+        assert not report.satisfied
+        witness = application.apply()
+        assert not witness.holds
+        assert "could not be established" in witness.conclusion
+
+    def test_report_lookup_unknown_condition(self):
+        scenario = Theorem2Scenario(n=4, f=2, k=1, max_steps=2_000)
+        witness = scenario.apply(KSetInitialCrash(4, 2))
+        with pytest.raises(KeyError):
+            witness.report("Z")
+        assert "Theorem 1 applied" in witness.describe()
+
+
+class TestTheorem10Application:
+    def test_flawed_candidate_satisfies_all_conditions(self):
+        scenario = Theorem10Scenario(n=6, k=3)
+        witness = scenario.apply(FlawedQuorumKSet(6, 3))
+        assert witness.holds
+        assert "weakest failure detector" in witness.report("C").details
+
+    def test_condition_d_indistinguishability(self):
+        scenario = Theorem10Scenario(n=6, k=3)
+        report = scenario.application(FlawedQuorumKSet(6, 3)).check_condition_d()
+        assert report.satisfied
+        assert len(report.runs) == 2
+
+    def test_condition_d_fails_when_d_too_large_for_failure_bound(self):
+        # If the model only tolerates fewer crashes than |D|, the "D
+        # initially dead" construction is unavailable and the check reports it.
+        n, k = 6, 3
+        scenario = Theorem10Scenario(n=n, k=k)
+        model = asynchronous_model(n, 1, failure_detector=scenario.detector)
+        application = TheoremOneApplication(
+            FlawedQuorumKSet(n, k), model, scenario.partition,
+            restricted_failures=FailureAssumption(1),
+            condition_c_justification="assumed",
+            max_steps=2_000,
+        )
+        report = application.check_condition_d()
+        assert not report.satisfied
+        assert "failure bound" in report.details

@@ -1,0 +1,100 @@
+"""Tests for T-independence (Definition 6, Section IV)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.kset_initial_crash import KSetInitialCrash
+from repro.algorithms.trivial import DecideOwnValue
+from repro.core.independence import (
+    asymmetric_family,
+    check_independence,
+    f_resilient_family,
+    obstruction_free_family,
+    wait_free_family,
+)
+from repro.exceptions import ConfigurationError
+from repro.models.initial_crash import initial_crash_model
+
+
+class TestFamilies:
+    def test_wait_free_family_size(self):
+        assert len(list(wait_free_family((1, 2, 3)))) == 7
+
+    def test_obstruction_free_family(self):
+        assert list(obstruction_free_family((2, 1))) == [frozenset({1}), frozenset({2})]
+
+    def test_f_resilient_family(self):
+        family = list(f_resilient_family((1, 2, 3, 4), f=1))
+        assert frozenset({1, 2, 3}) in family
+        assert frozenset({1, 2, 3, 4}) in family
+        assert all(len(s) >= 3 for s in family)
+
+    def test_f_resilient_family_validation(self):
+        with pytest.raises(ConfigurationError):
+            list(f_resilient_family((1, 2), f=3))
+
+    def test_asymmetric_family(self):
+        family = list(asymmetric_family((1, 2, 3), pivot=2))
+        assert all(2 in s for s in family)
+        assert len(family) == 4
+
+    def test_asymmetric_family_validation(self):
+        with pytest.raises(ConfigurationError):
+            list(asymmetric_family((1, 2), pivot=9))
+
+
+class TestCheckIndependence:
+    def test_trivial_algorithm_is_wait_free(self):
+        model = initial_crash_model(4, 3)
+        proposals = {p: p for p in model.processes}
+        witnesses = check_independence(
+            DecideOwnValue(), model, wait_free_family(model.processes), proposals
+        )
+        assert len(witnesses) == 15
+        assert all(w.holds for w in witnesses)
+
+    def test_section6_algorithm_is_independent_for_large_groups_only(self):
+        # Lemma 4 in miniature: groups of size >= n-f can decide on their
+        # own; smaller groups cannot.
+        n, f = 6, 3
+        model = initial_crash_model(n, f)
+        proposals = {p: p for p in model.processes}
+        family = [frozenset({1, 2, 3}), frozenset({4, 5, 6}), frozenset({1, 2}), frozenset({6})]
+        witnesses = check_independence(
+            KSetInitialCrash(n, f), model, family, proposals, max_steps=400,
+        )
+        outcome = {tuple(sorted(w.subset)): w.holds for w in witnesses}
+        assert outcome[(1, 2, 3)] is True
+        assert outcome[(4, 5, 6)] is True
+        assert outcome[(1, 2)] is False
+        assert outcome[(6,)] is False
+
+    def test_witness_reasons(self):
+        n, f = 4, 2
+        model = initial_crash_model(n, f)
+        proposals = {p: p for p in model.processes}
+        witnesses = check_independence(
+            KSetInitialCrash(n, f), model, [frozenset({1})], proposals, max_steps=100,
+        )
+        assert not witnesses[0].holds
+        assert "did not decide" in witnesses[0].reason
+
+    def test_family_members_validated(self):
+        model = initial_crash_model(3, 1)
+        with pytest.raises(ConfigurationError):
+            check_independence(
+                DecideOwnValue(), model, [frozenset({9})], {p: p for p in model.processes}
+            )
+
+    def test_f_resilience_matches_failure_bound(self):
+        # The Section VI protocol provides f-resilient progress: every group
+        # of size >= n - f decides alone (Observation 1(b) + Lemma 4).
+        n, f = 5, 2
+        model = initial_crash_model(n, f)
+        proposals = {p: p for p in model.processes}
+        witnesses = check_independence(
+            KSetInitialCrash(n, f), model, f_resilient_family(model.processes, f),
+            proposals, max_steps=2_000,
+        )
+        assert all(w.holds for w in witnesses)

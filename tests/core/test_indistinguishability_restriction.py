@@ -1,0 +1,140 @@
+"""Tests for Definition 2 / Definition 3 and the restriction operator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.kset_initial_crash import KSetInitialCrash
+from repro.core.indistinguishability import (
+    distinguishing_processes,
+    indistinguishable_until_decision,
+    runs_compatible,
+)
+from repro.core.restriction import restrict
+from repro.failure_detectors.base import FailurePattern
+from repro.models.initial_crash import initial_crash_model
+from repro.models.model import FailureAssumption
+from repro.simulation.adversary import IsolationAdversary, PartitioningAdversary
+from repro.simulation.executor import ExecutionSettings, execute, group_decided
+
+
+N, F = 6, 3
+GROUP = frozenset({4, 5, 6})
+OTHERS = frozenset({1, 2, 3})
+
+
+def full_model():
+    return initial_crash_model(N, F)
+
+
+def proposals():
+    return {p: p for p in range(1, N + 1)}
+
+
+def isolation_run():
+    """The group {4,5,6} runs alone while {1,2,3} stay silent but alive."""
+    return execute(
+        KSetInitialCrash(N, F), full_model(), proposals(),
+        adversary=IsolationAdversary(GROUP),
+        settings=ExecutionSettings(stop_condition=group_decided(GROUP)),
+    )
+
+
+def initially_dead_run():
+    """The group {4,5,6} runs alone because {1,2,3} are initially dead."""
+    pattern = FailurePattern.initially_dead(tuple(range(1, N + 1)), OTHERS)
+    return execute(
+        KSetInitialCrash(N, F), full_model(), proposals(),
+        failure_pattern=pattern,
+    )
+
+
+def partitioned_run():
+    return execute(
+        KSetInitialCrash(N, F), full_model(), proposals(),
+        adversary=PartitioningAdversary([OTHERS, GROUP]),
+    )
+
+
+class TestIndistinguishability:
+    def test_run_indistinguishable_from_itself(self):
+        run = isolation_run()
+        assert indistinguishable_until_decision(run, run, GROUP)
+
+    def test_isolation_vs_initially_dead(self):
+        # The classic argument: the group cannot tell whether the others are
+        # dead or merely silent.
+        assert indistinguishable_until_decision(isolation_run(), initially_dead_run(), GROUP)
+
+    def test_distinguishable_for_the_others(self):
+        # For {1,2,3} the partitioned run (where they only hear each other)
+        # differs from the fair run (where they hear everybody).
+        fair_run = execute(KSetInitialCrash(N, F), full_model(), proposals())
+        differing = distinguishing_processes(partitioned_run(), fair_run, OTHERS)
+        assert differing
+
+    def test_partitioned_vs_isolated_for_group(self):
+        # Under the partitioning adversary the group receives exactly the
+        # same messages as in isolation, so the runs are indistinguishable
+        # for the group.
+        assert indistinguishable_until_decision(partitioned_run(), isolation_run(), GROUP)
+
+    def test_different_proposals_are_distinguishable(self):
+        base = isolation_run()
+        changed = execute(
+            KSetInitialCrash(N, F), full_model(),
+            {**proposals(), 4: 99},
+            adversary=IsolationAdversary(GROUP),
+            settings=ExecutionSettings(stop_condition=group_decided(GROUP)),
+        )
+        assert distinguishing_processes(base, changed, GROUP)
+
+
+class TestCompatibility:
+    def test_compatible_when_counterpart_exists(self):
+        candidates = [isolation_run(), partitioned_run()]
+        references = [initially_dead_run()]
+        holds, matching = runs_compatible(candidates, references, GROUP)
+        assert holds
+        assert set(matching.values()) == {0}
+
+    def test_incompatible_when_no_counterpart(self):
+        changed = execute(
+            KSetInitialCrash(N, F), full_model(), {**proposals(), 4: 99},
+            adversary=IsolationAdversary(GROUP),
+            settings=ExecutionSettings(stop_condition=group_decided(GROUP)),
+        )
+        holds, matching = runs_compatible([changed], [initially_dead_run()], GROUP)
+        assert not holds
+        assert matching[0] is None
+
+    def test_empty_candidates_trivially_compatible(self):
+        holds, matching = runs_compatible([], [isolation_run()], GROUP)
+        assert holds and matching == {}
+
+
+class TestRestriction:
+    def test_restrict_returns_consistent_pair(self):
+        algorithm, model = restrict(KSetInitialCrash(N, F), full_model(), GROUP)
+        assert model.processes == tuple(sorted(GROUP))
+        assert algorithm.subset == GROUP
+        assert algorithm.full_processes == tuple(range(1, N + 1))
+
+    def test_restricted_failures_default_capped(self):
+        _algorithm, model = restrict(KSetInitialCrash(N, F), full_model(), GROUP)
+        assert model.f <= len(GROUP) - 1
+
+    def test_explicit_failure_assumption(self):
+        _algorithm, model = restrict(
+            KSetInitialCrash(N, F), full_model(), GROUP,
+            failures=FailureAssumption(1),
+        )
+        assert model.f == 1
+
+    def test_restricted_run_matches_initially_dead_run_on_group(self):
+        # Condition (D) in miniature: A|D in <D> vs. A in M with the rest dead.
+        algorithm, model = restrict(KSetInitialCrash(N, F), full_model(), GROUP)
+        restricted_run = execute(algorithm, model, {p: p for p in GROUP})
+        full_run = initially_dead_run()
+        assert indistinguishable_until_decision(restricted_run, full_run, GROUP)
+        assert restricted_run.decisions() == {p: full_run.decisions()[p] for p in GROUP}

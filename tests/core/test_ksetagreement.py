@@ -1,0 +1,115 @@
+"""Tests for :mod:`repro.core.ksetagreement`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.kset_initial_crash import KSetInitialCrash
+from repro.algorithms.trivial import DecideOwnValue
+from repro.core.ksetagreement import (
+    KSetAgreementProblem,
+    check_agreement,
+    check_termination,
+    check_validity,
+)
+from repro.exceptions import (
+    AgreementViolation,
+    ConfigurationError,
+    TerminationViolation,
+    ValidityViolation,
+)
+from repro.failure_detectors.base import FailurePattern
+from repro.models.initial_crash import initial_crash_model
+from repro.simulation.adversary import IsolationAdversary, PartitioningAdversary
+from repro.simulation.executor import ExecutionSettings, execute
+
+
+def make_run(adversary=None, n=6, f=3, dead=(), max_steps=5_000):
+    model = initial_crash_model(n, f)
+    pattern = FailurePattern.initially_dead(model.processes, dead)
+    return execute(
+        KSetInitialCrash(n, f), model, {p: p for p in model.processes},
+        adversary=adversary, failure_pattern=pattern,
+        settings=ExecutionSettings(max_steps=max_steps),
+    )
+
+
+class TestCheckers:
+    def test_agreement_ok(self):
+        run = make_run()
+        assert check_agreement(run, 1) == []
+
+    def test_agreement_violation_details(self):
+        run = make_run(adversary=PartitioningAdversary([[1, 2, 3], [4, 5, 6]]))
+        violations = check_agreement(run, 1)
+        assert violations and "2 distinct" in violations[0]
+        assert check_agreement(run, 2) == []
+
+    def test_agreement_validates_k(self):
+        with pytest.raises(ValueError):
+            check_agreement(make_run(), 0)
+
+    def test_validity_ok_and_violation(self):
+        run = make_run()
+        assert check_validity(run) == []
+        # claim different proposals: every decision becomes invalid
+        assert check_validity(run, proposals={p: f"x{p}" for p in run.processes})
+
+    def test_termination_ok(self):
+        assert check_termination(make_run()) == []
+
+    def test_termination_violation_on_truncated_run(self):
+        run = make_run(adversary=IsolationAdversary({1}), max_steps=40)
+        violations = check_termination(run)
+        assert violations and "never decided" in violations[0]
+
+
+class TestProblem:
+    def test_k_validation(self):
+        with pytest.raises(ConfigurationError):
+            KSetAgreementProblem(0)
+
+    def test_is_consensus(self):
+        assert KSetAgreementProblem(1).is_consensus
+        assert not KSetAgreementProblem(2).is_consensus
+        assert str(KSetAgreementProblem(1)) == "consensus"
+        assert str(KSetAgreementProblem(3)) == "3-set agreement"
+
+    def test_evaluate_all_ok(self):
+        report = KSetAgreementProblem(2).evaluate(make_run(dead={5, 6}))
+        assert report.all_ok
+        assert report.decided == {1, 2, 3, 4}
+        assert report.undecided_correct == frozenset()
+        assert "OK" in report.summary()
+
+    def test_evaluate_collects_violations(self):
+        run = make_run(adversary=PartitioningAdversary([[1, 2, 3], [4, 5, 6]]))
+        report = KSetAgreementProblem(1).evaluate(run)
+        assert not report.all_ok
+        assert not report.agreement_ok
+        assert report.termination_ok
+        assert "VIOLATED" in report.summary()
+
+    def test_require_raises_specific_exceptions(self):
+        run = make_run(adversary=PartitioningAdversary([[1, 2, 3], [4, 5, 6]]))
+        with pytest.raises(AgreementViolation):
+            KSetAgreementProblem(1).require(run)
+
+        truncated = make_run(adversary=IsolationAdversary({1}), max_steps=30)
+        with pytest.raises(TerminationViolation):
+            KSetAgreementProblem(2).require(truncated)
+
+        ok_run = make_run(dead={5, 6})
+        with pytest.raises(ValidityViolation):
+            KSetAgreementProblem(2).require(ok_run, proposals={p: f"x{p}" for p in ok_run.processes})
+
+    def test_require_returns_report_when_ok(self):
+        report = KSetAgreementProblem(2).require(make_run(dead={5, 6}))
+        assert report.all_ok
+
+    def test_exception_carries_run(self):
+        run = make_run(adversary=PartitioningAdversary([[1, 2, 3], [4, 5, 6]]))
+        try:
+            KSetAgreementProblem(1).require(run)
+        except AgreementViolation as violation:
+            assert violation.run is run

@@ -1,0 +1,143 @@
+"""Tests for the Fact 1 reduction and for certificates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.kset_initial_crash import KSetInitialCrash
+from repro.core.borders import theorem2_verdict, theorem8_verdict
+from repro.core.certificates import ImpossibilityCertificate, PossibilityCertificate
+from repro.core.ksetagreement import KSetAgreementProblem
+from repro.core.reduction import extract_consensus_protocol, run_extracted_consensus
+from repro.exceptions import CertificateError
+from repro.failure_detectors.base import FailurePattern
+from repro.models.initial_crash import initial_crash_model
+from repro.models.model import FailureAssumption
+from repro.models.partially_synchronous import partially_synchronous_model
+from repro.partitioning.scenarios import Theorem2Scenario
+from repro.simulation.executor import execute
+
+
+class TestReduction:
+    def test_extracted_protocol_shape(self):
+        model = partially_synchronous_model(7, 4)
+        algorithm, restricted = extract_consensus_protocol(
+            KSetInitialCrash(7, 4), model, {4, 5, 6, 7}
+        )
+        assert restricted.processes == (4, 5, 6, 7)
+        assert restricted.f == 1
+        assert algorithm.subset == {4, 5, 6, 7}
+
+    def test_extracted_protocol_custom_failures(self):
+        model = partially_synchronous_model(7, 4)
+        _algorithm, restricted = extract_consensus_protocol(
+            KSetInitialCrash(7, 4), model, {4, 5, 6, 7},
+            failures=FailureAssumption(3),
+        )
+        assert restricted.f == 3
+
+    def test_fact1_on_fair_schedule(self):
+        # On a benign schedule the extracted protocol does reach a single
+        # value — the behaviour Fact 1 says a correct k-set algorithm would
+        # have to guarantee in *every* admissible run of <D-bar>.
+        model = partially_synchronous_model(7, 4)
+        run, report = run_extracted_consensus(
+            KSetInitialCrash(7, 4), model, {4, 5, 6, 7},
+            proposals={p: p for p in model.processes},
+        )
+        assert run.completed
+        assert report.k == 1
+        assert report.all_ok
+
+    def test_fact1_breaks_under_one_crash(self):
+        # ... but with a single mid-run crash in <D-bar> the extracted
+        # protocol loses termination, which is exactly the contradiction
+        # with condition (C).
+        model = partially_synchronous_model(7, 4)
+        d_bar = (4, 5, 6, 7)
+        pattern = FailurePattern(d_bar, {4: 2})
+        run, report = run_extracted_consensus(
+            KSetInitialCrash(7, 4), model, d_bar,
+            proposals={p: p for p in model.processes},
+            failure_pattern=pattern,
+            max_steps=400,
+        )
+        assert not report.termination_ok
+
+
+class TestPossibilityCertificate:
+    def make_report(self, n=6, f=3, k=2):
+        model = initial_crash_model(n, f)
+        run = execute(KSetInitialCrash(n, f), model, {p: p for p in model.processes})
+        return KSetAgreementProblem(k).evaluate(run)
+
+    def test_verify_accepts_consistent_evidence(self):
+        claim = theorem8_verdict(6, 3, 2)
+        certificate = PossibilityCertificate(
+            claim=claim, algorithm_name="kset", reports=(self.make_report(),),
+        )
+        assert certificate.verify() is certificate
+        assert "SOLVABLE" in certificate.describe()
+
+    def test_verify_rejects_wrong_claim(self):
+        claim = theorem8_verdict(6, 4, 2)  # impossible point
+        certificate = PossibilityCertificate(
+            claim=claim, algorithm_name="kset", reports=(self.make_report(),),
+        )
+        with pytest.raises(CertificateError):
+            certificate.verify()
+
+    def test_verify_rejects_empty_or_violating_evidence(self):
+        claim = theorem8_verdict(6, 3, 2)
+        with pytest.raises(CertificateError):
+            PossibilityCertificate(claim=claim, algorithm_name="kset", reports=()).verify()
+        bad_report = self.make_report(k=1)  # may be fine; force violation below
+        if bad_report.all_ok:
+            from repro.simulation.adversary import PartitioningAdversary
+
+            model = initial_crash_model(6, 3)
+            run = execute(
+                KSetInitialCrash(6, 3), model, {p: p for p in model.processes},
+                adversary=PartitioningAdversary([[1, 2, 3], [4, 5, 6]]),
+            )
+            bad_report = KSetAgreementProblem(1).evaluate(run)
+        with pytest.raises(CertificateError):
+            PossibilityCertificate(
+                claim=theorem8_verdict(6, 3, 1) if theorem8_verdict(6, 3, 1).is_solvable else claim,
+                algorithm_name="kset",
+                reports=(bad_report,),
+            ).verify()
+
+
+class TestImpossibilityCertificate:
+    def test_verify_with_theorem1_witness(self):
+        scenario = Theorem2Scenario(n=4, f=2, k=1, max_steps=3_000)
+        witness = scenario.apply(KSetInitialCrash(4, 2))
+        claim = theorem2_verdict(4, 2, 1)
+        certificate = ImpossibilityCertificate(claim=claim, witness=witness)
+        assert certificate.verify() is certificate
+        assert "Theorem 1 witness" in certificate.describe()
+
+    def test_verify_with_constructed_violation(self):
+        from repro.simulation.adversary import PartitioningAdversary
+
+        model = initial_crash_model(6, 4)
+        run = execute(
+            KSetInitialCrash(6, 4), model, {p: p for p in model.processes},
+            adversary=PartitioningAdversary([[1, 2], [3, 4], [5, 6]]),
+        )
+        report = KSetAgreementProblem(2).evaluate(run)
+        claim = theorem8_verdict(6, 4, 2)
+        certificate = ImpossibilityCertificate(claim=claim, violation_reports=(report,))
+        assert certificate.verify() is certificate
+        assert "violation" in certificate.describe()
+
+    def test_verify_rejects_unbacked_certificate(self):
+        claim = theorem8_verdict(6, 4, 2)
+        with pytest.raises(CertificateError):
+            ImpossibilityCertificate(claim=claim).verify()
+
+    def test_verify_rejects_solvable_claim(self):
+        claim = theorem8_verdict(6, 3, 2)
+        with pytest.raises(CertificateError):
+            ImpossibilityCertificate(claim=claim).verify()

@@ -1,0 +1,129 @@
+"""Tests for :mod:`repro.failure_detectors.base`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.failure_detectors.base import FailurePattern, QueryRecord, RecordedHistory
+
+
+def pattern_strategy(max_n: int = 8):
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=1, max_value=max_n))
+        processes = tuple(range(1, n + 1))
+        faulty = draw(st.sets(st.sampled_from(processes), max_size=n))
+        crash_times = {p: draw(st.integers(min_value=0, max_value=30)) for p in faulty}
+        return FailurePattern(processes, crash_times)
+
+    return build()
+
+
+class TestFailurePatternConstruction:
+    def test_all_correct(self):
+        pattern = FailurePattern.all_correct((1, 2, 3))
+        assert pattern.faulty == frozenset()
+        assert pattern.correct == {1, 2, 3}
+
+    def test_initially_dead(self):
+        pattern = FailurePattern.initially_dead((1, 2, 3), {2})
+        assert pattern.initially_dead_set == {2}
+        assert pattern.crash_times[2] == 0
+
+    def test_unknown_process_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FailurePattern((1, 2), {3: 0})
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FailurePattern((1,), {1: -1})
+
+
+class TestFailurePatternQueries:
+    def test_crashed_at(self):
+        pattern = FailurePattern((1, 2, 3), {1: 0, 2: 5})
+        assert pattern.crashed_at(0) == {1}
+        assert pattern.crashed_at(4) == {1}
+        assert pattern.crashed_at(5) == {1, 2}
+        assert pattern.alive_at(5) == {3}
+
+    def test_is_crashed(self):
+        pattern = FailurePattern((1, 2), {2: 3})
+        assert not pattern.is_crashed(2, 2)
+        assert pattern.is_crashed(2, 3)
+        assert not pattern.is_crashed(1, 100)
+
+    def test_last_crash_time(self):
+        assert FailurePattern((1, 2), {}).last_crash_time == 0
+        assert FailurePattern((1, 2), {1: 7}).last_crash_time == 7
+
+    def test_restricted_to(self):
+        pattern = FailurePattern((1, 2, 3, 4), {1: 0, 3: 5})
+        restricted = pattern.restricted_to([1, 2])
+        assert restricted.processes == (1, 2)
+        assert restricted.faulty == {1}
+
+    def test_describe(self):
+        assert FailurePattern((1,), {}).describe() == "no failures"
+        assert "p1@init" in FailurePattern((1, 2), {1: 0}).describe()
+
+    @given(pattern_strategy(), st.integers(min_value=0, max_value=40))
+    def test_alive_and_crashed_partition(self, pattern, t):
+        assert pattern.alive_at(t) | pattern.crashed_at(t) == frozenset(pattern.processes)
+        assert pattern.alive_at(t).isdisjoint(pattern.crashed_at(t))
+
+    @given(pattern_strategy())
+    def test_correct_and_faulty_partition(self, pattern):
+        assert pattern.correct | pattern.faulty == frozenset(pattern.processes)
+        assert pattern.correct.isdisjoint(pattern.faulty)
+
+    @given(pattern_strategy(), st.integers(min_value=0, max_value=20), st.integers(min_value=0, max_value=20))
+    def test_crashed_monotone_in_time(self, pattern, t1, t2):
+        early, late = sorted((t1, t2))
+        assert pattern.crashed_at(early).issubset(pattern.crashed_at(late))
+
+
+class TestFailurePatternMerge:
+    def test_merge_disjoint(self):
+        left = FailurePattern((1, 2), {1: 0})
+        right = FailurePattern((3, 4), {4: 6})
+        merged = left.merge(right)
+        assert merged.processes == (1, 2, 3, 4)
+        assert merged.faulty == {1, 4}
+
+    def test_merge_agreeing_overlap(self):
+        left = FailurePattern((1, 2), {1: 3})
+        right = FailurePattern((1, 3), {1: 3})
+        merged = left.merge(right)
+        assert merged.crash_times[1] == 3
+
+    def test_merge_conflicting_overlap_rejected(self):
+        left = FailurePattern((1, 2), {1: 3})
+        right = FailurePattern((1, 3), {1: 5})
+        with pytest.raises(ConfigurationError):
+            left.merge(right)
+
+
+class TestRecordedHistory:
+    def test_record_and_query(self):
+        history = RecordedHistory()
+        history.record(1, 3, "a")
+        history.record(1, 5, "b")
+        history.record(2, 4, "c")
+        assert len(history) == 3
+        assert history.processes() == {1, 2}
+        assert [r.output for r in history.records_of(1)] == ["a", "b"]
+        assert history.last_output(1) == "b"
+        assert history.last_output(9) is None
+
+    def test_outputs_after(self):
+        history = RecordedHistory([QueryRecord(1, 2, "x"), QueryRecord(1, 9, "y")])
+        assert [r.output for r in history.outputs_after(5)] == ["y"]
+
+    def test_project(self):
+        history = RecordedHistory([QueryRecord(1, 1, {"sigma": {1}, "omega": {2}})])
+        sigma = history.project(lambda out: out["sigma"])
+        assert list(sigma)[0].output == {1}

@@ -1,0 +1,126 @@
+"""Tests for product detectors and the partition detector (Definition 7)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.failure_detectors.base import FailurePattern, RecordedHistory
+from repro.failure_detectors.combined import ProductDetector, sigma_omega_k
+from repro.failure_detectors.omega import OmegaK
+from repro.failure_detectors.partition import PartitionDetector
+from repro.failure_detectors.sigma import SigmaK
+from repro.failure_detectors.transformations import verify_lemma9
+
+
+class TestProductDetector:
+    def test_requires_components(self):
+        with pytest.raises(ConfigurationError):
+            ProductDetector({})
+
+    def test_output_combines_components(self):
+        pattern = FailurePattern((1, 2, 3), {})
+        detector = sigma_omega_k(2, gst=0)
+        output = detector.output(1, 1, pattern)
+        assert set(output) == {"sigma", "omega"}
+        assert output["sigma"] == {1, 2, 3}
+        assert len(output["omega"]) == 2
+
+    def test_component_access(self):
+        detector = sigma_omega_k(1)
+        assert isinstance(detector.component("sigma"), SigmaK)
+        assert isinstance(detector.component("omega"), OmegaK)
+
+    def test_name(self):
+        assert sigma_omega_k(3).name == "(Sigma_3, Omega_3)"
+
+    def test_check_history_delegates(self):
+        pattern = FailurePattern((1, 2, 3), {})
+        detector = sigma_omega_k(1, gst=0)
+        history = RecordedHistory()
+        for t in range(1, 5):
+            for p in (1, 2, 3):
+                history.record(p, t, detector.output(p, t, pattern))
+        assert detector.check_history(history, pattern) == []
+
+
+class TestPartitionDetectorConstruction:
+    def test_requires_nonempty_disjoint_blocks(self):
+        with pytest.raises(ConfigurationError):
+            PartitionDetector([])
+        with pytest.raises(ConfigurationError):
+            PartitionDetector([[]])
+        with pytest.raises(ConfigurationError):
+            PartitionDetector([[1, 2], [2, 3]])
+
+    def test_k_is_number_of_blocks(self):
+        detector = PartitionDetector([[1, 2, 3], [4], [5]])
+        assert detector.k == 3
+        assert detector.block_of(4) == {4}
+
+    def test_unknown_process_rejected(self):
+        detector = PartitionDetector([[1, 2]])
+        with pytest.raises(ConfigurationError):
+            detector.block_of(7)
+
+
+class TestPartitionDetectorOutputs:
+    def test_sigma_prime_stays_in_block(self):
+        detector = PartitionDetector([[1, 2, 3], [4, 5]], gst=0)
+        pattern = FailurePattern((1, 2, 3, 4, 5), {2: 4})
+        assert detector.output(1, 1, pattern)["sigma"] == {1, 2, 3}
+        assert detector.output(1, 9, pattern)["sigma"] == {1, 3}
+        assert detector.output(4, 1, pattern)["sigma"] == {4, 5}
+
+    def test_crashed_querier_gets_pi(self):
+        detector = PartitionDetector([[1, 2], [3]], gst=0)
+        pattern = FailurePattern((1, 2, 3), {1: 2})
+        assert detector.output(1, 5, pattern)["sigma"] == {1, 2, 3}
+
+    def test_omega_component_matches_omega_k(self):
+        detector = PartitionDetector([[1], [2], [3, 4]], gst=0)
+        pattern = FailurePattern((1, 2, 3, 4), {})
+        assert detector.output(1, 3, pattern)["omega"] == {1, 2, 3}
+
+
+class TestPartitionDetectorChecker:
+    def build_history(self, detector, pattern, horizon=6):
+        history = RecordedHistory()
+        for t in range(1, horizon):
+            for pid in pattern.processes:
+                if not pattern.is_crashed(pid, t):
+                    history.record(pid, t, detector.output(pid, t, pattern))
+        return history
+
+    def test_constructive_history_valid_for_definition7(self):
+        detector = PartitionDetector([[1, 2, 3], [4], [5]], gst=0)
+        pattern = FailurePattern((1, 2, 3, 4, 5), {3: 2})
+        history = self.build_history(detector, pattern)
+        assert detector.check_history(history, pattern) == []
+
+    def test_lemma9_partitioning_history_is_sigma_omega_history(self):
+        # The executable content of Lemma 9: every partitioning history also
+        # satisfies the (Sigma_k, Omega_k) properties.
+        detector = PartitionDetector([[1, 2, 3], [4], [5]], gst=0)
+        pattern = FailurePattern((1, 2, 3, 4, 5), {2: 3})
+        history = self.build_history(detector, pattern)
+        assert verify_lemma9(history, pattern, k=3) == []
+
+    @given(st.integers(min_value=4, max_value=8), st.integers(min_value=2, max_value=4))
+    def test_lemma9_property(self, n, k):
+        k = min(k, n - 2)
+        blocks = [list(range(1, n - k + 2))] + [[p] for p in range(n - k + 2, n + 1)]
+        detector = PartitionDetector(blocks, gst=0)
+        pattern = FailurePattern(tuple(range(1, n + 1)), {})
+        history = self.build_history(detector, pattern)
+        assert verify_lemma9(history, pattern, k=k) == []
+
+    def test_cross_block_quorum_flagged(self):
+        detector = PartitionDetector([[1, 2], [3]], gst=0)
+        pattern = FailurePattern((1, 2, 3), {})
+        history = RecordedHistory()
+        history.record(1, 1, {"sigma": frozenset({1, 3}), "omega": frozenset({1, 2})})
+        violations = detector.check_history(history, pattern)
+        assert any("leaves its block" in v for v in violations)

@@ -1,0 +1,121 @@
+"""Tests for :mod:`repro.failure_detectors.omega` (Definition 5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.failure_detectors.base import FailurePattern, QueryRecord, RecordedHistory
+from repro.failure_detectors.omega import OmegaK, check_omega_history
+
+
+class TestConfiguration:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            OmegaK(0)
+        with pytest.raises(ConfigurationError):
+            OmegaK(1, gst=-1)
+        with pytest.raises(ConfigurationError):
+            OmegaK(1, rotation_period=0)
+
+    def test_name(self):
+        assert OmegaK(1).name == "Omega"
+        assert OmegaK(2).name == "Omega_2"
+
+
+class TestFinalLeaders:
+    def test_default_is_smallest_correct(self):
+        pattern = FailurePattern((1, 2, 3, 4), {1: 0})
+        assert OmegaK(2).final_leaders(pattern) == {2, 3}
+
+    def test_padded_with_faulty_when_needed(self):
+        pattern = FailurePattern((1, 2, 3), {1: 0, 2: 0})
+        assert OmegaK(2).final_leaders(pattern) == {3, 1}
+
+    def test_explicit_leaders_validated(self):
+        pattern = FailurePattern((1, 2, 3), {3: 0})
+        detector = OmegaK(2, leaders={1, 2})
+        assert detector.final_leaders(pattern) == {1, 2}
+        with pytest.raises(ConfigurationError):
+            OmegaK(1, leaders={1, 2}).final_leaders(pattern)
+        with pytest.raises(ConfigurationError):
+            OmegaK(1, leaders={9}).final_leaders(pattern)
+        with pytest.raises(ConfigurationError):
+            OmegaK(1, leaders={3}).final_leaders(pattern)  # only faulty member
+
+    def test_too_few_processes(self):
+        pattern = FailurePattern((1, 2), {})
+        with pytest.raises(ConfigurationError):
+            OmegaK(3).final_leaders(pattern)
+
+
+class TestOutputs:
+    def test_stable_after_gst(self):
+        pattern = FailurePattern((1, 2, 3), {})
+        detector = OmegaK(1, gst=10)
+        outputs = {detector.output(p, t, pattern) for p in (1, 2, 3) for t in (10, 20, 99)}
+        assert outputs == {frozenset({1})}
+
+    def test_rotates_before_gst(self):
+        pattern = FailurePattern((1, 2, 3, 4), {})
+        detector = OmegaK(2, gst=100, rotation_period=1)
+        early = {detector.output(1, t, pattern) for t in range(0, 8)}
+        assert len(early) > 1
+        assert all(len(o) == 2 for o in early)
+
+    def test_output_size_always_k(self):
+        pattern = FailurePattern((1, 2, 3, 4, 5), {2: 0})
+        detector = OmegaK(3, gst=5)
+        for t in range(0, 12):
+            assert len(detector.output(1, t, pattern)) == 3
+
+
+class TestChecker:
+    def record_history(self, detector, pattern, queries):
+        history = RecordedHistory()
+        for pid, t in queries:
+            history.record(pid, t, detector.output(pid, t, pattern))
+        return history
+
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=10),
+    )
+    def test_constructive_histories_are_valid(self, n, k, gst):
+        k = min(k, n - 1)
+        pattern = FailurePattern(tuple(range(1, n + 1)), {})
+        detector = OmegaK(k, gst=gst)
+        queries = [(p, t) for p in range(1, n + 1) for t in range(gst, gst + 4)]
+        history = self.record_history(detector, pattern, queries)
+        assert detector.check_history(history, pattern) == []
+
+    def test_validity_violation_detected(self):
+        pattern = FailurePattern((1, 2, 3), {})
+        history = RecordedHistory([QueryRecord(1, 1, frozenset({1, 2}))])
+        violations = check_omega_history(history, pattern, k=1)
+        assert any("validity" in v for v in violations)
+
+    def test_unknown_process_in_output(self):
+        pattern = FailurePattern((1, 2), {})
+        history = RecordedHistory([QueryRecord(1, 1, frozenset({9}))])
+        assert check_omega_history(history, pattern, k=1)
+
+    def test_leadership_violation_when_final_set_faulty(self):
+        pattern = FailurePattern((1, 2, 3), {3: 0})
+        history = RecordedHistory(
+            [QueryRecord(1, 5, frozenset({3})), QueryRecord(2, 6, frozenset({3}))]
+        )
+        violations = check_omega_history(history, pattern, k=1)
+        assert any("leadership" in v for v in violations)
+
+    def test_non_set_output_flagged(self):
+        pattern = FailurePattern((1, 2), {})
+        history = RecordedHistory([QueryRecord(1, 1, 42)])
+        assert check_omega_history(history, pattern, k=1)
+
+    def test_empty_history_is_fine(self):
+        pattern = FailurePattern((1, 2), {})
+        assert check_omega_history(RecordedHistory(), pattern, k=1) == []

@@ -1,0 +1,138 @@
+"""Tests for P, <>P, the loneliness detector, transformations and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.failure_detectors.base import FailurePattern, QueryRecord, RecordedHistory
+from repro.failure_detectors.loneliness import LonelinessDetector
+from repro.failure_detectors.perfect import EventuallyPerfectDetector, PerfectDetector
+from repro.failure_detectors.registry import (
+    available_detectors,
+    make_detector,
+    register_detector,
+)
+from repro.failure_detectors.sigma import SigmaK
+from repro.failure_detectors.transformations import identity_transformation
+
+
+def record_all(detector, pattern, horizon=8):
+    history = RecordedHistory()
+    for t in range(1, horizon):
+        for pid in pattern.processes:
+            history.record(pid, t, detector.output(pid, t, pattern))
+    return history
+
+
+class TestPerfectDetector:
+    def test_output_is_crashed_set(self):
+        pattern = FailurePattern((1, 2, 3), {2: 4})
+        detector = PerfectDetector()
+        assert detector.output(1, 3, pattern) == frozenset()
+        assert detector.output(1, 4, pattern) == {2}
+
+    def test_constructive_history_valid(self):
+        pattern = FailurePattern((1, 2, 3), {2: 4})
+        detector = PerfectDetector()
+        assert detector.check_history(record_all(detector, pattern), pattern) == []
+
+    def test_premature_suspicion_flagged(self):
+        pattern = FailurePattern((1, 2), {})
+        history = RecordedHistory([QueryRecord(1, 1, frozenset({2}))])
+        assert any("accuracy" in v for v in PerfectDetector().check_history(history, pattern))
+
+    def test_missing_suspicion_flagged(self):
+        pattern = FailurePattern((1, 2), {2: 1})
+        history = RecordedHistory([QueryRecord(1, 5, frozenset())])
+        assert any("completeness" in v for v in PerfectDetector().check_history(history, pattern))
+
+
+class TestEventuallyPerfect:
+    def test_wrong_before_gst_right_after(self):
+        pattern = FailurePattern((1, 2, 3), {})
+        detector = EventuallyPerfectDetector(gst=5)
+        assert detector.output(1, 1, pattern) == {2, 3}
+        assert detector.output(1, 5, pattern) == frozenset()
+
+    def test_constructive_history_valid(self):
+        pattern = FailurePattern((1, 2, 3), {3: 2})
+        detector = EventuallyPerfectDetector(gst=4)
+        assert detector.check_history(record_all(detector, pattern, 10), pattern) == []
+
+    def test_gst_validation(self):
+        with pytest.raises(ConfigurationError):
+            EventuallyPerfectDetector(gst=-1)
+
+    def test_late_mistake_flagged(self):
+        pattern = FailurePattern((1, 2), {})
+        detector = EventuallyPerfectDetector(gst=0)
+        history = RecordedHistory([QueryRecord(1, 9, frozenset({2}))])
+        assert detector.check_history(history, pattern)
+
+
+class TestLoneliness:
+    def test_true_only_when_alone(self):
+        pattern = FailurePattern((1, 2, 3), {2: 0, 3: 4})
+        detector = LonelinessDetector()
+        assert detector.output(1, 2, pattern) is False
+        assert detector.output(1, 4, pattern) is True
+
+    def test_constructive_history_valid(self):
+        pattern = FailurePattern((1, 2, 3), {2: 0, 3: 4})
+        detector = LonelinessDetector()
+        assert detector.check_history(record_all(detector, pattern), pattern) == []
+
+    def test_safety_violation_flagged(self):
+        pattern = FailurePattern((1, 2), {})
+        history = RecordedHistory([QueryRecord(1, 1, True), QueryRecord(2, 2, True)])
+        assert any("safety" in v for v in LonelinessDetector().check_history(history, pattern))
+
+    def test_liveness_violation_flagged(self):
+        pattern = FailurePattern((1, 2), {2: 1})
+        history = RecordedHistory([QueryRecord(1, 5, False)])
+        assert any("liveness" in v for v in LonelinessDetector().check_history(history, pattern))
+
+
+class TestTransformations:
+    def test_identity_transformation_passes_through(self):
+        transformation = identity_transformation(
+            "noop", "X", "Y", verify=lambda history, pattern: []
+        )
+        history = RecordedHistory([QueryRecord(1, 1, "anything")])
+        pattern = FailurePattern((1,), {})
+        assert transformation.emulate(history, pattern) is history
+        assert transformation.apply_and_verify(history, pattern) == []
+
+    def test_verification_failures_surface(self):
+        transformation = identity_transformation(
+            "bad", "X", "Y", verify=lambda history, pattern: ["broken"]
+        )
+        assert transformation.apply_and_verify(
+            RecordedHistory(), FailurePattern((1,), {})
+        ) == ["broken"]
+
+
+class TestRegistry:
+    def test_available_names(self):
+        names = available_detectors()
+        assert "sigma_k" in names and "partition" in names and "loneliness" in names
+
+    def test_make_detector(self):
+        assert make_detector("sigma_k", k=2).name == "Sigma_2"
+        assert make_detector("omega_k", k=2, gst=3).gst == 3
+        assert make_detector("sigma_omega_k", k=2).name == "(Sigma_2, Omega_2)"
+        assert make_detector("partition", blocks=[[1, 2], [3]]).k == 2
+        assert make_detector("perfect").name == "P"
+        assert make_detector("eventually_perfect", gst=4).gst == 4
+        assert make_detector("loneliness").name == "L"
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_detector("does-not-exist")
+
+    def test_register_custom_and_reject_duplicates(self):
+        register_detector("custom-sigma-test", lambda **kw: SigmaK(1))
+        assert make_detector("custom-sigma-test").name == "Sigma"
+        with pytest.raises(ConfigurationError):
+            register_detector("custom-sigma-test", lambda **kw: SigmaK(1))

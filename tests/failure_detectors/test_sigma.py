@@ -1,0 +1,124 @@
+"""Tests for :mod:`repro.failure_detectors.sigma` (Definition 4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.failure_detectors.base import FailurePattern, QueryRecord, RecordedHistory
+from repro.failure_detectors.sigma import SigmaK, check_sigma_history
+
+
+def pattern_and_queries(max_n: int = 6):
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=2, max_value=max_n))
+        processes = tuple(range(1, n + 1))
+        faulty = draw(st.sets(st.sampled_from(processes), max_size=n - 1))
+        crash_times = {p: draw(st.integers(min_value=0, max_value=15)) for p in faulty}
+        pattern = FailurePattern(processes, crash_times)
+        queries = draw(
+            st.lists(
+                st.tuples(st.sampled_from(processes), st.integers(min_value=1, max_value=40)),
+                min_size=1,
+                max_size=25,
+            )
+        )
+        return pattern, queries
+
+    return build()
+
+
+class TestSigmaOutputs:
+    def test_k_validation(self):
+        with pytest.raises(ConfigurationError):
+            SigmaK(0)
+
+    def test_name(self):
+        assert SigmaK(1).name == "Sigma"
+        assert SigmaK(3).name == "Sigma_3"
+
+    def test_output_is_alive_set(self):
+        pattern = FailurePattern((1, 2, 3), {3: 5})
+        detector = SigmaK(2)
+        assert detector.output(1, 2, pattern) == {1, 2, 3}
+        assert detector.output(1, 6, pattern) == {1, 2}
+
+    def test_crashed_querier_gets_full_set(self):
+        pattern = FailurePattern((1, 2, 3), {1: 2})
+        assert SigmaK(1).output(1, 4, pattern) == {1, 2, 3}
+
+    def test_singleton_when_alone(self):
+        pattern = FailurePattern((1, 2, 3), {1: 0, 2: 0})
+        assert SigmaK(2).output(3, 1, pattern) == {3}
+
+
+class TestSigmaChecker:
+    def make_history(self, detector, pattern, queries):
+        history = RecordedHistory()
+        for pid, t in queries:
+            history.record(pid, t, detector.output(pid, t, pattern))
+        return history
+
+    @given(pattern_and_queries(), st.integers(min_value=1, max_value=4))
+    def test_constructive_histories_are_valid(self, data, k):
+        pattern, queries = data
+        detector = SigmaK(k)
+        history = self.make_history(detector, pattern, queries)
+        assert detector.check_history(history, pattern) == []
+
+    def test_disjoint_singletons_violate_intersection(self):
+        pattern = FailurePattern.all_correct((1, 2, 3))
+        history = RecordedHistory(
+            [
+                QueryRecord(1, 1, frozenset({1})),
+                QueryRecord(2, 2, frozenset({2})),
+                QueryRecord(3, 3, frozenset({3})),
+            ]
+        )
+        violations = check_sigma_history(history, pattern, k=2)
+        assert any("intersection" in v for v in violations)
+
+    def test_pairwise_disjoint_required_for_violation(self):
+        # With k = 2 and three queriers, two intersecting quorums suffice.
+        pattern = FailurePattern.all_correct((1, 2, 3))
+        history = RecordedHistory(
+            [
+                QueryRecord(1, 1, frozenset({1, 2})),
+                QueryRecord(2, 2, frozenset({2})),
+                QueryRecord(3, 3, frozenset({3})),
+            ]
+        )
+        assert check_sigma_history(history, pattern, k=2) == []
+
+    def test_k1_requires_every_pair_to_intersect(self):
+        pattern = FailurePattern.all_correct((1, 2))
+        history = RecordedHistory(
+            [QueryRecord(1, 1, frozenset({1})), QueryRecord(2, 2, frozenset({2}))]
+        )
+        assert check_sigma_history(history, pattern, k=1)
+
+    def test_liveness_violation_detected(self):
+        pattern = FailurePattern((1, 2, 3), {3: 2})
+        history = RecordedHistory(
+            [QueryRecord(1, 10, frozenset({1, 3}))]  # trusts crashed p3 after t=2
+        )
+        violations = check_sigma_history(history, pattern, k=1)
+        assert any("liveness" in v for v in violations)
+
+    def test_liveness_allows_trusting_before_crash(self):
+        pattern = FailurePattern((1, 2, 3), {3: 20})
+        history = RecordedHistory([QueryRecord(1, 10, frozenset({1, 2, 3}))])
+        assert check_sigma_history(history, pattern, k=1) == []
+
+    def test_non_set_output_flagged(self):
+        pattern = FailurePattern.all_correct((1, 2))
+        history = RecordedHistory([QueryRecord(1, 1, "not a set")])
+        assert check_sigma_history(history, pattern, k=1)
+
+    def test_invalid_k_rejected(self):
+        pattern = FailurePattern.all_correct((1,))
+        with pytest.raises(ConfigurationError):
+            check_sigma_history(RecordedHistory(), pattern, k=0)

@@ -1,0 +1,119 @@
+"""Tests for :mod:`repro.graphs.components`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs.components import (
+    condensation,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from repro.graphs.digraph import DiGraph
+
+networkx = pytest.importorskip("networkx", reason="networkx used only for cross-checks")
+
+
+def edges_strategy(max_nodes: int = 9):
+    node = st.integers(min_value=1, max_value=max_nodes)
+    return st.lists(st.tuples(node, node), max_size=40)
+
+
+class TestStronglyConnectedComponents:
+    def test_empty_graph(self):
+        assert strongly_connected_components(DiGraph()) == ()
+
+    def test_single_node(self):
+        assert strongly_connected_components(DiGraph(nodes=[1])) == (frozenset({1}),)
+
+    def test_cycle_is_one_component(self):
+        graph = DiGraph([(1, 2), (2, 3), (3, 1)])
+        assert strongly_connected_components(graph) == (frozenset({1, 2, 3}),)
+
+    def test_chain_is_singletons(self):
+        graph = DiGraph([(1, 2), (2, 3)])
+        components = strongly_connected_components(graph)
+        assert set(components) == {frozenset({1}), frozenset({2}), frozenset({3})}
+
+    def test_two_cycles_bridge(self):
+        graph = DiGraph([(1, 2), (2, 1), (2, 3), (3, 4), (4, 3)])
+        components = set(strongly_connected_components(graph))
+        assert components == {frozenset({1, 2}), frozenset({3, 4})}
+
+    def test_deep_chain_does_not_recurse(self):
+        # An iterative implementation must handle paths longer than the
+        # default Python recursion limit.
+        edges = [(i, i + 1) for i in range(1, 3000)]
+        graph = DiGraph(edges)
+        assert len(strongly_connected_components(graph)) == 3000
+
+    @given(edges_strategy())
+    def test_matches_networkx(self, edges):
+        graph = DiGraph(edges)
+        ours = {frozenset(c) for c in strongly_connected_components(graph)}
+        nx_graph = networkx.DiGraph()
+        nx_graph.add_nodes_from(graph.nodes)
+        nx_graph.add_edges_from(graph.edges)
+        theirs = {frozenset(c) for c in networkx.strongly_connected_components(nx_graph)}
+        assert ours == theirs
+
+    @given(edges_strategy())
+    def test_components_partition_nodes(self, edges):
+        graph = DiGraph(edges)
+        components = strongly_connected_components(graph)
+        seen = [node for component in components for node in component]
+        assert sorted(seen) == sorted(graph.nodes)
+        assert len(seen) == len(set(seen))
+
+
+class TestWeaklyConnectedComponents:
+    def test_disconnected(self):
+        graph = DiGraph([(1, 2), (3, 4)])
+        assert set(weakly_connected_components(graph)) == {
+            frozenset({1, 2}),
+            frozenset({3, 4}),
+        }
+
+    def test_direction_is_ignored(self):
+        graph = DiGraph([(1, 2), (3, 2)])
+        assert weakly_connected_components(graph) == (frozenset({1, 2, 3}),)
+
+    @given(edges_strategy())
+    def test_matches_networkx(self, edges):
+        graph = DiGraph(edges)
+        ours = {frozenset(c) for c in weakly_connected_components(graph)}
+        nx_graph = networkx.DiGraph()
+        nx_graph.add_nodes_from(graph.nodes)
+        nx_graph.add_edges_from(graph.edges)
+        theirs = {frozenset(c) for c in networkx.weakly_connected_components(nx_graph)}
+        assert ours == theirs
+
+
+class TestCondensation:
+    def test_is_dag(self):
+        graph = DiGraph([(1, 2), (2, 1), (2, 3), (3, 4), (4, 3), (4, 1)])
+        # 4 -> 1 merges everything into one component.
+        dag, membership = condensation(graph)
+        assert len(dag) == 1
+        assert membership[1] == frozenset({1, 2, 3, 4})
+
+    def test_edges_between_components(self):
+        graph = DiGraph([(1, 2), (2, 1), (2, 3)])
+        dag, membership = condensation(graph)
+        assert dag.has_edge(membership[1], membership[3])
+
+    @given(edges_strategy())
+    def test_condensation_is_acyclic(self, edges):
+        graph = DiGraph(edges)
+        dag, _membership = condensation(graph)
+        # A DAG's strongly connected components are all singletons.
+        assert all(len(c) == 1 for c in strongly_connected_components(dag))
+
+    @given(edges_strategy())
+    def test_membership_consistent(self, edges):
+        graph = DiGraph(edges)
+        _dag, membership = condensation(graph)
+        for node in graph.nodes:
+            assert node in membership[node]

@@ -1,0 +1,127 @@
+"""Tests for :mod:`repro.graphs.digraph`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs.digraph import DiGraph
+
+
+def edges_strategy(max_nodes: int = 8):
+    node = st.integers(min_value=1, max_value=max_nodes)
+    return st.lists(st.tuples(node, node), max_size=30)
+
+
+class TestConstruction:
+    def test_empty(self):
+        graph = DiGraph()
+        assert len(graph) == 0
+        assert graph.edges == ()
+
+    def test_add_edge_creates_nodes(self):
+        graph = DiGraph()
+        graph.add_edge(1, 2)
+        assert set(graph.nodes) == {1, 2}
+        assert graph.has_edge(1, 2)
+        assert not graph.has_edge(2, 1)
+
+    def test_no_parallel_edges(self):
+        graph = DiGraph([(1, 2), (1, 2)])
+        assert graph.number_of_edges() == 1
+
+    def test_self_loop_allowed(self):
+        graph = DiGraph([(1, 1)])
+        assert graph.has_edge(1, 1)
+        assert graph.in_degree(1) == 1
+
+    def test_isolated_nodes(self):
+        graph = DiGraph(nodes=[1, 2, 3])
+        assert len(graph) == 3
+        assert graph.number_of_edges() == 0
+
+
+class TestQueries:
+    def test_degrees(self):
+        graph = DiGraph([(1, 2), (3, 2), (2, 4)])
+        assert graph.in_degree(2) == 2
+        assert graph.out_degree(2) == 1
+        assert graph.in_degree(1) == 0
+
+    def test_successors_predecessors(self):
+        graph = DiGraph([(1, 2), (1, 3), (3, 2)])
+        assert set(graph.successors(1)) == {2, 3}
+        assert set(graph.predecessors(2)) == {1, 3}
+
+    def test_undirected_neighbours(self):
+        graph = DiGraph([(1, 2), (3, 1)])
+        assert set(graph.undirected_neighbours(1)) == {2, 3}
+
+    def test_contains(self):
+        graph = DiGraph([(1, 2)])
+        assert 1 in graph and 5 not in graph
+
+
+class TestMutation:
+    def test_remove_node(self):
+        graph = DiGraph([(1, 2), (2, 3), (3, 1)])
+        graph.remove_node(2)
+        assert 2 not in graph
+        assert graph.edges == ((3, 1),)
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            DiGraph().remove_node(1)
+
+
+class TestDerivedGraphs:
+    def test_subgraph(self):
+        graph = DiGraph([(1, 2), (2, 3), (3, 4)])
+        sub = graph.subgraph([2, 3])
+        assert set(sub.nodes) == {2, 3}
+        assert sub.edges == ((2, 3),)
+
+    def test_subgraph_ignores_unknown(self):
+        graph = DiGraph([(1, 2)])
+        sub = graph.subgraph([1, 99])
+        assert set(sub.nodes) == {1}
+
+    def test_reverse(self):
+        graph = DiGraph([(1, 2), (2, 3)])
+        rev = graph.reverse()
+        assert rev.has_edge(2, 1) and rev.has_edge(3, 2)
+        assert not rev.has_edge(1, 2)
+
+    def test_copy_is_independent(self):
+        graph = DiGraph([(1, 2)])
+        clone = graph.copy()
+        clone.add_edge(2, 3)
+        assert not graph.has_edge(2, 3)
+
+    def test_equality(self):
+        assert DiGraph([(1, 2)]) == DiGraph([(1, 2)])
+        assert DiGraph([(1, 2)]) != DiGraph([(2, 1)])
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(DiGraph())
+
+
+class TestProperties:
+    @given(edges_strategy())
+    def test_degree_sums_match_edge_count(self, edges):
+        graph = DiGraph(edges)
+        total_in = sum(graph.in_degree(v) for v in graph.nodes)
+        total_out = sum(graph.out_degree(v) for v in graph.nodes)
+        assert total_in == total_out == graph.number_of_edges()
+
+    @given(edges_strategy())
+    def test_reverse_twice_is_identity(self, edges):
+        graph = DiGraph(edges)
+        assert graph.reverse().reverse() == graph
+
+    @given(edges_strategy())
+    def test_subgraph_of_all_nodes_is_same(self, edges):
+        graph = DiGraph(edges)
+        assert graph.subgraph(graph.nodes) == graph

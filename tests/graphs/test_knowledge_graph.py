@@ -1,0 +1,96 @@
+"""Tests for :mod:`repro.graphs.knowledge_graph`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.knowledge_graph import KnowledgeGraph
+
+
+class TestRecording:
+    def test_record_and_query(self):
+        view = KnowledgeGraph(owner=1)
+        view.record(1, [2, 3], "a")
+        assert view.known_processes == {1}
+        assert view.values[1] == "a"
+
+    def test_conflicting_report_rejected(self):
+        view = KnowledgeGraph(owner=1)
+        view.record(2, [1], "b")
+        with pytest.raises(ValueError):
+            view.record(2, [3], "b")
+
+    def test_identical_report_is_idempotent(self):
+        view = KnowledgeGraph(owner=1)
+        view.record(2, [1], "b")
+        view.record(2, [1], "b")
+        assert view.known_processes == {2}
+
+
+class TestClosure:
+    def test_missing_own_report(self):
+        view = KnowledgeGraph(owner=1)
+        assert not view.is_complete() or view.required_processes() == {1}
+        # Without the owner's own report the graph has no node for the owner.
+        assert view.decision_component() is None or 1 in view.heard_from
+
+    def test_requires_transitive_reports(self):
+        view = KnowledgeGraph(owner=1)
+        view.record(1, [2], "a")
+        assert view.missing_processes() == {2}
+        view.record(2, [3], "b")
+        assert view.missing_processes() == {3}
+        view.record(3, [2], "c")
+        assert view.is_complete()
+
+    def test_required_ignores_unrelated(self):
+        view = KnowledgeGraph(owner=1)
+        view.record(1, [2], "a")
+        view.record(2, [1], "b")
+        view.record(9, [8], "z")
+        assert view.required_processes() == {1, 2}
+        assert view.is_complete()
+
+
+class TestDecision:
+    def test_decision_none_until_complete(self):
+        view = KnowledgeGraph(owner=1)
+        view.record(1, [2], "a")
+        assert view.decision_value() is None
+
+    def test_decision_minimum_id_of_source_component(self):
+        view = KnowledgeGraph(owner=3)
+        view.record(1, [2], "v1")
+        view.record(2, [1], "v2")
+        view.record(3, [1, 2], "v3")
+        assert view.decision_component() == frozenset({1, 2})
+        assert view.decision_value() == "v1"
+
+    def test_decision_deterministic_across_owners(self):
+        reports = {1: ([2], "v1"), 2: ([1], "v2"), 3: ([1, 2], "v3"), 4: ([1, 2], "v4")}
+        decisions = set()
+        for owner in reports:
+            view = KnowledgeGraph(owner=owner)
+            for process, (preds, value) in reports.items():
+                view.record(process, preds, value)
+            decisions.add(view.decision_value())
+        assert decisions == {"v1"}
+
+    def test_two_source_components_give_two_decisions(self):
+        # Group {1,2} and group {3,4} never heard from each other.
+        reports = {1: ([2], "v1"), 2: ([1], "v2"), 3: ([4], "v3"), 4: ([3], "v4")}
+        values = set()
+        for owner in reports:
+            view = KnowledgeGraph(owner=owner)
+            for process, (preds, value) in reports.items():
+                view.record(process, preds, value)
+            values.add(view.decision_value())
+        assert values == {"v1", "v3"}
+
+    def test_summary(self):
+        view = KnowledgeGraph(owner=2)
+        view.record(2, [1], "b")
+        summary = view.summary()
+        assert summary["owner"] == 2
+        assert summary["complete"] is False
+        assert summary["missing"] == (1,)

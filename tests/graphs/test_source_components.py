@@ -1,0 +1,167 @@
+"""Tests for :mod:`repro.graphs.source_components` (Lemma 6 / Lemma 7)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.source_components import (
+    initial_cliques,
+    lemma6_bound,
+    min_in_degree,
+    reachable_source_components,
+    source_component_of,
+    source_components,
+    verify_lemma6,
+    verify_lemma7,
+)
+
+
+def random_min_indegree_graph(n: int, delta: int, seed: int) -> DiGraph:
+    """A random simple digraph on 1..n where every vertex has in-degree >= delta."""
+    rng = random.Random(seed)
+    graph = DiGraph(nodes=range(1, n + 1))
+    for v in range(1, n + 1):
+        candidates = [u for u in range(1, n + 1) if u != v]
+        for u in rng.sample(candidates, delta):
+            graph.add_edge(u, v)
+    # sprinkle extra edges
+    for _ in range(n):
+        u, v = rng.randrange(1, n + 1), rng.randrange(1, n + 1)
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+class TestSourceComponents:
+    def test_empty(self):
+        assert source_components(DiGraph()) == ()
+
+    def test_single_cycle_is_source(self):
+        graph = DiGraph([(1, 2), (2, 1), (2, 3)])
+        assert source_components(graph) == (frozenset({1, 2}),)
+
+    def test_two_sources(self):
+        graph = DiGraph([(1, 2), (2, 1), (3, 4), (4, 3), (2, 5), (4, 5)])
+        assert set(source_components(graph)) == {frozenset({1, 2}), frozenset({3, 4})}
+
+    def test_singleton_source(self):
+        graph = DiGraph([(1, 2), (2, 3)])
+        assert source_components(graph) == (frozenset({1}),)
+
+    def test_source_components_have_no_incoming_edges(self):
+        graph = random_min_indegree_graph(12, 2, seed=1)
+        for component in source_components(graph):
+            for node in component:
+                assert set(graph.predecessors(node)).issubset(component)
+
+
+class TestReachability:
+    def test_source_component_of_member(self):
+        graph = DiGraph([(1, 2), (2, 1), (2, 3)])
+        assert source_component_of(graph, 1) == frozenset({1, 2})
+
+    def test_source_component_of_downstream(self):
+        graph = DiGraph([(1, 2), (2, 1), (2, 3)])
+        assert source_component_of(graph, 3) == frozenset({1, 2})
+
+    def test_unknown_node(self):
+        assert source_component_of(DiGraph([(1, 2)]), 99) is None
+
+    def test_multiple_reaching_sources(self):
+        graph = DiGraph([(1, 3), (2, 3)])
+        reaching = reachable_source_components(graph, 3)
+        assert set(reaching) == {frozenset({1}), frozenset({2})}
+
+    def test_every_node_reached_by_some_source(self):
+        graph = random_min_indegree_graph(15, 3, seed=7)
+        for node in graph.nodes:
+            assert reachable_source_components(graph, node)
+
+
+class TestLemma6:
+    def test_bound_function(self):
+        assert lemma6_bound(10, 4) == 2
+        assert lemma6_bound(6, 2) == 2
+        assert lemma6_bound(5, 0) == 5
+
+    def test_bound_rejects_negative(self):
+        with pytest.raises(ValueError):
+            lemma6_bound(-1, 2)
+        with pytest.raises(ValueError):
+            lemma6_bound(3, -1)
+
+    def test_complete_graph(self):
+        n = 5
+        graph = DiGraph([(u, v) for u in range(1, n + 1) for v in range(1, n + 1) if u != v])
+        evidence = verify_lemma6(graph)
+        assert evidence["delta"] == n - 1
+        assert evidence["holds"]
+        assert evidence["count"] == 1
+
+    @pytest.mark.parametrize("n,delta,seed", [(6, 1, 0), (10, 2, 1), (12, 3, 2), (20, 4, 3), (30, 5, 4)])
+    def test_random_graphs_satisfy_lemma6(self, n, delta, seed):
+        graph = random_min_indegree_graph(n, delta, seed)
+        assert min_in_degree(graph) >= delta
+        evidence = verify_lemma6(graph)
+        assert evidence["holds"], evidence
+        assert evidence["largest_source_size"] >= delta + 1
+        assert evidence["count"] <= lemma6_bound(n, delta)
+
+    @given(
+        st.integers(min_value=2, max_value=12),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_lemma6_property(self, n, delta, seed):
+        delta = min(delta, n - 1)
+        graph = random_min_indegree_graph(n, delta, seed)
+        evidence = verify_lemma6(graph)
+        assert evidence["holds"]
+        # The number of source components never exceeds floor(n / (delta+1)).
+        assert evidence["count"] <= max(n // (delta + 1), 1)
+
+
+class TestLemma7:
+    def test_disconnected_components_each_have_source(self):
+        left = [(1, 2), (2, 1)]
+        right = [(3, 4), (4, 5), (5, 3)]
+        graph = DiGraph(left + right)
+        report = verify_lemma7(graph)
+        assert report["holds"]
+        assert len(report["components"]) == 2
+
+    @given(
+        st.integers(min_value=2, max_value=10),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_lemma7_property(self, n, seed):
+        delta = max(1, n // 4)
+        graph = random_min_indegree_graph(n, min(delta, n - 1), seed)
+        assert verify_lemma7(graph)["holds"]
+
+
+class TestInitialCliques:
+    def test_complete_source_is_clique(self):
+        graph = DiGraph([(1, 2), (2, 1), (1, 3), (2, 3)])
+        assert initial_cliques(graph) == (frozenset({1, 2}),)
+
+    def test_non_clique_source_excluded(self):
+        # {1,2,3} strongly connected via a cycle but not a complete clique.
+        graph = DiGraph([(1, 2), (2, 3), (3, 1), (3, 4)])
+        assert initial_cliques(graph) == ()
+
+    def test_majority_threshold_gives_single_clique(self):
+        # Emulate an FLP stage-1 graph with L-1 = 3 of n = 5: everyone heard
+        # from the first four processes.
+        graph = DiGraph(nodes=range(1, 6))
+        for receiver in range(1, 6):
+            for sender in range(1, 5):
+                if sender != receiver:
+                    graph.add_edge(sender, receiver)
+        cliques = initial_cliques(graph)
+        assert cliques == (frozenset({1, 2, 3, 4}),)

@@ -1,0 +1,113 @@
+"""End-to-end integration tests: one per reproduced theorem.
+
+Each test assembles the full pipeline the corresponding benchmark runs —
+closed-form verdict, proof-scenario construction, simulation, certificate —
+and checks that the pieces agree, which is the library-level statement of
+"the paper's result is reproduced".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    FlawedQuorumKSet,
+    ImpossibilityCertificate,
+    KSetAgreementProblem,
+    KSetInitialCrash,
+    PossibilityCertificate,
+    SigmaK,
+    SigmaKSetAgreement,
+    SigmaOmegaConsensus,
+    Theorem2Scenario,
+    Theorem8BorderScenario,
+    Theorem10Scenario,
+    asynchronous_model,
+    corollary13_verdict,
+    execute,
+    sigma_omega_k,
+    theorem2_verdict,
+    theorem8_verdict,
+)
+from repro.analysis.border_sweep import observe_impossible, observe_solvable
+
+
+class TestTheorem2EndToEnd:
+    @pytest.mark.parametrize("n,f,k", [(4, 2, 1), (7, 4, 2), (10, 7, 3)])
+    def test_impossible_points_fully_witnessed(self, n, f, k):
+        claim = theorem2_verdict(n, f, k)
+        assert claim.is_impossible
+        scenario = Theorem2Scenario(n=n, f=f, k=k, max_steps=8_000)
+        witness = scenario.apply(KSetInitialCrash(n, f))
+        assert witness.holds
+        _run, report = scenario.crash_during_run_report(
+            KSetInitialCrash(n, f)
+        )
+        certificate = ImpossibilityCertificate(
+            claim=claim, witness=witness, violation_reports=(report,)
+        )
+        certificate.verify()
+
+
+class TestTheorem8EndToEnd:
+    @pytest.mark.parametrize("n,f,k", [(5, 2, 1), (6, 3, 2), (7, 5, 3)])
+    def test_solvable_points_certified(self, n, f, k):
+        claim = theorem8_verdict(n, f, k)
+        assert claim.is_solvable
+        ok, reports = observe_solvable(n, f, k, seeds=(1,), max_steps=8_000)
+        assert ok
+        PossibilityCertificate(
+            claim=claim,
+            algorithm_name=f"kset-initial-crash(n={n}, f={f})",
+            reports=tuple(reports),
+        ).verify()
+
+    @pytest.mark.parametrize("n,f,k", [(4, 2, 1), (6, 4, 2), (8, 6, 3)])
+    def test_impossible_points_certified(self, n, f, k):
+        claim = theorem8_verdict(n, f, k)
+        assert claim.is_impossible
+        violated, report = observe_impossible(n, f, k, max_steps=8_000)
+        assert violated
+        ImpossibilityCertificate(claim=claim, violation_reports=(report,)).verify()
+
+    def test_border_case_pasting(self):
+        scenario = Theorem8BorderScenario(n=6, f=4, k=2)
+        pasted, check = scenario.pasted_run(KSetInitialCrash(6, 4))
+        assert check["holds"]
+        assert check["distinct_decisions"] == 3
+
+
+class TestTheorem10AndCorollary13EndToEnd:
+    def test_impossible_region_witnessed(self):
+        n, k = 7, 3
+        claim = corollary13_verdict(n, k)
+        assert claim.is_impossible
+        scenario = Theorem10Scenario(n=n, k=k)
+        witness = scenario.apply(FlawedQuorumKSet(n, k))
+        run, report = scenario.violation_run(FlawedQuorumKSet(n, k))
+        assert len(run.distinct_decisions()) > k
+        ImpossibilityCertificate(
+            claim=claim, witness=witness, violation_reports=(report,)
+        ).verify()
+
+    def test_k_equals_one_solvable(self):
+        n = 6
+        claim = corollary13_verdict(n, 1)
+        assert claim.is_solvable
+        model = asynchronous_model(n, n - 1, failure_detector=sigma_omega_k(1, gst=0))
+        run = execute(SigmaOmegaConsensus(n), model, {p: p for p in model.processes})
+        report = KSetAgreementProblem(1).evaluate(run)
+        PossibilityCertificate(
+            claim=claim, algorithm_name="sigma-omega-consensus", reports=(report,)
+        ).verify()
+
+    def test_k_equals_n_minus_one_solvable(self):
+        n = 6
+        claim = corollary13_verdict(n, n - 1)
+        assert claim.is_solvable
+        model = asynchronous_model(n, n - 1, failure_detector=SigmaK(n - 1))
+        run = execute(SigmaKSetAgreement(n), model, {p: p for p in model.processes})
+        report = KSetAgreementProblem(n - 1).evaluate(run)
+        PossibilityCertificate(
+            claim=claim, algorithm_name="sigma-kset", reports=(report,)
+        ).verify()

@@ -1,0 +1,69 @@
+"""Tests for the concrete model builders (M_ASYNC, M_PSYNC, M_INIT)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.failure_detectors.sigma import SigmaK
+from repro.models.asynchronous import ASYNC_SPEC, asynchronous_model
+from repro.models.initial_crash import INITIAL_CRASH_SPEC, initial_crash_model
+from repro.models.partially_synchronous import THEOREM2_SPEC, partially_synchronous_model
+
+
+class TestAsynchronousModel:
+    def test_spec_is_fully_unfavourable(self):
+        assert ASYNC_SPEC.as_tuple() == (False,) * 6
+
+    def test_basic_construction(self):
+        model = asynchronous_model(5, 2)
+        assert model.n == 5
+        assert model.f == 2
+        assert not model.failures.initial_only
+        assert model.failure_detector is None
+
+    def test_with_failure_detector(self):
+        detector = SigmaK(2)
+        model = asynchronous_model(4, 3, failure_detector=detector)
+        assert model.failure_detector is detector
+        assert model.spec.failure_detectors
+        assert "Sigma_2" in model.name
+
+    def test_rejects_f_above_n(self):
+        with pytest.raises(ConfigurationError):
+            asynchronous_model(3, 4)
+
+
+class TestPartiallySynchronousModel:
+    def test_spec_matches_theorem2(self):
+        assert THEOREM2_SPEC.synchronous_processes
+        assert not THEOREM2_SPEC.synchronous_communication
+        assert THEOREM2_SPEC.broadcast_transmission
+        assert THEOREM2_SPEC.atomic_receive_send
+        assert not THEOREM2_SPEC.failure_detectors
+
+    def test_failure_assumption_allows_one_late_crash(self):
+        model = partially_synchronous_model(5, 3)
+        assert model.failures.max_failures == 3
+        assert model.failures.max_non_initial == 1
+        assert model.failures.allows([(1, 0), (2, 0), (3, 9)])
+        assert not model.failures.allows([(1, 0), (2, 5), (3, 9)])
+
+    def test_zero_faults(self):
+        model = partially_synchronous_model(4, 0)
+        assert model.failures.max_non_initial == 0
+
+
+class TestInitialCrashModel:
+    def test_spec(self):
+        assert not INITIAL_CRASH_SPEC.synchronous_processes
+        assert INITIAL_CRASH_SPEC.broadcast_transmission
+
+    def test_failures_are_initial_only(self):
+        model = initial_crash_model(6, 3)
+        assert model.failures.initial_only
+        assert model.failures.allows([(1, 0), (2, 0)])
+        assert not model.failures.allows([(1, 2)])
+
+    def test_name_mentions_parameters(self):
+        assert "n=6" in initial_crash_model(6, 2).name

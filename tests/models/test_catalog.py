@@ -1,0 +1,96 @@
+"""Tests for :mod:`repro.models.catalog`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.failure_detectors.sigma import SigmaK
+from repro.models.asynchronous import asynchronous_model
+from repro.models.catalog import (
+    catalog_entries,
+    consensus_impossible,
+    consensus_verdict,
+)
+from repro.models.initial_crash import initial_crash_model
+from repro.models.model import FailureAssumption, SystemModel
+from repro.models.parameters import SystemModelSpec
+from repro.models.partially_synchronous import partially_synchronous_model
+from repro.types import Verdict, process_range
+
+
+class TestFLPEntry:
+    def test_flp_impossible_with_one_crash(self):
+        model = asynchronous_model(3, 1)
+        verdict, entry = consensus_verdict(model)
+        assert verdict is Verdict.IMPOSSIBLE
+        assert entry is not None and "Fischer" in entry.reference
+        assert consensus_impossible(model)
+
+    def test_flp_not_applicable_without_crashes(self):
+        model = asynchronous_model(3, 0)
+        verdict, _entry = consensus_verdict(model)
+        assert verdict is not Verdict.IMPOSSIBLE
+
+
+class TestDDSEntry:
+    def test_theorem2_restricted_model_entry(self):
+        # The exact situation of Theorem 2's condition (C): the restriction
+        # <D-bar> keeps the partially synchronous spec and allows one crash.
+        base = partially_synchronous_model(7, 4)
+        restricted = base.restrict([4, 5, 6, 7], failures=FailureAssumption(1))
+        assert consensus_impossible(restricted)
+        _verdict, entry = consensus_verdict(restricted)
+        assert "Dolev" in entry.reference
+
+    def test_fully_synchronous_solvable(self):
+        spec = SystemModelSpec(
+            synchronous_processes=True, synchronous_communication=True
+        )
+        model = SystemModel(
+            name="sync", processes=process_range(4), spec=spec,
+            failures=FailureAssumption(2),
+        )
+        verdict, entry = consensus_verdict(model)
+        assert verdict is Verdict.SOLVABLE
+        assert not consensus_impossible(model)
+
+
+class TestInitialCrashEntries:
+    def test_majority_solvable(self):
+        assert consensus_verdict(initial_crash_model(5, 2))[0] is Verdict.SOLVABLE
+
+    def test_no_majority_impossible(self):
+        assert consensus_verdict(initial_crash_model(4, 2))[0] is Verdict.IMPOSSIBLE
+
+    def test_border_consistency_with_theorem8(self):
+        # Consensus (k=1) with initial crashes is solvable iff n > 2f,
+        # which is Theorem 8 instantiated at k = 1.
+        from repro.core.borders import theorem8_verdict
+
+        for n in range(2, 10):
+            for f in range(0, n):
+                catalogue = consensus_verdict(initial_crash_model(n, f))[0]
+                if catalogue is Verdict.UNKNOWN:
+                    continue
+                border = theorem8_verdict(n, f, 1).verdict
+                assert catalogue == border, (n, f)
+
+
+class TestUnknownAndDetectorModels:
+    def test_detector_models_are_unknown(self):
+        model = asynchronous_model(4, 1, failure_detector=SigmaK(1))
+        assert consensus_verdict(model)[0] is Verdict.UNKNOWN
+        assert not consensus_impossible(model)
+
+    def test_unencoded_combination_is_unknown(self):
+        spec = SystemModelSpec(ordered_messages=True, broadcast_transmission=True)
+        model = SystemModel(
+            name="odd", processes=process_range(3), spec=spec,
+            failures=FailureAssumption(1),
+        )
+        assert consensus_verdict(model)[0] is Verdict.UNKNOWN
+
+    def test_catalog_entries_have_metadata(self):
+        for entry in catalog_entries():
+            assert entry.name and entry.reference and entry.statement
+            assert entry.verdict in (Verdict.SOLVABLE, Verdict.IMPOSSIBLE)

@@ -1,0 +1,162 @@
+"""Tests for :mod:`repro.models.model`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.trivial import DecideOwnValue
+from repro.exceptions import ConfigurationError
+from repro.failure_detectors.base import FailurePattern
+from repro.models.model import FailureAssumption, SystemModel
+from repro.models.parameters import SystemModelSpec
+from repro.simulation.executor import execute
+from repro.types import process_range
+
+
+class TestFailureAssumption:
+    def test_describe_variants(self):
+        assert "initial" in FailureAssumption(2, initial_only=True).describe()
+        assert "after the initial" in FailureAssumption(3, max_non_initial=1).describe()
+        assert "crash failures" in FailureAssumption(1).describe()
+
+    def test_allows_basic_budget(self):
+        assumption = FailureAssumption(2)
+        assert assumption.allows([(1, 0), (2, 5)])
+        assert not assumption.allows([(1, 0), (2, 5), (3, 9)])
+
+    def test_initial_only(self):
+        assumption = FailureAssumption(2, initial_only=True)
+        assert assumption.allows([(1, 0)])
+        assert not assumption.allows([(1, 3)])
+
+    def test_max_non_initial(self):
+        assumption = FailureAssumption(3, max_non_initial=1)
+        assert assumption.allows([(1, 0), (2, 0), (3, 7)])
+        assert not assumption.allows([(1, 0), (2, 4), (3, 7)])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            FailureAssumption(-1)
+        with pytest.raises(ConfigurationError):
+            FailureAssumption(1, max_non_initial=-1)
+
+    def test_initial_only_incompatible_with_non_initial(self):
+        with pytest.raises(ConfigurationError):
+            FailureAssumption(2, initial_only=True, max_non_initial=1)
+
+
+class TestSystemModel:
+    def make(self, n=4, f=1, **kwargs):
+        return SystemModel(
+            name="test",
+            processes=process_range(n),
+            failures=FailureAssumption(f),
+            **kwargs,
+        )
+
+    def test_basic_accessors(self):
+        model = self.make()
+        assert model.n == 4
+        assert model.f == 1
+        assert 3 in model and 9 not in model
+
+    def test_failure_bound_validation(self):
+        with pytest.raises(ConfigurationError):
+            SystemModel(name="bad", processes=(1, 2), failures=FailureAssumption(3))
+
+    def test_detector_requires_spec(self):
+        with pytest.raises(ConfigurationError):
+            SystemModel(
+                name="bad",
+                processes=(1, 2, 3),
+                failures=FailureAssumption(1),
+                failure_detector=object(),
+            )
+
+    def test_with_failure_detector_enables_spec(self):
+        model = self.make().with_failure_detector("oracle")
+        assert model.spec.failure_detectors
+        assert model.failure_detector == "oracle"
+
+    def test_describe_mentions_everything(self):
+        text = self.make().describe()
+        assert "n=4" in text and "crash" in text
+
+
+class TestRestriction:
+    def make(self):
+        return SystemModel(
+            name="base",
+            processes=process_range(6),
+            failures=FailureAssumption(2),
+        )
+
+    def test_restrict_subset(self):
+        restricted = self.make().restrict([1, 2, 3])
+        assert restricted.processes == (1, 2, 3)
+        assert restricted.spec == self.make().spec
+
+    def test_restrict_keeps_spec_but_not_detector(self):
+        base = SystemModel(
+            name="base",
+            processes=process_range(4),
+            spec=SystemModelSpec(failure_detectors=True),
+            failures=FailureAssumption(1),
+            failure_detector="oracle",
+        )
+        restricted = base.restrict([1, 2])
+        assert restricted.failure_detector is None
+        kept = base.restrict([1, 2], keep_failure_detector=True)
+        assert kept.failure_detector == "oracle"
+
+    def test_restrict_with_explicit_failures(self):
+        restricted = self.make().restrict([1, 2, 3], failures=FailureAssumption(1))
+        assert restricted.f == 1
+
+    def test_restrict_rejects_foreign_processes(self):
+        with pytest.raises(ConfigurationError):
+            self.make().restrict([1, 99])
+
+    def test_restrict_caps_inherited_failures(self):
+        restricted = self.make().restrict([1, 2])
+        assert restricted.f <= 1
+
+
+class TestAdmissibility:
+    def run_simple(self, model, pattern=None):
+        return execute(
+            DecideOwnValue(),
+            model,
+            {pid: pid for pid in model.processes},
+            failure_pattern=pattern,
+        )
+
+    def test_clean_run_is_admissible(self):
+        model = SystemModel(
+            name="m", processes=process_range(3), failures=FailureAssumption(1)
+        )
+        run = self.run_simple(model)
+        assert model.is_admissible(run)
+
+    def test_crash_budget_checked_post_hoc(self):
+        model = SystemModel(
+            name="m", processes=process_range(3), failures=FailureAssumption(1)
+        )
+        generous = SystemModel(
+            name="g", processes=process_range(3), failures=FailureAssumption(2)
+        )
+        pattern = FailurePattern(process_range(3), {1: 0, 2: 0})
+        run = self.run_simple(generous, pattern)
+        violations = model.admissibility_violations(run)
+        assert violations and "failure assumption" in violations[0]
+
+    def test_foreign_process_flagged(self):
+        big = SystemModel(
+            name="big", processes=process_range(4), failures=FailureAssumption(0)
+        )
+        small = SystemModel(
+            name="small", processes=process_range(2), failures=FailureAssumption(0)
+        )
+        run = self.run_simple(big)
+        violations = small.admissibility_violations(run)
+        assert any("not part of model" in v for v in violations)

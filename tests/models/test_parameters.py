@@ -1,0 +1,93 @@
+"""Tests for :mod:`repro.models.parameters`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.models.parameters import (
+    ALL_SPECS,
+    Favourability,
+    ModelParameter,
+    SystemModelSpec,
+    iter_core_specs,
+)
+
+
+def spec_strategy():
+    return st.builds(
+        SystemModelSpec,
+        synchronous_processes=st.booleans(),
+        synchronous_communication=st.booleans(),
+        ordered_messages=st.booleans(),
+        broadcast_transmission=st.booleans(),
+        atomic_receive_send=st.booleans(),
+        failure_detectors=st.booleans(),
+    )
+
+
+class TestLattice:
+    def test_64_specs(self):
+        assert len(ALL_SPECS) == 64
+        assert len(set(ALL_SPECS)) == 64
+
+    def test_32_core_specs(self):
+        core = list(iter_core_specs())
+        assert len(core) == 32
+        assert all(not spec.failure_detectors for spec in core)
+
+    def test_default_is_fully_unfavourable(self):
+        spec = SystemModelSpec()
+        assert spec.as_tuple() == (False,) * 6
+        assert all(
+            spec.value(parameter) is Favourability.UNFAVOURABLE
+            for parameter in ModelParameter
+        )
+
+    def test_label(self):
+        assert SystemModelSpec().label() == "UUUUU U"
+        fully = SystemModelSpec(True, True, True, True, True, True)
+        assert fully.label() == "FFFFF F"
+
+
+class TestValueAccess:
+    def test_value_per_parameter(self):
+        spec = SystemModelSpec(synchronous_processes=True, broadcast_transmission=True)
+        assert spec.value(ModelParameter.PROCESS_SYNCHRONY).is_favourable
+        assert spec.value(ModelParameter.BROADCAST).is_favourable
+        assert not spec.value(ModelParameter.COMMUNICATION_SYNCHRONY).is_favourable
+
+    def test_strengthen_weaken(self):
+        spec = SystemModelSpec()
+        stronger = spec.strengthen(ModelParameter.MESSAGE_ORDER)
+        assert stronger.ordered_messages
+        assert stronger.weaken(ModelParameter.MESSAGE_ORDER) == spec
+
+    @given(spec_strategy(), st.sampled_from(list(ModelParameter)))
+    def test_strengthen_then_weaken_roundtrip(self, spec, parameter):
+        assert spec.strengthen(parameter).weaken(parameter) == spec.weaken(parameter)
+
+
+class TestPartialOrder:
+    def test_fully_favourable_dominates_everything(self):
+        top = SystemModelSpec(True, True, True, True, True, True)
+        assert all(top.at_least_as_favourable_as(spec) for spec in ALL_SPECS)
+
+    def test_fully_unfavourable_dominated_by_everything(self):
+        bottom = SystemModelSpec()
+        assert all(spec.at_least_as_favourable_as(bottom) for spec in ALL_SPECS)
+
+    @given(spec_strategy(), spec_strategy())
+    def test_antisymmetry(self, a, b):
+        if a.at_least_as_favourable_as(b) and b.at_least_as_favourable_as(a):
+            assert a == b
+
+    @given(spec_strategy(), spec_strategy(), spec_strategy())
+    def test_transitivity(self, a, b, c):
+        if a.at_least_as_favourable_as(b) and b.at_least_as_favourable_as(c):
+            assert a.at_least_as_favourable_as(c)
+
+    @given(spec_strategy())
+    def test_reflexivity(self, spec):
+        assert spec.at_least_as_favourable_as(spec)

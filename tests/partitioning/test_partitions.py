@@ -1,0 +1,111 @@
+"""Tests for the proof partitions (:mod:`repro.partitioning.partitions`)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.borders import theorem2_verdict, theorem8_verdict
+from repro.exceptions import PartitionError
+from repro.partitioning.partitions import (
+    equal_groups,
+    lemma3_check,
+    theorem2_partition,
+    theorem8_border_groups,
+    theorem10_partition,
+)
+
+
+class TestTheorem2Partition:
+    def test_paper_shape(self):
+        partition = theorem2_partition(7, 4, 2)
+        assert partition.d_blocks == (frozenset({1, 2, 3}),)
+        assert partition.d_bar == {4, 5, 6, 7}
+
+    def test_k3(self):
+        partition = theorem2_partition(10, 7, 3)
+        assert partition.d_blocks == (frozenset({1, 2, 3}), frozenset({4, 5, 6}))
+        assert len(partition.d_bar) == 4
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(PartitionError):
+            theorem2_partition(4, 2, 2)  # 2*2+1 > 4
+        with pytest.raises(PartitionError):
+            theorem2_partition(4, 0, 1)
+        with pytest.raises(PartitionError):
+            theorem2_partition(4, 2, 0)
+
+    def test_lemma3_check(self):
+        partition = theorem2_partition(10, 7, 3)
+        report = lemma3_check(partition, 10, 7)
+        assert report["holds"]
+        assert report["block_sizes"] == (3, 3)
+        assert report["d_bar_size"] >= 4
+
+    @given(st.integers(min_value=2, max_value=20), st.integers(min_value=1, max_value=19), st.integers(min_value=1, max_value=10))
+    def test_feasible_exactly_on_impossible_side(self, n, f, k):
+        if f >= n:
+            return
+        feasible = True
+        try:
+            partition = theorem2_partition(n, f, k)
+        except PartitionError:
+            feasible = False
+        impossible = theorem2_verdict(n, f, k).is_impossible
+        assert feasible == impossible
+        if feasible:
+            assert lemma3_check(partition, n, f)["holds"]
+
+
+class TestTheorem10Partition:
+    def test_paper_shape(self):
+        partition = theorem10_partition(6, 3)
+        assert partition.d_bar == {1, 2, 3, 4}
+        assert partition.d_blocks == (frozenset({5}), frozenset({6}))
+
+    def test_d_bar_always_at_least_three(self):
+        for n in range(4, 12):
+            for k in range(2, n - 1):
+                assert len(theorem10_partition(n, k).d_bar) >= 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PartitionError):
+            theorem10_partition(4, 1)
+        with pytest.raises(PartitionError):
+            theorem10_partition(4, 3)
+        with pytest.raises(PartitionError):
+            theorem10_partition(3, 2)
+
+
+class TestEqualGroupsAndBorderCase:
+    def test_equal_groups(self):
+        groups = equal_groups(6, 3)
+        assert groups == (frozenset({1, 2}), frozenset({3, 4}), frozenset({5, 6}))
+
+    def test_equal_groups_validation(self):
+        with pytest.raises(PartitionError):
+            equal_groups(7, 3)
+        with pytest.raises(PartitionError):
+            equal_groups(4, 0)
+
+    def test_border_groups_on_the_border(self):
+        groups = theorem8_border_groups(6, 4, 2)
+        assert len(groups) == 3
+        assert all(len(g) == 2 for g in groups)
+
+    def test_border_groups_off_border_rejected(self):
+        with pytest.raises(PartitionError):
+            theorem8_border_groups(6, 3, 2)
+        with pytest.raises(PartitionError):
+            theorem8_border_groups(6, 4, 0)
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=8))
+    def test_border_case_is_exactly_theorem8_boundary(self, k, group_size):
+        n = (k + 1) * group_size
+        f = n - group_size
+        groups = theorem8_border_groups(n, f, k)
+        assert len(groups) == k + 1
+        # the border point itself is impossible, one fewer failure is solvable
+        assert theorem8_verdict(n, f, k).is_impossible
+        assert theorem8_verdict(n, f - 1, k).is_solvable or f == 1

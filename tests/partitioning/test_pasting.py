@@ -1,0 +1,111 @@
+"""Tests for the Lemma 11 / Lemma 12 run pasting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.kset_initial_crash import KSetInitialCrash
+from repro.exceptions import PartitionError
+from repro.failure_detectors.base import FailurePattern
+from repro.failure_detectors.transformations import verify_lemma9
+from repro.models.initial_crash import initial_crash_model
+from repro.partitioning.pasting import paste_runs, verify_pasting
+from repro.partitioning.scenarios import Theorem8BorderScenario, Theorem10Scenario
+from repro.simulation.executor import ExecutionSettings, execute, group_decided
+
+
+def isolation_runs(n, f, groups):
+    model = initial_crash_model(n, f)
+    algorithm = KSetInitialCrash(n, f)
+    proposals = {p: p for p in model.processes}
+    runs = []
+    for group in groups:
+        dead = frozenset(model.processes) - group
+        pattern = FailurePattern.initially_dead(model.processes, dead)
+        runs.append(
+            execute(
+                algorithm, model, proposals, failure_pattern=pattern,
+                settings=ExecutionSettings(stop_condition=group_decided(group)),
+            )
+        )
+    return runs
+
+
+class TestPasteRuns:
+    def test_basic_pasting_preserves_block_behaviour(self):
+        groups = (frozenset({1, 2, 3}), frozenset({4, 5, 6}))
+        runs = isolation_runs(6, 3, groups)
+        pasted = paste_runs(runs, groups)
+        check = verify_pasting(pasted, runs, groups)
+        assert check["holds"], check
+        assert check["indistinguishable"]
+        assert check["distinct_decisions"] == 2
+        assert pasted.decisions()[1] == 1 and pasted.decisions()[4] == 4
+
+    def test_times_are_consecutive(self):
+        groups = (frozenset({1, 2, 3}), frozenset({4, 5, 6}))
+        runs = isolation_runs(6, 3, groups)
+        pasted = paste_runs(runs, groups)
+        assert [event.time for event in pasted.events] == list(range(1, pasted.length + 1))
+
+    def test_failure_pattern_merged(self):
+        groups = (frozenset({1, 2, 3}), frozenset({4, 5, 6}))
+        runs = isolation_runs(6, 3, groups)
+        pasted = paste_runs(runs, groups)
+        # in each block run the other block is dead, but in the pasted run
+        # every process that took steps is alive
+        assert pasted.failure_pattern.faulty == frozenset()
+
+    def test_validation(self):
+        groups = (frozenset({1, 2, 3}), frozenset({4, 5, 6}))
+        runs = isolation_runs(6, 3, groups)
+        with pytest.raises(PartitionError):
+            paste_runs(runs, groups[:1])
+        with pytest.raises(PartitionError):
+            paste_runs([], [])
+        with pytest.raises(PartitionError):
+            paste_runs(runs, (frozenset({1, 2, 3}), frozenset({3, 4, 5, 6})))
+        with pytest.raises(PartitionError):
+            paste_runs(runs, (frozenset({1, 2, 3}), frozenset({4, 5})))
+
+
+class TestTheorem8BorderScenario:
+    def test_pasted_run_shows_k_plus_one_values(self):
+        scenario = Theorem8BorderScenario(n=6, f=4, k=2)
+        pasted, check = scenario.pasted_run(KSetInitialCrash(6, 4))
+        assert check["holds"]
+        assert check["distinct_decisions"] == 3  # k + 1
+
+    def test_single_genuine_violation_run(self):
+        scenario = Theorem8BorderScenario(n=6, f=4, k=2)
+        run, report = scenario.violation_run(KSetInitialCrash(6, 4))
+        assert run.completed
+        assert len(run.distinct_decisions()) == 3
+        assert not report.agreement_ok
+
+    def test_larger_border_case(self):
+        scenario = Theorem8BorderScenario(n=8, f=6, k=3)
+        run, report = scenario.violation_run(KSetInitialCrash(8, 6))
+        assert len(run.distinct_decisions()) == 4
+        assert not report.agreement_ok
+
+
+class TestTheorem10Pasting:
+    def test_lemma12_pasted_run(self):
+        from repro.algorithms.flawed_candidate import FlawedQuorumKSet
+
+        scenario = Theorem10Scenario(n=6, k=3)
+        pasted, check = scenario.pasted_run(FlawedQuorumKSet(6, 3))
+        assert check["holds"], check
+        # each of the k blocks contributes at least one value
+        assert check["distinct_decisions"] >= 3
+
+    def test_lemma12_history_is_admissible_for_sigma_omega_k(self):
+        # Lemma 9 + Lemma 12 together: the pasted partitioning history is a
+        # valid (Sigma_k, Omega_k) history for the pasted failure pattern.
+        from repro.algorithms.flawed_candidate import FlawedQuorumKSet
+
+        scenario = Theorem10Scenario(n=6, k=3)
+        pasted, _check = scenario.pasted_run(FlawedQuorumKSet(6, 3))
+        violations = verify_lemma9(pasted.fd_history, pasted.failure_pattern, k=3)
+        assert violations == []

@@ -1,0 +1,91 @@
+"""Tests for :mod:`repro.simulation.configuration` and :mod:`repro.simulation.trace`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.kset_initial_crash import KSetInitialCrash
+from repro.algorithms.trivial import DecideOwnValue
+from repro.models.initial_crash import initial_crash_model
+from repro.simulation.configuration import Configuration, PendingMessage
+from repro.simulation.executor import execute
+from repro.simulation.trace import format_decisions, format_run, format_summary
+
+
+class TestConfiguration:
+    def test_initial(self):
+        config = Configuration.initial(DecideOwnValue(), (1, 2), {1: "a", 2: "b"})
+        assert config.processes == (1, 2)
+        assert config.decisions() == {}
+        assert config.in_flight == ()
+
+    def test_apply_step_decides(self):
+        config = Configuration.initial(DecideOwnValue(), (1, 2), {1: "a", 2: "b"})
+        after = config.apply_step(DecideOwnValue(), 1)
+        assert after.decisions() == {1: "a"}
+        # the original configuration is untouched
+        assert config.decisions() == {}
+
+    def test_apply_step_with_messages(self):
+        algorithm = KSetInitialCrash(2, 0)
+        config = Configuration.initial(algorithm, (1, 2), {1: "a", 2: "b"})
+        after = config.apply_step(algorithm, 1)
+        assert len(after.in_flight) == 1
+        message = after.in_flight[0]
+        assert message.sender == 1 and message.receiver == 2
+        final = after.apply_step(algorithm, 2, deliver=(message,))
+        assert message not in final.in_flight
+
+    def test_deliver_wrong_message_rejected(self):
+        config = Configuration.initial(DecideOwnValue(), (1, 2), {1: "a", 2: "b"})
+        ghost = PendingMessage(sender=1, receiver=2, payload="ghost")
+        with pytest.raises(ValueError):
+            config.apply_step(DecideOwnValue(), 2, deliver=(ghost,))
+
+    def test_state_of_unknown_process(self):
+        config = Configuration.initial(DecideOwnValue(), (1,), {1: "a"})
+        with pytest.raises(KeyError):
+            config.state_of(9)
+
+    def test_hashable_and_equal(self):
+        a = Configuration.initial(DecideOwnValue(), (1, 2), {1: "a", 2: "b"})
+        b = Configuration.initial(DecideOwnValue(), (1, 2), {1: "a", 2: "b"})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+class TestTrace:
+    @pytest.fixture
+    def run(self):
+        model = initial_crash_model(4, 1)
+        return execute(KSetInitialCrash(4, 1), model, {p: p for p in model.processes})
+
+    def test_format_decisions(self, run):
+        text = format_decisions(run)
+        assert "p1=" in text and "p4=" in text
+
+    def test_format_summary(self, run):
+        text = format_summary(run)
+        assert "steps" in text and "decisions:" in text
+
+    def test_format_run_full(self, run):
+        text = format_run(run)
+        assert text.count("t=") == run.length
+
+    def test_format_run_filtered(self, run):
+        text = format_run(run, processes=[1])
+        assert " p1:" in text and " p2:" not in text
+
+    def test_format_run_truncates(self, run):
+        text = format_run(run, max_events=2)
+        assert "omitted" in text
+
+    def test_crashed_process_labelled(self):
+        from repro.failure_detectors.base import FailurePattern
+
+        model = initial_crash_model(3, 1)
+        pattern = FailurePattern.initially_dead(model.processes, {3})
+        run = execute(KSetInitialCrash(3, 1), model, {p: p for p in model.processes},
+                      failure_pattern=pattern)
+        assert "p3=crashed" in format_decisions(run)

@@ -1,0 +1,108 @@
+"""Determinism and structural invariants of executor-produced runs.
+
+The paper's model is deterministic once the schedule is fixed; the
+executor must therefore be reproducible (same algorithm, model, proposals,
+failure pattern and adversary seed give the identical run) and every
+recorded run must satisfy basic structural invariants that the rest of the
+library relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.kset_initial_crash import KSetInitialCrash
+from repro.algorithms.sigma_kset import SigmaKSetAgreement
+from repro.failure_detectors.base import FailurePattern
+from repro.failure_detectors.sigma import SigmaK
+from repro.models.asynchronous import asynchronous_model
+from repro.models.initial_crash import initial_crash_model
+from repro.simulation.executor import ExecutionSettings, execute
+from repro.simulation.scheduler import RandomScheduler, RoundRobinScheduler
+
+
+def kset_run(seed=None, dead=frozenset({5, 6})):
+    model = initial_crash_model(6, 3)
+    pattern = FailurePattern.initially_dead(model.processes, dead)
+    adversary = RandomScheduler(seed) if seed is not None else RoundRobinScheduler()
+    return execute(
+        KSetInitialCrash(6, 3), model, {p: p for p in model.processes},
+        adversary=adversary, failure_pattern=pattern,
+        settings=ExecutionSettings(max_steps=5_000),
+    )
+
+
+def run_signature(run):
+    return (
+        run.length,
+        tuple((e.time, e.pid, tuple(m.msg_id for m in e.delivered)) for e in run.events),
+        tuple(sorted(run.decisions().items())),
+    )
+
+
+class TestReproducibility:
+    def test_round_robin_runs_identical(self):
+        assert run_signature(kset_run()) == run_signature(kset_run())
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42])
+    def test_random_scheduler_same_seed_same_run(self, seed):
+        assert run_signature(kset_run(seed=seed)) == run_signature(kset_run(seed=seed))
+
+    def test_different_seeds_usually_differ(self):
+        signatures = {run_signature(kset_run(seed=seed)) for seed in range(4)}
+        assert len(signatures) > 1
+
+    def test_failure_detector_runs_reproducible(self):
+        def fd_run():
+            model = asynchronous_model(4, 3, failure_detector=SigmaK(3))
+            pattern = FailurePattern(model.processes, {2: 3})
+            return execute(
+                SigmaKSetAgreement(4), model, {p: p for p in model.processes},
+                adversary=RandomScheduler(5), failure_pattern=pattern,
+            )
+
+        first, second = fd_run(), fd_run()
+        assert run_signature(first) == run_signature(second)
+        assert [r.output for r in first.fd_history] == [r.output for r in second.fd_history]
+
+
+class TestStructuralInvariants:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        return [kset_run(), kset_run(seed=3), kset_run(seed=9, dead=frozenset({1}))]
+
+    def test_event_times_are_consecutive(self, runs):
+        for run in runs:
+            assert [e.time for e in run.events] == list(range(1, run.length + 1))
+
+    def test_each_process_decides_at_most_once(self, runs):
+        for run in runs:
+            for pid in run.processes:
+                decisions = [e for e in run.steps_of(pid) if e.newly_decided]
+                assert len(decisions) <= 1
+
+    def test_delivered_messages_are_addressed_to_the_stepper(self, runs):
+        for run in runs:
+            for event in run.events:
+                assert all(m.receiver == event.pid for m in event.delivered)
+                assert all(m.sender == event.pid for m in event.sent)
+
+    def test_no_message_delivered_twice(self, runs):
+        for run in runs:
+            delivered_ids = [m.msg_id for e in run.events for m in e.delivered]
+            assert len(delivered_ids) == len(set(delivered_ids))
+
+    def test_delivered_plus_pending_equals_sent(self, runs):
+        for run in runs:
+            assert run.messages_delivered() + len(run.undelivered) == run.messages_sent()
+
+    def test_initially_dead_processes_never_appear(self, runs):
+        for run in runs:
+            dead = run.failure_pattern.initially_dead_set
+            assert all(event.pid not in dead for event in run.events)
+
+    def test_decisions_only_from_decided_states(self, runs):
+        for run in runs:
+            for pid, value in run.decisions().items():
+                sequence = run.state_sequence(pid)
+                assert sequence[-1].decision == value

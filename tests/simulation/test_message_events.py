@@ -1,0 +1,108 @@
+"""Tests for :mod:`repro.simulation.message` and :mod:`repro.simulation.events`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms.base import ProcessState
+from repro.exceptions import SimulationError
+from repro.simulation.events import StepEvent
+from repro.simulation.message import Message, MessageBuffer
+
+
+class TestMessageBuffer:
+    def test_put_assigns_unique_ids(self):
+        buffer = MessageBuffer([1, 2])
+        first = buffer.put(1, 2, "a", sent_at=1)
+        second = buffer.put(2, 1, "b", sent_at=1)
+        assert first.msg_id != second.msg_id
+        assert buffer.sent_count == 2
+
+    def test_pending_and_take(self):
+        buffer = MessageBuffer([1, 2])
+        message = buffer.put(1, 2, "hello", sent_at=3)
+        assert buffer.pending_for(2) == (message,)
+        taken = buffer.take(2, [message.msg_id])
+        assert taken == (message,)
+        assert buffer.pending_for(2) == ()
+        assert buffer.delivered_count == 1
+
+    def test_take_empty_is_noop(self):
+        buffer = MessageBuffer([1])
+        assert buffer.take(1, []) == ()
+
+    def test_take_unknown_id_raises(self):
+        buffer = MessageBuffer([1, 2])
+        buffer.put(1, 2, "a", sent_at=1)
+        with pytest.raises(SimulationError):
+            buffer.take(2, [999])
+
+    def test_take_foreign_message_raises(self):
+        buffer = MessageBuffer([1, 2])
+        message = buffer.put(1, 2, "a", sent_at=1)
+        with pytest.raises(SimulationError):
+            buffer.take(1, [message.msg_id])
+
+    def test_unknown_receiver_rejected(self):
+        buffer = MessageBuffer([1])
+        with pytest.raises(SimulationError):
+            buffer.put(1, 9, "a", sent_at=1)
+
+    def test_in_flight_and_all_pending(self):
+        buffer = MessageBuffer([1, 2, 3])
+        buffer.put(1, 2, "a", 1)
+        buffer.put(1, 3, "b", 1)
+        assert buffer.in_flight() == 2
+        assert {m.payload for m in buffer.all_pending()} == {"a", "b"}
+
+    def test_oldest_pending(self):
+        buffer = MessageBuffer([1, 2])
+        first = buffer.put(1, 2, "first", 1)
+        buffer.put(1, 2, "second", 2)
+        assert buffer.oldest_pending(2) == first
+        assert buffer.oldest_pending(1) is None
+
+    @given(st.lists(st.tuples(st.integers(1, 4), st.integers(1, 4)), max_size=30))
+    def test_counters_consistent(self, sends):
+        buffer = MessageBuffer([1, 2, 3, 4])
+        for sender, receiver in sends:
+            buffer.put(sender, receiver, "x", 1)
+        assert buffer.sent_count == len(sends)
+        assert buffer.in_flight() == len(sends)
+        # drain everything
+        for receiver in (1, 2, 3, 4):
+            ids = [m.msg_id for m in buffer.pending_for(receiver)]
+            buffer.take(receiver, ids)
+        assert buffer.in_flight() == 0
+        assert buffer.delivered_count == len(sends)
+
+
+class TestStepEvent:
+    def make_event(self, **kwargs):
+        state = ProcessState(pid=1, proposal="v").decide("v") if kwargs.pop("decided", False) else ProcessState(pid=1, proposal="v")
+        message = Message(1, 2, 1, ("S1", 2), 1)
+        defaults = dict(
+            time=3,
+            pid=1,
+            delivered=(message,),
+            fd_output=None,
+            sent=(),
+            state_after=state,
+            newly_decided=state.has_decided,
+        )
+        defaults.update(kwargs)
+        return StepEvent(**defaults)
+
+    def test_senders_heard(self):
+        event = self.make_event()
+        assert event.senders_heard == (2,)
+
+    def test_describe_mentions_decision(self):
+        assert "DECIDED" in self.make_event(decided=True).describe()
+        assert "DECIDED" not in self.make_event().describe()
+
+    def test_describe_mentions_fd(self):
+        event = self.make_event(fd_output={"sigma": {1}})
+        assert "fd=" in event.describe()

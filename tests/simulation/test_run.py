@@ -1,0 +1,104 @@
+"""Tests for :mod:`repro.simulation.run` on executor-produced runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.kset_initial_crash import KSetInitialCrash
+from repro.algorithms.trivial import DecideOwnValue
+from repro.failure_detectors.base import FailurePattern
+from repro.models.initial_crash import initial_crash_model
+from repro.simulation.executor import execute
+from repro.types import UNDECIDED
+
+
+@pytest.fixture
+def completed_run():
+    model = initial_crash_model(5, 2)
+    algorithm = KSetInitialCrash(5, 2)
+    pattern = FailurePattern.initially_dead(model.processes, {5})
+    return execute(algorithm, model, {p: p * 10 for p in model.processes}, failure_pattern=pattern)
+
+
+class TestDecisions:
+    def test_decisions_and_times(self, completed_run):
+        decisions = completed_run.decisions()
+        times = completed_run.decision_times()
+        assert set(decisions) == set(times) == {1, 2, 3, 4}
+        assert completed_run.decided_processes() == {1, 2, 3, 4}
+        assert all(t >= 1 for t in times.values())
+
+    def test_decision_of_undecided(self, completed_run):
+        assert completed_run.decision_of(5) is UNDECIDED
+
+    def test_distinct_decisions(self, completed_run):
+        assert completed_run.distinct_decisions() <= {10, 20, 30, 40, 50}
+        assert len(completed_run.distinct_decisions()) >= 1
+
+    def test_last_decision_time(self, completed_run):
+        assert completed_run.last_decision_time() == max(completed_run.decision_times().values())
+
+    def test_no_decisions(self):
+        model = initial_crash_model(2, 0)
+        run = execute(
+            DecideOwnValue(), model, {1: "a", 2: "b"},
+        )
+        # everyone decided here; build an artificial empty run instead
+        from repro.simulation.run import Run
+
+        empty = Run(
+            algorithm_name="x",
+            model_name="m",
+            processes=(1, 2),
+            proposals={1: "a", 2: "b"},
+            events=(),
+            failure_pattern=FailurePattern.all_correct((1, 2)),
+        )
+        assert empty.last_decision_time() is None
+        assert empty.decisions() == {}
+
+
+class TestBookkeeping:
+    def test_correct_and_faulty(self, completed_run):
+        assert completed_run.correct_processes() == {1, 2, 3, 4}
+        assert completed_run.faulty_processes() == {5}
+
+    def test_steps_of_only_that_process(self, completed_run):
+        for pid in (1, 2, 3, 4):
+            assert all(e.pid == pid for e in completed_run.steps_of(pid))
+        assert completed_run.steps_of(5) == ()
+
+    def test_state_sequence_until_decision_ends_decided(self, completed_run):
+        for pid in (1, 2, 3, 4):
+            sequence = completed_run.state_sequence(pid)
+            assert sequence[-1].has_decided
+            assert all(not s.has_decided for s in sequence[:-1])
+
+    def test_state_sequence_full_is_longer_or_equal(self, completed_run):
+        for pid in (1, 2, 3, 4):
+            assert len(completed_run.state_sequence(pid, until_decision=False)) >= len(
+                completed_run.state_sequence(pid)
+            )
+
+    def test_received_before_decision_subset_of_processes(self, completed_run):
+        for pid in (1, 2, 3, 4):
+            heard = completed_run.received_before_decision(pid)
+            assert heard.issubset({1, 2, 3, 4})
+            assert pid not in heard  # nobody sends to itself in this protocol
+
+    def test_message_accounting(self, completed_run):
+        assert completed_run.messages_sent() >= completed_run.messages_delivered()
+        assert completed_run.messages_delivered() == sum(
+            len(completed_run.deliveries_to(p)) for p in completed_run.processes
+        )
+
+    def test_undelivered_to_dead_process(self, completed_run):
+        # Messages to the initially dead process are never delivered.
+        assert all(m.receiver == 5 for m in completed_run.undelivered_to(5))
+        assert len(completed_run.undelivered_to(5)) >= 1
+
+    def test_summary_fields(self, completed_run):
+        summary = completed_run.summary()
+        assert summary["completed"] is True
+        assert summary["decided"] == 4
+        assert summary["steps"] == completed_run.length

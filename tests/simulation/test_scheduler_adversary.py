@@ -1,0 +1,226 @@
+"""Tests for schedulers and the proof-specific adversaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.base import ProcessState
+from repro.algorithms.kset_initial_crash import KSetInitialCrash
+from repro.algorithms.trivial import DecideOwnValue
+from repro.exceptions import ConfigurationError
+from repro.failure_detectors.base import FailurePattern
+from repro.models.initial_crash import initial_crash_model
+from repro.simulation.adversary import (
+    IsolationAdversary,
+    PartitioningAdversary,
+    SilenceAdversary,
+)
+from repro.simulation.executor import ExecutionSettings, execute, group_decided
+from repro.simulation.message import Message
+from repro.simulation.scheduler import (
+    AdversaryView,
+    RandomScheduler,
+    RoundRobinScheduler,
+    StepDirective,
+)
+
+
+def make_view(time=1, pending=None, alive=(1, 2, 3), decided=(), states=None):
+    alive = frozenset(alive)
+    processes = tuple(sorted(alive | frozenset(decided)))
+    states = states or {
+        pid: ProcessState(pid=pid, proposal=pid) for pid in processes
+    }
+    return AdversaryView(
+        time=time,
+        processes=processes,
+        states=states,
+        pending=pending or {},
+        alive=alive,
+        correct=alive,
+        decided=frozenset(decided),
+    )
+
+
+class TestRoundRobin:
+    def test_cycles_in_id_order(self):
+        scheduler = RoundRobinScheduler()
+        order = [scheduler.next_step(make_view()).pid for _ in range(6)]
+        assert order == [1, 2, 3, 1, 2, 3]
+
+    def test_skips_decided(self):
+        scheduler = RoundRobinScheduler()
+        view = make_view(decided=(2,))
+        order = [scheduler.next_step(view).pid for _ in range(4)]
+        assert 2 not in order
+
+    def test_returns_none_when_everyone_decided(self):
+        scheduler = RoundRobinScheduler()
+        assert scheduler.next_step(make_view(alive=(1, 2), decided=(1, 2))) is None
+
+    def test_delivers_all_pending(self):
+        message = Message(1, 2, 1, "x", 0)
+        view = make_view(pending={1: (message,)})
+        directive = RoundRobinScheduler().next_step(view)
+        assert directive == StepDirective(pid=1, deliver=(message.msg_id,))
+
+
+class TestRandomScheduler:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomScheduler(delivery_bias=2.0)
+        with pytest.raises(ValueError):
+            RandomScheduler(max_delay=-1)
+
+    def test_deterministic_for_seed(self):
+        view = make_view()
+        a = [RandomScheduler(7).next_step(make_view()).pid for _ in range(5)]
+        b = [RandomScheduler(7).next_step(make_view()).pid for _ in range(5)]
+        assert a == b
+
+    def test_overdue_messages_always_delivered(self):
+        old = Message(1, 2, 1, "x", sent_at=0)
+        scheduler = RandomScheduler(0, delivery_bias=0.0, max_delay=5)
+        view = make_view(time=10, pending={1: (old,)}, alive=(1,))
+        directive = scheduler.next_step(view)
+        assert old.msg_id in directive.deliver
+
+    def test_fresh_messages_can_be_withheld(self):
+        fresh = Message(1, 2, 1, "x", sent_at=9)
+        scheduler = RandomScheduler(0, delivery_bias=0.0, max_delay=5)
+        view = make_view(time=10, pending={1: (fresh,)}, alive=(1,))
+        assert scheduler.next_step(view).deliver == ()
+
+    def test_none_when_all_decided(self):
+        assert RandomScheduler(1).next_step(make_view(alive=(1,), decided=(1,))) is None
+
+
+class TestPartitioningAdversary:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PartitioningAdversary([[1], []])
+        with pytest.raises(ConfigurationError):
+            PartitioningAdversary([[1, 2], [2]])
+
+    def test_blocks_cross_block_messages(self):
+        adversary = PartitioningAdversary([[1, 2], [3]], release_when_all_decided=False)
+        cross = Message(1, 3, 1, "x", 0)
+        intra = Message(2, 2, 1, "x", 0)
+        view = make_view(pending={1: (cross, intra)})
+        directive = adversary.next_step(view)
+        assert directive.pid == 1
+        assert directive.deliver == (intra.msg_id,)
+
+    def test_release_after_everyone_decided(self):
+        adversary = PartitioningAdversary([[1, 2], [3]])
+        cross = Message(1, 3, 1, "x", 0)
+        # p1 still undecided -> blocked
+        view = make_view(pending={1: (cross,)}, decided=(2, 3))
+        assert adversary.next_step(view).deliver == ()
+        # everyone alive decided -> released (though nobody steps any more,
+        # the blocking predicate itself must lift)
+        done = make_view(pending={1: (cross,)}, alive=(1, 2, 3), decided=(1, 2, 3))
+        assert adversary._blocked(cross, done) is False
+
+    def test_uncovered_processes_act_as_singletons(self):
+        adversary = PartitioningAdversary([[1, 2]], release_when_all_decided=False)
+        to_uncovered = Message(1, 1, 3, "x", 0)
+        view = make_view(pending={3: (to_uncovered,)})
+        # step p3: its only pending message comes from another block -> blocked
+        directive = None
+        while directive is None or directive.pid != 3:
+            directive = adversary.next_step(view)
+        assert directive.deliver == ()
+
+
+class TestIsolationAdversary:
+    def test_only_active_processes_step(self):
+        adversary = IsolationAdversary([2, 3])
+        pids = {adversary.next_step(make_view()).pid for _ in range(4)}
+        assert pids <= {2, 3}
+
+    def test_requires_nonempty(self):
+        with pytest.raises(ConfigurationError):
+            IsolationAdversary([])
+
+    def test_blocks_messages_from_outside(self):
+        adversary = IsolationAdversary([2, 3])
+        outside = Message(1, 1, 2, "x", 0)
+        inside = Message(2, 3, 2, "y", 0)
+        view = make_view(pending={2: (outside, inside)})
+        directive = adversary.next_step(view)
+        assert directive.pid in {2, 3}
+        if directive.pid == 2:
+            assert directive.deliver == (inside.msg_id,)
+
+
+class TestSilenceAdversary:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SilenceAdversary([], [1])
+        with pytest.raises(ConfigurationError):
+            SilenceAdversary([1], [1])
+
+    def test_blocks_only_the_silenced_direction(self):
+        adversary = SilenceAdversary([1], [3], release_when_listeners_decided=False)
+        blocked = Message(1, 1, 3, "x", 0)
+        allowed = Message(2, 2, 3, "y", 0)
+        reverse = Message(3, 3, 1, "z", 0)
+        view = make_view(pending={3: (blocked, allowed), 1: (reverse,)})
+        assert adversary._blocked(blocked, view) is True
+        assert adversary._blocked(allowed, view) is False
+        assert adversary._blocked(reverse, view) is False
+
+    def test_release_when_listeners_decided(self):
+        adversary = SilenceAdversary([1], [3])
+        blocked = Message(1, 1, 3, "x", 0)
+        view = make_view(decided=(3,), pending={3: (blocked,)})
+        assert adversary._blocked(blocked, view) is False
+
+
+class TestAdversariesEndToEnd:
+    def test_partitioning_forces_extra_decisions(self):
+        n, f = 6, 3
+        model = initial_crash_model(n, f)
+        algorithm = KSetInitialCrash(n, f)
+        blocks = [frozenset({1, 2, 3}), frozenset({4, 5, 6})]
+        run = execute(
+            algorithm,
+            model,
+            {p: p for p in model.processes},
+            adversary=PartitioningAdversary(blocks),
+        )
+        assert run.completed
+        assert len(run.distinct_decisions()) == 2
+
+    def test_isolation_lets_one_group_decide_alone(self):
+        n, f = 6, 3
+        model = initial_crash_model(n, f)
+        algorithm = KSetInitialCrash(n, f)
+        group = frozenset({4, 5, 6})
+        run = execute(
+            algorithm,
+            model,
+            {p: p for p in model.processes},
+            adversary=IsolationAdversary(group),
+            settings=ExecutionSettings(stop_condition=group_decided(group)),
+        )
+        assert run.completed
+        assert run.decided_processes() == group
+        for pid in group:
+            assert run.received_before_decision(pid) <= group
+
+    def test_silence_keeps_listeners_ignorant(self):
+        n, f = 6, 3
+        model = initial_crash_model(n, f)
+        algorithm = KSetInitialCrash(n, f)
+        silenced, listeners = frozenset({1, 2, 3}), frozenset({4, 5, 6})
+        run = execute(
+            algorithm,
+            model,
+            {p: p for p in model.processes},
+            adversary=SilenceAdversary(silenced, listeners),
+        )
+        assert run.completed
+        for pid in listeners:
+            assert run.received_before_decision(pid).isdisjoint(silenced)

@@ -1,0 +1,142 @@
+"""Tests for :mod:`repro.types`."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.types import (
+    UNDECIDED,
+    ProcessSet,
+    Undecided,
+    Verdict,
+    process_range,
+    validate_k,
+    validate_process_ids,
+)
+
+
+class TestUndecided:
+    def test_singleton_identity(self):
+        assert Undecided() is UNDECIDED
+
+    def test_copy_preserves_identity(self):
+        assert copy.deepcopy(UNDECIDED) is UNDECIDED
+
+    def test_is_falsy(self):
+        assert not UNDECIDED
+
+    def test_repr(self):
+        assert repr(UNDECIDED) == "UNDECIDED"
+
+
+class TestProcessRange:
+    def test_basic(self):
+        assert process_range(3) == (1, 2, 3)
+
+    def test_single(self):
+        assert process_range(1) == (1,)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            process_range(0)
+
+    @given(st.integers(min_value=1, max_value=200))
+    def test_length_and_bounds(self, n):
+        ids = process_range(n)
+        assert len(ids) == n
+        assert ids[0] == 1
+        assert ids[-1] == n
+
+
+class TestValidateProcessIds:
+    def test_sorts(self):
+        assert validate_process_ids([3, 1, 2]) == (1, 2, 3)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            validate_process_ids([1, 1])
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError):
+            validate_process_ids([0])
+        with pytest.raises(ValueError):
+            validate_process_ids([-1])
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValueError):
+            validate_process_ids([True, 2])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            validate_process_ids([])
+
+
+class TestValidateK:
+    def test_accepts_valid(self):
+        assert validate_k(2, 5) == 2
+
+    def test_accepts_k_at_least_n(self):
+        assert validate_k(7, 5) == 7
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            validate_k(0, 5)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValueError):
+            validate_k(True, 5)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            validate_k(1, 0)
+
+
+class TestProcessSet:
+    def test_iteration_is_sorted(self):
+        assert list(ProcessSet([3, 1, 2])) == [1, 2, 3]
+
+    def test_membership_and_len(self):
+        group = ProcessSet([1, 2])
+        assert 1 in group and 3 not in group
+        assert len(group) == 2
+
+    def test_set_operations(self):
+        a = ProcessSet([1, 2, 3])
+        b = ProcessSet([3, 4])
+        assert list(a | b) == [1, 2, 3, 4]
+        assert list(a & b) == [3]
+        assert list(a - b) == [1, 2]
+
+    def test_disjoint_and_subset(self):
+        assert ProcessSet([1]).isdisjoint(ProcessSet([2]))
+        assert ProcessSet([1]).issubset(ProcessSet([1, 2]))
+
+    def test_smallest(self):
+        assert ProcessSet([5, 3]).smallest == 3
+
+    def test_smallest_empty_raises(self):
+        with pytest.raises(ValueError):
+            ProcessSet([]).smallest
+
+    def test_repr(self):
+        assert repr(ProcessSet([2, 1])) == "{p1, p2}"
+
+    @given(st.sets(st.integers(min_value=1, max_value=30)), st.sets(st.integers(min_value=1, max_value=30)))
+    def test_operations_match_frozenset(self, left, right):
+        a, b = ProcessSet(left), ProcessSet(right)
+        assert set(a | b) == left | right
+        assert set(a & b) == left & right
+        assert set(a - b) == left - right
+
+
+class TestVerdict:
+    def test_str(self):
+        assert str(Verdict.SOLVABLE) == "solvable"
+        assert str(Verdict.IMPOSSIBLE) == "impossible"
+
+    def test_members(self):
+        assert {v.name for v in Verdict} == {"SOLVABLE", "IMPOSSIBLE", "UNKNOWN"}
