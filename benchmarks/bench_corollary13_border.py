@@ -10,106 +10,81 @@ determines the simulated outcome:
   representative candidate to more than ``k`` distinct decisions,
 
 and checks that the outcome matches the Corollary 13 closed form at every
-point.
+point.  The executions run as one campaign
+(:func:`repro.campaign.corollary13_specs`), so the whole border can be
+swept serially or across worker processes with identical outcomes.
 """
 
 from __future__ import annotations
 
+from typing import List, Tuple
+
 import pytest
 
-from repro import (
-    FailurePattern,
-    FlawedQuorumKSet,
-    KSetAgreementProblem,
-    SigmaK,
-    SigmaKSetAgreement,
-    SigmaOmegaConsensus,
-    Theorem10Scenario,
-    asynchronous_model,
-    corollary13_verdict,
-    execute,
-    sigma_omega_k,
-)
-from repro.analysis.reporting import format_table
-from repro.simulation.scheduler import RandomScheduler, RoundRobinScheduler
+from repro import corollary13_verdict
+from repro.analysis.reporting import format_campaign, format_table
+from repro.campaign import CampaignResult, CampaignRunner, ScenarioOutcome, corollary13_specs
 from benchmarks.conftest import emit
 
 N_VALUES = [4, 5, 6, 7]
 
 
-def observe_k1(n: int) -> bool:
-    model = asynchronous_model(n, n - 1, failure_detector=sigma_omega_k(1, gst=0))
-    outcomes = []
-    for pattern, adversary in [
-        (FailurePattern.all_correct(model.processes), RoundRobinScheduler()),
-        (FailurePattern(model.processes, {n: 0}), RandomScheduler(1, max_delay=8)),
-    ]:
-        run = execute(SigmaOmegaConsensus(n), model, {p: p for p in model.processes},
-                      adversary=adversary, failure_pattern=pattern)
-        outcomes.append(KSetAgreementProblem(1).evaluate(run).all_ok)
-    return all(outcomes)
-
-
-def observe_k_n_minus_1(n: int) -> bool:
-    model = asynchronous_model(n, n - 1, failure_detector=SigmaK(n - 1))
-    outcomes = []
-    for pattern, adversary in [
-        (FailurePattern.all_correct(model.processes), RoundRobinScheduler()),
-        (FailurePattern(model.processes, {p: 0 for p in range(1, n)}), RoundRobinScheduler()),
-        (FailurePattern(model.processes, {1: 0, 2: 5}), RandomScheduler(2)),
-    ]:
-        run = execute(SigmaKSetAgreement(n), model, {p: p for p in model.processes},
-                      adversary=adversary, failure_pattern=pattern)
-        outcomes.append(KSetAgreementProblem(n - 1).evaluate(run).all_ok)
-    return all(outcomes)
-
-
-def observe_middle(n: int, k: int) -> bool:
-    """Return True when a violation is constructible (the impossible side)."""
-    scenario = Theorem10Scenario(n=n, k=k, max_steps=6_000)
-    run, report = scenario.violation_run(FlawedQuorumKSet(n, k))
-    return (not report.agreement_ok) and len(run.distinct_decisions()) > k
-
-
-def classify(n: int, k: int):
+def classify_point(n: int, k: int, outcomes: Tuple[ScenarioOutcome, ...]):
+    """Compare the campaign outcomes of one ``(n, k)`` point with the paper."""
     verdict = corollary13_verdict(n, k)
-    if k == 1:
-        observed_solvable = observe_k1(n)
-        observation = "all properties hold" if observed_solvable else "violation"
-        agrees = observed_solvable == verdict.is_solvable
-    elif k == n - 1:
-        observed_solvable = observe_k_n_minus_1(n)
+    if not outcomes:
+        # A point the campaign never executed is a diagnosable
+        # disagreement row, not a KeyError.
+        return verdict, "no scenarios executed", False
+    if k in (1, n - 1):
+        observed_solvable = all(o.all_ok for o in outcomes)
         observation = "all properties hold" if observed_solvable else "violation"
         agrees = observed_solvable == verdict.is_solvable
     else:
-        violated = observe_middle(n, k)
+        (outcome,) = outcomes
+        violated = not outcome.agreement_ok and outcome.distinct_decisions > k
         observation = "partitioning forces > k values" if violated else "no violation found"
         agrees = violated == verdict.is_impossible
     return verdict, observation, agrees
 
 
-def test_corollary13_border(benchmark):
-    def build():
-        rows = []
-        for n in N_VALUES:
-            for k in range(1, n):
-                verdict, observation, agrees = classify(n, k)
-                rows.append((n, k, str(verdict.verdict), observation, "yes" if agrees else "NO"))
-        return rows
+def classify_campaign(n_values, result: CampaignResult) -> List[Tuple]:
+    """One classified row per ``(n, k)`` point of the swept border."""
+    by_point = result.by_point()  # every corollary13 spec has f = n - 1
+    rows = []
+    for n in n_values:
+        for k in range(1, n):
+            outcomes = by_point.get((n, n - 1, k), ())
+            verdict, observation, agrees = classify_point(n, k, outcomes)
+            rows.append((n, k, str(verdict.verdict), observation, "yes" if agrees else "NO"))
+    return rows
 
-    rows = benchmark.pedantic(build, iterations=1, rounds=1)
+
+def test_corollary13_border(benchmark):
+    specs = corollary13_specs(N_VALUES)
+    runner = CampaignRunner(backend="process", workers=4)
+
+    # Serial/process equality is pinned by tests/campaign/test_runner.py;
+    # the benchmark itself only times the parallel campaign.
+    result = benchmark.pedantic(runner.run, args=(specs,), iterations=1, rounds=1)
+
+    rows = classify_campaign(N_VALUES, result)
     emit(
         "E10 Corollary 13: (Sigma_k, Omega_k) solves k-set agreement iff k=1 or k=n-1",
         format_table(("n", "k", "paper verdict", "simulated observation", "agrees"), rows),
     )
+    emit("E10 campaign summary", format_campaign(result))
     assert all(row[4] == "yes" for row in rows)
     benchmark.extra_info["points"] = len(rows)
+    benchmark.extra_info.update(result.summary())
 
 
 @pytest.mark.parametrize("n", N_VALUES)
 def test_corollary13_row(benchmark, n):
-    rows = benchmark.pedantic(
-        lambda: [classify(n, k) for k in range(1, n)], iterations=1, rounds=1
-    )
-    assert all(agrees for _verdict, _observation, agrees in rows)
+    def sweep_row():
+        result = CampaignRunner().run(corollary13_specs([n]))
+        return classify_campaign([n], result)
+
+    rows = benchmark.pedantic(sweep_row, iterations=1, rounds=1)
+    assert all(row[4] == "yes" for row in rows)
     benchmark.extra_info.update({"n": n, "k_points": len(rows)})

@@ -13,24 +13,34 @@ isolation runs exhibit ``k+1`` distinct decision values.
 
 from __future__ import annotations
 
+import os
+import time
+
 import pytest
 
 from repro import KSetInitialCrash, Theorem8BorderScenario, theorem8_verdict
 from repro.analysis.border_sweep import sweep_theorem8
 from repro.analysis.reporting import format_sweep, format_table
+from repro.campaign import CampaignRunner, theorem8_specs
 from benchmarks.conftest import emit
 
-SWEEP_N = [4, 5, 6]
+# REPRO_SWEEP_N overrides the swept sizes (comma-separated), which lets
+# CI smoke-test the campaign-backed sweep on a tiny grid.
+SWEEP_N = [int(x) for x in os.environ.get("REPRO_SWEEP_N", "4,5,6").split(",")]
 BORDER_POINTS = [(4, 2, 1), (6, 4, 2), (8, 6, 3), (9, 6, 2), (10, 8, 4)]
+SWEEP_KWARGS = {"seeds": (1,), "max_steps": 8_000}
 
 
 def test_theorem8_sweep(benchmark):
     """E5: prediction vs. simulation over the full small-n grid."""
     points = benchmark.pedantic(
-        sweep_theorem8, args=(SWEEP_N,), kwargs={"seeds": (1,), "max_steps": 8_000},
+        sweep_theorem8, args=(SWEEP_N,), kwargs=SWEEP_KWARGS,
         iterations=1, rounds=1,
     )
-    emit("E5 Theorem 8 border sweep (solvable iff k*n > (k+1)*f)", format_sweep(points))
+    emit(
+        "E5 Theorem 8 border sweep (solvable iff k*n > (k+1)*f)",
+        format_sweep(points, include_details=True),
+    )
     disagreements = [p for p in points if not p.agrees]
     assert not disagreements, disagreements
     benchmark.extra_info.update(
@@ -41,6 +51,58 @@ def test_theorem8_sweep(benchmark):
             "disagreements": len(disagreements),
         }
     )
+
+
+def test_theorem8_sweep_parallel_matches_serial(benchmark):
+    """E5 via the campaign engine: the parallel backend is a pure speedup.
+
+    One serial and one 4-worker parallel `sweep_theorem8` over the E5
+    grid must produce identical points, verdict for verdict.  Both runs
+    are timed symmetrically (a bare perf_counter around each sweep call)
+    and the observed speedup is recorded; on hosts with at least 4 CPUs
+    *and* a workload large enough to amortise pool startup the parallel
+    run must be at least 1.5x faster.
+    """
+    specs = theorem8_specs(SWEEP_N, **SWEEP_KWARGS)
+    parallel_runner = CampaignRunner(backend="process", workers=4)
+    timings = {}
+
+    def timed_sweep(label, runner=None):
+        started = time.perf_counter()
+        points = sweep_theorem8(SWEEP_N, runner=runner, **SWEEP_KWARGS)
+        timings[label] = time.perf_counter() - started
+        return points
+
+    serial_points = timed_sweep("serial")
+    parallel_points = benchmark.pedantic(
+        timed_sweep, args=("parallel", parallel_runner), iterations=1, rounds=1
+    )
+    assert parallel_points == serial_points  # identical verdicts, point for point
+    assert not any(p.observed == "execution error" for p in serial_points)
+
+    serial_seconds, parallel_seconds = timings["serial"], timings["parallel"]
+    speedup = serial_seconds / parallel_seconds if parallel_seconds > 0 else 0.0
+    cpus = os.cpu_count() or 1
+    benchmark.extra_info.update(
+        {
+            "scenarios": len(specs),
+            "serial_seconds": round(serial_seconds, 4),
+            "parallel_seconds": round(parallel_seconds, 4),
+            "speedup": round(speedup, 3),
+            "cpus": cpus,
+        }
+    )
+    # The runner degrades to serial execution on hosts that forbid
+    # forking; a probe campaign detects that, and tiny grids (e.g. the CI
+    # smoke run with REPRO_SWEEP_N=4) finish in milliseconds serially, so
+    # the speedup assertion only applies when a pool actually ran and the
+    # workload is large enough to amortise its startup.
+    pool_engaged = parallel_runner.run(specs[:8]).workers > 1
+    benchmark.extra_info["pool_engaged"] = pool_engaged
+    if cpus >= 4 and serial_seconds >= 0.2 and pool_engaged:
+        assert speedup > 1.5, (
+            f"expected >1.5x speedup on a {cpus}-CPU host, got {speedup:.2f}x"
+        )
 
 
 @pytest.mark.parametrize("n,f,k", BORDER_POINTS)

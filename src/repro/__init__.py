@@ -19,6 +19,10 @@ The library contains four layers:
    partitions and run-pasting constructions (:mod:`repro.partitioning`).
 4. **Analysis** — sweeps, bounded exploration and reporting used by the
    benchmark harness (:mod:`repro.analysis`).
+5. **Campaigns** — the parallel scenario-campaign engine
+   (:mod:`repro.campaign`): declarative scenario grids with deterministic
+   per-scenario seeding, executed serially or across worker processes
+   with identical results.
 
 Quickstart::
 
@@ -124,6 +128,14 @@ from repro.graphs import (
     verify_lemma7,
 )
 
+from repro.campaign import (
+    CampaignResult,
+    CampaignRunner,
+    ScenarioGrid,
+    ScenarioOutcome,
+    ScenarioSpec,
+)
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -199,6 +211,12 @@ __all__ = [
     "theorem10_partition",
     "paste_runs",
     "verify_pasting",
+    # campaigns
+    "ScenarioSpec",
+    "ScenarioOutcome",
+    "ScenarioGrid",
+    "CampaignRunner",
+    "CampaignResult",
     # graphs
     "DiGraph",
     "source_components",

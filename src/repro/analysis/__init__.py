@@ -19,7 +19,7 @@ from repro.analysis.border_sweep import (
 )
 from repro.analysis.bivalence import ExplorationReport, explore
 from repro.analysis.statistics import summarize
-from repro.analysis.reporting import format_table, format_sweep
+from repro.analysis.reporting import format_campaign, format_sweep, format_table
 
 __all__ = [
     "decision_histogram",
@@ -34,4 +34,5 @@ __all__ = [
     "summarize",
     "format_table",
     "format_sweep",
+    "format_campaign",
 ]

@@ -13,24 +13,35 @@ empirically with the paper's own Section VI algorithm:
   hearing from each other (any leftover processes are initially dead) —
   and must produce more than ``k`` distinct decision values.
 
-The sweep reports, for every point, the prediction, the observation and
-whether they agree; benchmark E5 asserts full agreement over the swept
-grid, which is the reproduced "figure" for Theorem 8.
+The executions themselves run on the campaign engine
+(:mod:`repro.campaign`): the grid of scenarios is compiled once and
+handed to a :class:`~repro.campaign.runner.CampaignRunner`, so the same
+sweep scales from a serial smoke test to a multiprocess run without
+touching this module — and, because campaign outcomes are deterministic,
+every backend produces the identical list of sweep points.
+
+The sweep reports, for every point, the prediction, the observation,
+whether they agree, and — when they do not — *which* property failed
+under *which* schedule, seed and crash pattern (``SweepPoint.details``);
+benchmark E5 asserts full agreement over the swept grid, which is the
+reproduced "figure" for Theorem 8.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
-from repro.algorithms.kset_initial_crash import KSetInitialCrash
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.scenarios import (
+    execute_theorem8_impossible,
+    execute_theorem8_solvable,
+    theorem8_point_specs,
+    theorem8_specs,
+)
+from repro.campaign.spec import ScenarioOutcome, ScenarioSpec
 from repro.core.borders import theorem8_verdict
-from repro.core.ksetagreement import KSetAgreementProblem, PropertyReport
-from repro.failure_detectors.base import FailurePattern
-from repro.models.initial_crash import initial_crash_model
-from repro.simulation.adversary import PartitioningAdversary
-from repro.simulation.executor import ExecutionSettings, execute
-from repro.simulation.scheduler import RandomScheduler, RoundRobinScheduler
+from repro.core.ksetagreement import PropertyReport
 from repro.types import Verdict
 
 __all__ = ["SweepPoint", "observe_solvable", "observe_impossible", "sweep_theorem8"]
@@ -38,7 +49,13 @@ __all__ = ["SweepPoint", "observe_solvable", "observe_impossible", "sweep_theore
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One parameter point of the Theorem 8 sweep."""
+    """One parameter point of the Theorem 8 sweep.
+
+    ``details`` carries one line per noteworthy run: on a disagreeing
+    point, every failing run with the violated property and the schedule,
+    seed and crash pattern it failed under; on an agreeing point, a
+    one-line summary of the evidence.
+    """
 
     n: int
     f: int
@@ -46,24 +63,7 @@ class SweepPoint:
     predicted: Verdict
     observed: str
     agrees: bool
-    details: str = ""
-
-
-def _initial_crash_patterns(n: int, f: int, seeds: Sequence[int]) -> List[frozenset]:
-    """Representative initial-crash sets: none, largest, smallest, seeded."""
-    import random
-
-    processes = tuple(range(1, n + 1))
-    patterns = [frozenset(), frozenset(processes[-f:]) if f else frozenset(),
-                frozenset(processes[:f]) if f else frozenset()]
-    for seed in seeds:
-        rng = random.Random(seed)
-        patterns.append(frozenset(rng.sample(processes, f)) if f else frozenset())
-    unique: List[frozenset] = []
-    for pattern in patterns:
-        if pattern not in unique:
-            unique.append(pattern)
-    return unique
+    details: Tuple[str, ...] = ()
 
 
 def observe_solvable(
@@ -77,26 +77,14 @@ def observe_solvable(
     """Exercise the Section VI algorithm on the solvable side.
 
     Returns ``(all_ok, reports)`` where ``all_ok`` means every executed
-    schedule satisfied k-agreement, validity and termination.
+    schedule satisfied k-agreement, validity and termination.  The
+    schedules are exactly the scenarios the campaign grid compiles for
+    this point.
     """
-    algorithm = KSetInitialCrash(n, f)
-    model = initial_crash_model(n, f)
-    proposals = {pid: pid for pid in model.processes}
-    problem = KSetAgreementProblem(k)
     reports: List[PropertyReport] = []
-    for dead in _initial_crash_patterns(n, f, seeds):
-        pattern = FailurePattern.initially_dead(model.processes, dead)
-        schedules = [RoundRobinScheduler()] + [RandomScheduler(seed) for seed in seeds]
-        for adversary in schedules:
-            run = execute(
-                algorithm,
-                model,
-                proposals,
-                adversary=adversary,
-                failure_pattern=pattern,
-                settings=ExecutionSettings(max_steps=max_steps),
-            )
-            reports.append(problem.evaluate(run, proposals=proposals))
+    for spec in theorem8_point_specs(n, f, k, seeds=seeds, max_steps=max_steps):
+        _run, report = execute_theorem8_solvable(spec)
+        reports.append(report)
     return all(report.all_ok for report in reports), reports
 
 
@@ -115,28 +103,40 @@ def observe_impossible(
     the Section VI algorithm under the partitioning adversary.  Returns
     ``(violation_found, report)``.
     """
-    group_size = n - f
-    groups = [
-        frozenset(range(i * group_size + 1, (i + 1) * group_size + 1))
-        for i in range(k + 1)
-    ]
-    covered = frozenset().union(*groups)
-    model = initial_crash_model(n, f)
-    leftover = frozenset(model.processes) - covered
-    pattern = FailurePattern.initially_dead(model.processes, leftover)
-    algorithm = KSetInitialCrash(n, f)
-    proposals = {pid: pid for pid in model.processes}
-    run = execute(
-        algorithm,
-        model,
-        proposals,
-        adversary=PartitioningAdversary(groups),
-        failure_pattern=pattern,
-        settings=ExecutionSettings(max_steps=max_steps),
+    spec = ScenarioSpec(
+        kind="theorem8-impossible", n=n, f=f, k=k,
+        scheduler="partitioning", max_steps=max_steps,
     )
-    report = KSetAgreementProblem(k).evaluate(run, proposals=proposals)
+    _run, report = execute_theorem8_impossible(spec)
     violation_found = not report.agreement_ok or not report.termination_ok
     return violation_found, report
+
+
+def _solvable_point(outcomes: Sequence[ScenarioOutcome]) -> Tuple[str, bool, Tuple[str, ...]]:
+    errors = tuple(o for o in outcomes if o.verdict == "error")
+    if errors:
+        # An execution failure is evidence of nothing: report it as an
+        # error, never as an observed property violation.
+        return "execution error", False, tuple(o.describe() for o in errors)
+    ok = all(outcome.all_ok for outcome in outcomes)
+    if ok:
+        details = (f"{len(outcomes)} runs, all properties hold",)
+    else:
+        details = tuple(o.describe() for o in outcomes if not o.all_ok)
+    observed = "all properties hold" if ok else "violation observed"
+    return observed, ok, details
+
+
+def _impossible_point(outcomes: Sequence[ScenarioOutcome]) -> Tuple[str, bool, Tuple[str, ...]]:
+    (outcome,) = outcomes
+    if outcome.verdict == "error":
+        # An execution failure is evidence of nothing: never report it as
+        # the expected violation, surface it as a disagreement instead.
+        return "execution error", False, (outcome.describe(),)
+    violated = not outcome.agreement_ok or not outcome.termination_ok
+    observed = "partitioning forces a violation" if violated else "no violation found"
+    details = outcome.violations if outcome.violations else (outcome.describe(),)
+    return observed, violated, details
 
 
 def sweep_theorem8(
@@ -144,27 +144,33 @@ def sweep_theorem8(
     *,
     seeds: Sequence[int] = (1, 2),
     max_steps: int = 20_000,
+    runner: Optional[CampaignRunner] = None,
 ) -> List[SweepPoint]:
-    """Sweep the full (n, f, k) grid and compare prediction with observation."""
+    """Sweep the full (n, f, k) grid and compare prediction with observation.
+
+    ``runner`` selects the campaign backend (default: serial); the
+    resulting points are identical for every backend.
+    """
+    n_values = list(n_values)
+    specs = theorem8_specs(n_values, seeds=seeds, max_steps=max_steps)
+    result = (runner or CampaignRunner()).run(specs)
+    grouped = result.by_point()
+
     points: List[SweepPoint] = []
     for n in n_values:
         for f in range(1, n):
             for k in range(1, n):
                 verdict = theorem8_verdict(n, f, k)
-                if verdict.is_solvable:
-                    ok, reports = observe_solvable(
-                        n, f, k, seeds=seeds, max_steps=max_steps
-                    )
-                    observed = "all properties hold" if ok else "violation observed"
-                    agrees = ok
-                    details = f"{len(reports)} runs"
+                outcomes = grouped.get((n, f, k), ())
+                if not outcomes:
+                    # A point the campaign never executed is a sweep bug,
+                    # not agreement — fail loudly rather than vacuously.
+                    observed, agrees = "no scenarios executed", False
+                    details = ("the campaign produced no outcomes for this point",)
+                elif verdict.is_solvable:
+                    observed, agrees, details = _solvable_point(outcomes)
                 else:
-                    violated, report = observe_impossible(n, f, k, max_steps=max_steps)
-                    observed = (
-                        "partitioning forces a violation" if violated else "no violation found"
-                    )
-                    agrees = violated
-                    details = report.summary()
+                    observed, agrees, details = _impossible_point(outcomes)
                 points.append(
                     SweepPoint(
                         n=n,

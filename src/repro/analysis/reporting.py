@@ -12,7 +12,7 @@ from typing import Iterable, List, Sequence
 
 from repro.analysis.border_sweep import SweepPoint
 
-__all__ = ["format_table", "format_sweep"]
+__all__ = ["format_table", "format_sweep", "format_campaign"]
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
@@ -42,8 +42,13 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> st
     return "\n".join(lines)
 
 
-def format_sweep(points: Sequence[SweepPoint]) -> str:
-    """Render a Theorem 8 sweep as a table (one row per parameter point)."""
+def format_sweep(points: Sequence[SweepPoint], *, include_details: bool = False) -> str:
+    """Render a Theorem 8 sweep as a table (one row per parameter point).
+
+    With ``include_details=True`` every disagreeing point is followed by
+    its per-run failure details (which property failed, under which
+    schedule/seed/crash pattern), indented under the table.
+    """
     headers = ("n", "f", "k", "paper verdict", "simulated observation", "agrees")
     rows = [
         (
@@ -56,4 +61,43 @@ def format_sweep(points: Sequence[SweepPoint]) -> str:
         )
         for point in points
     ]
-    return format_table(headers, rows)
+    table = format_table(headers, rows)
+    if not include_details:
+        return table
+    lines = [table]
+    for point in points:
+        if not point.agrees:
+            lines.append(f"(n={point.n}, f={point.f}, k={point.k}) disagrees:")
+            lines.extend(f"  {detail}" for detail in point.details)
+    return "\n".join(lines)
+
+
+def format_campaign(result) -> str:
+    """Render a :class:`~repro.campaign.runner.CampaignResult` summary.
+
+    Shows the verdict counts, the per-property failure rollup and the
+    wall-time statistics, followed by one line per non-ok scenario.
+    """
+    counts = result.verdict_counts()
+    rollup = result.property_rollup()
+    timing = result.wall_time_stats()
+    rows = [
+        ("scenarios", len(result.outcomes)),
+        ("backend", f"{result.backend} ({result.workers} worker(s))"),
+        ("ok / violation / error",
+         f"{counts['ok']} / {counts['violation']} / {counts['error']}"),
+        ("agreement failures", rollup["agreement_failures"]),
+        ("validity failures", rollup["validity_failures"]),
+        ("termination failures", rollup["termination_failures"]),
+        ("truncated runs", rollup["truncated_runs"]),
+        ("wall time", f"{timing['total']:.3f}s"
+         f" (median scenario {timing['median'] * 1000:.2f}ms)"),
+        ("throughput", f"{result.scenarios_per_second:.1f} scenarios/s"),
+    ]
+    table = format_table(("metric", "value"), rows)
+    failures = result.failures()
+    if not failures:
+        return table
+    lines = [table, "non-ok scenarios:"]
+    lines.extend(f"  {outcome.describe()}" for outcome in failures)
+    return "\n".join(lines)

@@ -1,0 +1,263 @@
+"""Campaign execution: serial, chunked and multiprocessing backends.
+
+:class:`CampaignRunner` executes a flat list of scenario specs (or a
+:class:`~repro.campaign.grid.ScenarioGrid`, which it compiles first) and
+aggregates the outcomes into a :class:`CampaignResult`.  Three backends
+share one code path:
+
+* ``"serial"`` — one scenario after the other in the calling process;
+  the reference backend every other backend must agree with.
+* ``"chunked"`` — the same executions, batched through the exact chunk
+  machinery the process backend uses; useful for testing the chunking
+  logic and for coarse progress accounting without any forking.
+* ``"process"`` — a ``multiprocessing`` pool of worker processes, each
+  executing whole chunks of specs.  Because specs are plain data and
+  every seeded scheduler derives its RNG stream from the scenario's
+  identity (:meth:`ScenarioSpec.derived_seed`), the outcome of a
+  scenario does not depend on which worker runs it or in which order —
+  so all backends produce **identical** :class:`CampaignResult`\\ s
+  (timing metadata aside, which is excluded from equality).
+
+The executor is CPU-bound pure Python, so the process backend is the one
+that scales with cores; there is deliberately no thread backend (the GIL
+would serialise it anyway).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.campaign.grid import ScenarioGrid
+from repro.campaign.scenarios import get_kind
+from repro.campaign.spec import ScenarioOutcome, ScenarioSpec
+from repro.exceptions import ConfigurationError
+
+__all__ = ["CampaignRunner", "CampaignResult", "run_scenario"]
+
+BACKENDS = ("serial", "chunked", "process")
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
+    """Execute one scenario, capturing failures as ``"error"`` outcomes.
+
+    A raising scenario never aborts a campaign: the exception is folded
+    into the outcome so that the other scenarios still run and the
+    aggregation shows exactly which points broke.
+    """
+    kind = get_kind(spec.kind)
+    try:
+        return kind(spec)
+    except Exception as exc:  # noqa: BLE001 - campaign robustness by design
+        return ScenarioOutcome.from_error(spec, exc)
+
+
+def _run_batch(specs: Sequence[ScenarioSpec]) -> Tuple[List[ScenarioOutcome], List[float]]:
+    """Worker entry point: run a chunk of specs, timing each scenario."""
+    outcomes: List[ScenarioOutcome] = []
+    timings: List[float] = []
+    for spec in specs:
+        started = time.perf_counter()
+        outcomes.append(run_scenario(spec))
+        timings.append(time.perf_counter() - started)
+    return outcomes, timings
+
+
+def _chunk(specs: Sequence[ScenarioSpec], size: int) -> List[Tuple[ScenarioSpec, ...]]:
+    return [tuple(specs[i:i + size]) for i in range(0, len(specs), size)]
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Aggregated outcomes of one campaign.
+
+    Equality compares only the outcomes — backend, worker count and all
+    timing metadata are excluded, which is what lets regression tests
+    assert ``serial_result == parallel_result`` directly.
+    """
+
+    outcomes: Tuple[ScenarioOutcome, ...]
+    backend: str = field(default="serial", compare=False)
+    workers: int = field(default=1, compare=False)
+    elapsed_seconds: float = field(default=0.0, compare=False)
+    scenario_seconds: Tuple[float, ...] = field(default=(), compare=False)
+
+    # -- rollups -----------------------------------------------------------
+
+    @property
+    def all_ok(self) -> bool:
+        """``True`` when every scenario satisfied every property."""
+        return all(outcome.all_ok for outcome in self.outcomes)
+
+    def verdict_counts(self) -> Dict[str, int]:
+        """How many scenarios ended ``ok`` / ``violation`` / ``error``."""
+        counts = {"ok": 0, "violation": 0, "error": 0}
+        for outcome in self.outcomes:
+            counts[outcome.verdict] = counts.get(outcome.verdict, 0) + 1
+        return counts
+
+    def property_rollup(self) -> Dict[str, int]:
+        """Per-property failure counts across all scenarios."""
+        return {
+            "agreement_failures": sum(1 for o in self.outcomes if not o.agreement_ok),
+            "validity_failures": sum(1 for o in self.outcomes if not o.validity_ok),
+            "termination_failures": sum(1 for o in self.outcomes if not o.termination_ok),
+            "truncated_runs": sum(1 for o in self.outcomes if o.truncated),
+        }
+
+    def failures(self) -> Tuple[ScenarioOutcome, ...]:
+        """Every outcome that is not ``ok``, in campaign order."""
+        return tuple(outcome for outcome in self.outcomes if not outcome.all_ok)
+
+    def by_point(self) -> Dict[Tuple[int, int, int], Tuple[ScenarioOutcome, ...]]:
+        """Group outcomes by their ``(n, f, k)`` parameter point."""
+        grouped: Dict[Tuple[int, int, int], List[ScenarioOutcome]] = {}
+        for outcome in self.outcomes:
+            key = (outcome.spec.n, outcome.spec.f, outcome.spec.k)
+            grouped.setdefault(key, []).append(outcome)
+        return {key: tuple(value) for key, value in grouped.items()}
+
+    def wall_time_stats(self) -> Dict[str, float]:
+        """Total and per-scenario wall-time statistics (seconds)."""
+        data = sorted(self.scenario_seconds)
+        count = len(data)
+        if not count:
+            return {"total": self.elapsed_seconds, "count": 0.0, "mean": 0.0,
+                    "min": 0.0, "max": 0.0, "median": 0.0}
+        middle = count // 2
+        median = data[middle] if count % 2 else (data[middle - 1] + data[middle]) / 2.0
+        return {
+            "total": self.elapsed_seconds,
+            "count": float(count),
+            "mean": sum(data) / count,
+            "min": data[0],
+            "max": data[-1],
+            "median": median,
+        }
+
+    @property
+    def scenarios_per_second(self) -> float:
+        """Campaign throughput (0 when nothing was timed)."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return len(self.outcomes) / self.elapsed_seconds
+
+    def summary(self) -> Dict[str, object]:
+        """Headline numbers for benchmark ``extra_info`` and reports."""
+        return {
+            "scenarios": len(self.outcomes),
+            "backend": self.backend,
+            "workers": self.workers,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "scenarios_per_second": round(self.scenarios_per_second, 3),
+            **self.verdict_counts(),
+            **self.property_rollup(),
+        }
+
+
+@dataclass(frozen=True)
+class CampaignRunner:
+    """Executes campaigns over one of the :data:`BACKENDS`.
+
+    Attributes
+    ----------
+    backend:
+        ``"serial"`` (default), ``"chunked"`` or ``"process"``.
+    workers:
+        Worker-process count for the process backend (default: the CPU
+        count, capped at 8).  Ignored by the in-process backends.
+    chunk_size:
+        Scenarios per chunk for the chunked/process backends (default:
+        an even split into roughly ``4 * workers`` chunks).
+    """
+
+    backend: str = "serial"
+    workers: Optional[int] = None
+    chunk_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown campaign backend {self.backend!r}; choose one of {BACKENDS}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {self.chunk_size}")
+
+    # -- public API --------------------------------------------------------
+
+    def run(
+        self, scenarios: Union[ScenarioGrid, Iterable[ScenarioSpec]]
+    ) -> CampaignResult:
+        """Compile (if needed) and execute a campaign."""
+        if isinstance(scenarios, ScenarioGrid):
+            specs: Tuple[ScenarioSpec, ...] = scenarios.compile()
+        else:
+            specs = tuple(scenarios)
+        for spec in specs:
+            get_kind(spec.kind)  # fail fast on unknown kinds, before executing
+
+        started = time.perf_counter()
+        if self.backend == "serial":
+            outcomes, timings = _run_batch(specs)
+            workers = 1
+        elif self.backend == "chunked":
+            outcomes, timings = [], []
+            for chunk in _chunk(specs, self._effective_chunk_size(len(specs), 1)):
+                chunk_outcomes, chunk_timings = _run_batch(chunk)
+                outcomes.extend(chunk_outcomes)
+                timings.extend(chunk_timings)
+            workers = 1
+        else:
+            outcomes, timings, workers = self._run_process(specs)
+        elapsed = time.perf_counter() - started
+
+        return CampaignResult(
+            outcomes=tuple(outcomes),
+            backend=self.backend,
+            workers=workers,
+            elapsed_seconds=elapsed,
+            scenario_seconds=tuple(timings),
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _effective_workers(self) -> int:
+        if self.workers is not None:
+            return self.workers
+        return max(1, min(os.cpu_count() or 1, 8))
+
+    def _effective_chunk_size(self, total: int, workers: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        if total == 0:
+            return 1
+        return max(1, -(-total // max(1, workers * 4)))
+
+    def _run_process(
+        self, specs: Sequence[ScenarioSpec]
+    ) -> Tuple[List[ScenarioOutcome], List[float], int]:
+        workers = self._effective_workers()
+        if not specs or workers == 1:
+            outcomes, timings = _run_batch(specs)
+            return outcomes, timings, 1
+        chunks = _chunk(specs, self._effective_chunk_size(len(specs), workers))
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        try:
+            with context.Pool(processes=min(workers, len(chunks))) as pool:
+                batches = pool.map(_run_batch, chunks)
+        except (OSError, PermissionError):  # pragma: no cover - locked-down hosts
+            # Environments that forbid forking still get a correct (if
+            # serial) campaign rather than a crash.
+            outcomes, timings = _run_batch(specs)
+            return outcomes, timings, 1
+        outcomes = [outcome for batch, _ in batches for outcome in batch]
+        timings = [timing for _, batch_timings in batches for timing in batch_timings]
+        return outcomes, timings, workers

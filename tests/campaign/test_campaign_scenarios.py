@@ -1,0 +1,100 @@
+"""Scenario kinds: registry behaviour and the shipped kind semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    ScenarioOutcome,
+    ScenarioSpec,
+    build_adversary,
+    corollary13_specs,
+    get_kind,
+    registered_kinds,
+    scenario_kind,
+)
+from repro.campaign.scenarios import _KINDS
+from repro.exceptions import ConfigurationError
+from repro.simulation.scheduler import RandomScheduler, RoundRobinScheduler
+
+
+class TestRegistry:
+    def test_shipped_kinds_are_registered(self):
+        kinds = registered_kinds()
+        for name in (
+            "theorem8-solvable",
+            "theorem8-impossible",
+            "corollary13-k1",
+            "corollary13-kmax",
+            "corollary13-middle",
+        ):
+            assert name in kinds
+            assert callable(get_kind(name))
+
+    def test_unknown_kind_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            get_kind("definitely-not-registered")
+
+    def test_duplicate_registration_rejected(self):
+        @scenario_kind("test-temporary-kind")
+        def temporary(spec):  # pragma: no cover - never executed
+            raise AssertionError
+
+        try:
+            with pytest.raises(ConfigurationError):
+                scenario_kind("test-temporary-kind")(temporary)
+        finally:
+            del _KINDS["test-temporary-kind"]
+
+    def test_custom_kind_runs_through_the_campaign(self):
+        @scenario_kind("test-always-ok")
+        def always_ok(spec):
+            return ScenarioOutcome(spec=spec, verdict="ok")
+
+        try:
+            spec = ScenarioSpec(kind="test-always-ok", n=3, f=1, k=1)
+            result = CampaignRunner().run([spec])
+            assert result.all_ok
+        finally:
+            del _KINDS["test-always-ok"]
+
+
+class TestBuildAdversary:
+    def test_round_robin(self):
+        spec = ScenarioSpec(kind="x", n=4, f=1, k=1, scheduler="round-robin")
+        assert isinstance(build_adversary(spec), RoundRobinScheduler)
+
+    def test_random_uses_derived_seed_and_params(self):
+        spec = ScenarioSpec(
+            kind="x", n=4, f=1, k=1, scheduler="random", seed=7,
+            params=(("delivery_bias", 0.25), ("max_delay", 6)),
+        )
+        adversary = build_adversary(spec)
+        assert isinstance(adversary, RandomScheduler)
+        assert adversary.delivery_bias == 0.25
+        assert adversary.max_delay == 6
+
+    def test_unknown_scheduler_rejected(self):
+        spec = ScenarioSpec(kind="x", n=4, f=1, k=1, scheduler="quantum")
+        with pytest.raises(ConfigurationError):
+            build_adversary(spec)
+
+
+class TestCorollary13Specs:
+    def test_regimes_cover_every_point(self):
+        specs = corollary13_specs([5])
+        regimes = {(s.kind, s.k) for s in specs}
+        assert ("corollary13-k1", 1) in regimes
+        assert ("corollary13-kmax", 4) in regimes
+        assert {k for kind, k in regimes if kind == "corollary13-middle"} == {2, 3}
+
+    def test_campaign_matches_the_paper(self):
+        result = CampaignRunner().run(corollary13_specs([5]))
+        assert result.verdict_counts()["error"] == 0
+        for outcome in result.outcomes:
+            if outcome.spec.kind == "corollary13-middle":
+                assert not outcome.agreement_ok
+                assert outcome.distinct_decisions > outcome.spec.k
+            else:
+                assert outcome.all_ok, outcome.describe()

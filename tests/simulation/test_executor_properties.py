@@ -1,0 +1,128 @@
+"""Property-based tests of the simulation core (seeded, no new deps).
+
+Randomises over the parameter point ``(n, f, k)``, the initially dead
+set and the schedule, and asserts the executor invariants the rest of
+the library relies on:
+
+* the write-once output ``y_p`` is never overwritten,
+* no process takes a step at or after its planned crash time,
+* messages are only sent to processes of the executed system,
+* two runs of ``RoundRobinScheduler``/``RandomScheduler`` with the same
+  seed are byte-identical.
+
+Uses the ``repro`` hypothesis profile from ``tests/conftest.py`` (fixed
+example budget, no deadline) so the suite stays fast and deterministic.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.kset_initial_crash import KSetInitialCrash
+from repro.failure_detectors.base import FailurePattern
+from repro.models.initial_crash import initial_crash_model
+from repro.simulation.executor import ExecutionSettings, execute
+from repro.simulation.scheduler import RandomScheduler, RoundRobinScheduler
+
+
+@st.composite
+def executions(draw):
+    """A random initial-crash execution: point, dead set and schedule."""
+    n = draw(st.integers(min_value=3, max_value=7))
+    f = draw(st.integers(min_value=1, max_value=n - 1))
+    dead_size = draw(st.integers(min_value=0, max_value=f))
+    dead = frozenset(
+        draw(
+            st.lists(
+                st.integers(min_value=1, max_value=n),
+                min_size=dead_size, max_size=dead_size, unique=True,
+            )
+        )
+    )
+    seed = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=2**32 - 1)))
+    return n, f, dead, seed
+
+
+def run_execution(n, f, dead, seed, *, max_steps=4_000):
+    model = initial_crash_model(n, f)
+    if seed is None:
+        adversary = RoundRobinScheduler()
+    else:
+        adversary = RandomScheduler(seed, max_delay=10)
+    return execute(
+        KSetInitialCrash(n, f),
+        model,
+        {p: p for p in model.processes},
+        adversary=adversary,
+        failure_pattern=FailurePattern.initially_dead(model.processes, dead),
+        settings=ExecutionSettings(max_steps=max_steps),
+    )
+
+
+class TestExecutorInvariants:
+    @given(executions())
+    def test_write_once_output_is_never_overwritten(self, case):
+        run = run_execution(*case)
+        for pid in run.processes:
+            decisions = []
+            for event in run.steps_of(pid):
+                if event.state_after.has_decided:
+                    decisions.append(event.state_after.decision)
+            # once set, y_p keeps the same value in every later state
+            assert len(set(decisions)) <= 1
+            newly = [e for e in run.steps_of(pid) if e.newly_decided]
+            assert len(newly) <= 1
+
+    @given(executions())
+    def test_no_steps_at_or_after_crash_time(self, case):
+        run = run_execution(*case)
+        crash_times = run.failure_pattern.crash_times
+        for event in run.events:
+            crash_time = crash_times.get(event.pid)
+            assert crash_time is None or event.time < crash_time, (
+                f"p{event.pid} stepped at {event.time}, crash time {crash_time}"
+            )
+        dead = run.failure_pattern.initially_dead_set
+        assert all(event.pid not in dead for event in run.events)
+
+    @given(executions())
+    def test_messages_only_to_processes_of_the_executed_system(self, case):
+        run = run_execution(*case)
+        members = set(run.processes)
+        for event in run.events:
+            for message in event.sent:
+                assert message.sender == event.pid
+                assert message.receiver in members
+        for message in run.undelivered:
+            assert message.receiver in members
+
+    @given(executions())
+    def test_delivered_messages_were_addressed_to_the_stepper(self, case):
+        run = run_execution(*case)
+        for event in run.events:
+            assert all(m.receiver == event.pid for m in event.delivered)
+
+
+class TestScheduleDeterminism:
+    @given(executions())
+    @settings(max_examples=15)
+    def test_same_seed_runs_are_byte_identical(self, case):
+        first = run_execution(*case)
+        second = run_execution(*case)
+        assert pickle.dumps(first.events) == pickle.dumps(second.events)
+        assert pickle.dumps(first.failure_pattern) == pickle.dumps(second.failure_pattern)
+        assert first.decisions() == second.decisions()
+        assert first.completed == second.completed
+        assert first.truncated == second.truncated
+
+    @given(executions(), st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=15)
+    def test_repr_of_event_stream_is_reproducible(self, case, _salt):
+        # repr-level identity: the textual trace is the same byte sequence
+        n, f, dead, seed = case
+        first = repr(run_execution(n, f, dead, seed).events)
+        second = repr(run_execution(n, f, dead, seed).events)
+        assert first == second
