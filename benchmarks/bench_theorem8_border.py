@@ -22,7 +22,8 @@ from repro import KSetInitialCrash, Theorem8BorderScenario, theorem8_verdict
 from repro.analysis.border_sweep import sweep_theorem8
 from repro.analysis.reporting import format_sweep, format_table
 from repro.campaign import CampaignRunner, theorem8_specs
-from benchmarks.conftest import emit
+from repro.store import CachingRunner, open_store
+from benchmarks.conftest import emit, emit_json
 
 # REPRO_SWEEP_N overrides the swept sizes (comma-separated), which lets
 # CI smoke-test the campaign-backed sweep on a tiny grid.
@@ -51,6 +52,7 @@ def test_theorem8_sweep(benchmark):
             "disagreements": len(disagreements),
         }
     )
+    emit_json("E5_theorem8_sweep", {"n_values": SWEEP_N, **benchmark.extra_info})
 
 
 def test_theorem8_sweep_parallel_matches_serial(benchmark):
@@ -99,10 +101,48 @@ def test_theorem8_sweep_parallel_matches_serial(benchmark):
     # workload is large enough to amortise its startup.
     pool_engaged = parallel_runner.run(specs[:8]).workers > 1
     benchmark.extra_info["pool_engaged"] = pool_engaged
+    emit_json("E5_theorem8_parallel", benchmark.extra_info)
     if cpus >= 4 and serial_seconds >= 0.2 and pool_engaged:
         assert speedup > 1.5, (
             f"expected >1.5x speedup on a {cpus}-CPU host, got {speedup:.2f}x"
         )
+
+
+def test_theorem8_sweep_cached_resume(benchmark, tmp_path):
+    """E5 on the persistent store: a warm sweep is pure cache replay.
+
+    A cold campaign populates a SQLite store incrementally; the timed
+    warm campaign must execute *zero* scenarios, serve every outcome
+    from cache, and still produce a `CampaignResult` equal to the cold
+    run — the property that makes killing and resuming a long sweep
+    free of recomputation.
+    """
+    specs = theorem8_specs(SWEEP_N, **SWEEP_KWARGS)
+    with open_store(tmp_path / "theorem8.sqlite") as store:
+        cold_runner = CachingRunner(store)
+        cold_started = time.perf_counter()
+        cold = cold_runner.run(specs)
+        cold_seconds = time.perf_counter() - cold_started
+        assert cold_runner.last_stats.cached == 0
+
+        warm_runner = CachingRunner(store)
+        warm_started = time.perf_counter()
+        warm = benchmark.pedantic(warm_runner.run, args=(specs,), iterations=1, rounds=1)
+        warm_seconds = time.perf_counter() - warm_started
+
+    assert warm == cold  # resumed == uninterrupted, outcome for outcome
+    assert warm_runner.last_stats.executed == 0
+    assert warm_runner.last_stats.cached == len(specs)
+    benchmark.extra_info.update(
+        {
+            "scenarios": len(specs),
+            "cold_seconds": round(cold_seconds, 4),
+            "warm_seconds": round(warm_seconds, 4),
+            "replay_speedup": round(cold_seconds / warm_seconds, 3) if warm_seconds > 0 else 0.0,
+            **warm_runner.last_stats.as_dict(),
+        }
+    )
+    emit_json("E5_theorem8_cached_resume", benchmark.extra_info)
 
 
 @pytest.mark.parametrize("n,f,k", BORDER_POINTS)

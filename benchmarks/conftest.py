@@ -6,11 +6,19 @@ that the simulated outcome matches the paper's claim, records the headline
 numbers in ``benchmark.extra_info`` and prints the reproduced table so that
 ``pytest benchmarks/ --benchmark-only -s`` shows the same rows the paper
 reports (EXPERIMENTS.md archives one such printout).
+
+When ``REPRO_BENCH_JSON`` names a directory, :func:`emit_json`
+additionally writes each benchmark's headline numbers as
+``BENCH_<name>.json`` there — CI uploads those files as workflow
+artifacts, giving the performance trajectory a machine-readable feed.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Mapping, Optional, Sequence
 
 import pytest
 
@@ -19,6 +27,26 @@ def emit(title: str, table: str) -> None:
     """Print a reproduced table under a recognisable header."""
     print(f"\n=== {title} ===")
     print(table)
+
+
+def emit_json(name: str, payload: Mapping[str, object]) -> Optional[Path]:
+    """Write ``BENCH_<name>.json`` into ``$REPRO_BENCH_JSON`` (no-op unset).
+
+    ``name`` should be a stable experiment identifier (``E5_theorem8_sweep``)
+    so that artifacts from successive CI runs are comparable file-by-file.
+    Values that are not JSON-native are stringified rather than dropped.
+    """
+    directory = os.environ.get("REPRO_BENCH_JSON")
+    if not directory:
+        return None
+    target_dir = Path(directory)
+    target_dir.mkdir(parents=True, exist_ok=True)
+    target = target_dir / f"BENCH_{name}.json"
+    target.write_text(
+        json.dumps(dict(payload), indent=2, sort_keys=True, default=str) + "\n",
+        encoding="utf-8",
+    )
+    return target
 
 
 @pytest.fixture

@@ -1,0 +1,98 @@
+"""Demo: persistent campaigns — caching, resume, budgets, live progress.
+
+Runs the Theorem 8 border campaign against a persistent result store
+three times:
+
+1. **cold** — every scenario executes, each outcome is persisted the
+   moment it exists (kill the run at any point: nothing completed is
+   lost);
+2. **warm** — the identical campaign replays entirely from cache and
+   produces a ``CampaignResult`` *equal* to the cold one;
+3. **interrupted + resumed** — a half-populated store stands in for a
+   killed run; the resumed campaign recomputes only the missing half and
+   still equals the uninterrupted result.
+
+It then shows an adaptive budget (``EarlyStopPolicy`` stops sampling a
+point once a violation is certified) and the JSON round trip of a full
+campaign result.  Run with::
+
+    PYTHONPATH=src python examples/campaign_store.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.campaign import CampaignResult, CampaignRunner, theorem8_specs
+from repro.store import (
+    CachingRunner,
+    EarlyStopPolicy,
+    LogProgressReporter,
+    ScenarioFingerprint,
+    open_store,
+)
+
+
+def main() -> None:
+    n_values = [4, 5]
+    specs = theorem8_specs(n_values, seeds=(1,), max_steps=6_000)
+    print(f"campaign: {len(specs)} scenarios over n={n_values}")
+    print(f"  example fingerprint: {ScenarioFingerprint.of(specs[0]).short}… "
+          f"<- {specs[0].label()}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        jsonl_path = Path(tmp) / "theorem8.jsonl"
+        sqlite_path = Path(tmp) / "theorem8.sqlite"
+
+        # 1. Cold run: outcomes are persisted incrementally, with live
+        #    pool-wide progress from worker-side events.
+        with open_store(jsonl_path) as store:
+            runner = CachingRunner(
+                store,
+                CampaignRunner(backend="process", workers=2),
+                progress=LogProgressReporter(every=25),
+            )
+            cold = runner.run(specs)
+            print(f"cold run:  {runner.last_stats.as_dict()}")
+            assert runner.last_stats.executed == len(specs)
+
+        # 2. Warm run (fresh store handle, as after a restart): pure
+        #    cache replay, equal result.
+        with open_store(jsonl_path) as store:
+            runner = CachingRunner(store)
+            warm = runner.run(specs)
+            print(f"warm run:  {runner.last_stats.as_dict()}")
+            assert runner.last_stats.executed == 0
+            assert warm == cold, "cache replay must equal the cold campaign"
+
+        # 3. Interrupted + resumed, on the SQLite backend: half the
+        #    campaign is already stored (standing in for a killed run) —
+        #    the resumed campaign computes only the other half.
+        with open_store(sqlite_path) as store:
+            CachingRunner(store).run(specs[: len(specs) // 2])
+            runner = CachingRunner(store, CampaignRunner(backend="process", workers=2))
+            resumed = runner.run(specs)
+            print(f"resumed:   {runner.last_stats.as_dict()}")
+            assert runner.last_stats.cached == len(specs) // 2
+            assert resumed == cold, "resumed campaign must equal an uninterrupted one"
+
+        # 4. Adaptive budget: certify each point's violation once, skip
+        #    the rest of that point's samples.
+        policy = EarlyStopPolicy(stop_on=("violation", "ok"))
+        runner = CachingRunner(open_store(":memory:"), policy=policy)
+        adaptive = runner.run(specs)
+        print(f"adaptive:  {runner.last_stats.as_dict()} "
+              f"({len(policy.certified_points())} points certified)")
+        assert runner.last_stats.skipped == policy.skipped_count
+        assert len(adaptive.outcomes) == len(specs) - policy.skipped_count
+
+    # 5. A campaign result is archivable JSON.
+    restored = CampaignResult.from_json(cold.to_json())
+    assert restored == cold
+    print("json round trip: restored == cold campaign")
+    print("\nall persistence guarantees hold")
+
+
+if __name__ == "__main__":
+    main()

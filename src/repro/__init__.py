@@ -22,7 +22,9 @@ The library contains four layers:
 5. **Campaigns** — the parallel scenario-campaign engine
    (:mod:`repro.campaign`): declarative scenario grids with deterministic
    per-scenario seeding, executed serially or across worker processes
-   with identical results.
+   with identical results; plus the persistent result store
+   (:mod:`repro.store`): content-addressed caching, kill/resume,
+   adaptive budgets and pool-wide live progress for long campaigns.
 
 Quickstart::
 

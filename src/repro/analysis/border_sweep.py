@@ -145,15 +145,32 @@ def sweep_theorem8(
     seeds: Sequence[int] = (1, 2),
     max_steps: int = 20_000,
     runner: Optional[CampaignRunner] = None,
+    store=None,
+    progress=None,
 ) -> List[SweepPoint]:
     """Sweep the full (n, f, k) grid and compare prediction with observation.
 
     ``runner`` selects the campaign backend (default: serial); the
-    resulting points are identical for every backend.
+    resulting points are identical for every backend.  Passing a
+    ``store`` (:class:`repro.store.ResultStore`) makes the sweep
+    persistent: already-stored scenarios are served from cache, fresh
+    outcomes are persisted incrementally, and a killed sweep resumes
+    where it stopped — producing the identical points either way.
+    ``progress`` (:class:`repro.store.ProgressReporter`) streams
+    pool-wide per-scenario events while the campaign runs.
     """
     n_values = list(n_values)
     specs = theorem8_specs(n_values, seeds=seeds, max_steps=max_steps)
-    result = (runner or CampaignRunner()).run(specs)
+    campaign_runner = runner if runner is not None else CampaignRunner()
+    if store is not None or progress is not None:
+        from repro.store import CachingRunner, MemoryResultStore
+
+        campaign_runner = CachingRunner(
+            store if store is not None else MemoryResultStore(),
+            campaign_runner,
+            progress=progress,
+        )
+    result = campaign_runner.run(specs)
     grouped = result.by_point()
 
     points: List[SweepPoint] = []

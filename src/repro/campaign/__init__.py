@@ -39,7 +39,18 @@ from repro.campaign.scenarios import (
     theorem8_solvable_grid,
     theorem8_specs,
 )
-from repro.campaign.runner import CampaignResult, CampaignRunner, run_scenario
+from repro.campaign.codec import (
+    outcome_from_dict,
+    outcome_to_dict,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.campaign.runner import (
+    CampaignResult,
+    CampaignRunner,
+    ScenarioEvent,
+    run_scenario,
+)
 
 __all__ = [
     "DETERMINISTIC_SCHEDULERS",
@@ -48,7 +59,12 @@ __all__ = [
     "ScenarioGrid",
     "CampaignRunner",
     "CampaignResult",
+    "ScenarioEvent",
     "run_scenario",
+    "spec_to_dict",
+    "spec_from_dict",
+    "outcome_to_dict",
+    "outcome_from_dict",
     "scenario_kind",
     "get_kind",
     "registered_kinds",

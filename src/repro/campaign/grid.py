@@ -105,6 +105,11 @@ class ScenarioGrid:
             raise ConfigurationError("a grid needs at least one scheduler")
         if not self.seeds:
             raise ConfigurationError("a grid needs at least one seed")
+        object.__setattr__(self, "_compiled", None)
+
+    def __len__(self) -> int:
+        """Number of compiled scenarios (compiles on first use)."""
+        return len(self.compile())
 
     def compile(self) -> Tuple[ScenarioSpec, ...]:
         """Expand the grid into a flat, deduplicated tuple of specs.
@@ -115,7 +120,17 @@ class ScenarioGrid:
         executes.  Scenarios that normalise to the same spec (for example
         a deterministic scheduler combined with several seeds) are
         deduplicated, preserving first-occurrence order.
+
+        The expansion is memoised on the (frozen) grid: the caching layer
+        and the runner both compile, and a large grid should only pay the
+        cartesian expansion once.  ``crash_sets``/``point_filter``
+        callables are therefore expected to be pure.
         """
+        if self._compiled is None:
+            object.__setattr__(self, "_compiled", self._compile())
+        return self._compiled
+
+    def _compile(self) -> Tuple[ScenarioSpec, ...]:
         specs: List[ScenarioSpec] = []
         seen: set = set()
         for n in self.n_values:

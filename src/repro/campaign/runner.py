@@ -18,6 +18,30 @@ share one code path:
   so all backends produce **identical** :class:`CampaignResult`\\ s
   (timing metadata aside, which is excluded from equality).
 
+:meth:`CampaignRunner.run` additionally accepts three hooks that the
+persistent store (:mod:`repro.store`) builds on:
+
+* ``on_outcome`` — called in the **calling** process as soon as an
+  outcome exists (per scenario for the in-process backends, per
+  completed chunk for the process backend).  This is what lets a store
+  persist results incrementally, so a killed campaign resumes from its
+  last completed scenario instead of from scratch.
+* ``progress`` — a callable receiving one :class:`ScenarioEvent` per
+  finished scenario.  Under the process backend the events are produced
+  *worker-side* and shipped over a queue, so a progress reporter sees
+  pool-wide liveness (including which worker pid ran what), not just
+  chunk completions.
+* ``should_skip`` — consulted once per scenario at dispatch time; a
+  ``True`` return drops the scenario from the campaign.  Adaptive
+  budgets (:class:`repro.store.EarlyStopPolicy`) use this to stop
+  sampling a sweep point once its outcome is certified.
+
+The process backend dispatches chunks in waves (at most ``2 × workers``
+outstanding) instead of one bulk ``pool.map``: results arrive as they
+complete, which keeps ``on_outcome`` persistence incremental and lets
+``should_skip`` see the outcomes observed so far when deciding whether a
+later chunk still needs to run.
+
 The executor is CPU-bound pure Python, so the process backend is the one
 that scales with cores; there is deliberately no thread backend (the GIL
 would serialise it anyway).
@@ -25,20 +49,50 @@ would serialise it anyway).
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
+import queue as queue_module
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.campaign import codec
 from repro.campaign.grid import ScenarioGrid
 from repro.campaign.scenarios import get_kind
 from repro.campaign.spec import ScenarioOutcome, ScenarioSpec
 from repro.exceptions import ConfigurationError
 
-__all__ = ["CampaignRunner", "CampaignResult", "run_scenario"]
+__all__ = ["CampaignRunner", "CampaignResult", "ScenarioEvent", "run_scenario"]
 
 BACKENDS = ("serial", "chunked", "process")
+
+#: Format tag of :meth:`CampaignResult.to_json` payloads.
+RESULT_JSON_FORMAT = 1
+
+#: Hook signatures accepted by :meth:`CampaignRunner.run`.
+OutcomeHook = Callable[[ScenarioOutcome, float], None]
+ProgressHook = Callable[["ScenarioEvent"], None]
+SkipHook = Callable[[ScenarioSpec], bool]
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One scenario finished somewhere in the campaign.
+
+    Events are produced where the scenario ran (worker-side under the
+    process backend) and are plain picklable data, so they can cross the
+    process boundary on a queue.  ``cached`` marks events synthesised by
+    :class:`repro.store.CachingRunner` for store hits, which never reach
+    a worker.
+    """
+
+    label: str
+    verdict: str
+    seconds: float
+    worker_pid: int
+    cached: bool = False
 
 
 def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
@@ -55,14 +109,53 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
         return ScenarioOutcome.from_error(spec, exc)
 
 
-def _run_batch(specs: Sequence[ScenarioSpec]) -> Tuple[List[ScenarioOutcome], List[float]]:
-    """Worker entry point: run a chunk of specs, timing each scenario."""
+#: Worker-side event sink.  ``None`` in the parent; pool workers set it to
+#: ``queue.put`` via :func:`_init_worker_events` so that ``_run_batch``
+#: streams one event per finished scenario back to the reporter.
+_WORKER_EVENT_SINK: Optional[ProgressHook] = None
+
+
+def _init_worker_events(event_queue) -> None:
+    """Pool initializer: route this worker's scenario events to the queue."""
+    global _WORKER_EVENT_SINK
+    _WORKER_EVENT_SINK = event_queue.put
+
+
+def _emit_event(sink: Optional[ProgressHook], spec: ScenarioSpec,
+                outcome: ScenarioOutcome, seconds: float) -> None:
+    if sink is None:
+        return
+    try:
+        sink(ScenarioEvent(
+            label=spec.label(),
+            verdict=outcome.verdict,
+            seconds=seconds,
+            worker_pid=os.getpid(),
+        ))
+    except Exception:  # noqa: BLE001 - progress must never break a campaign
+        pass
+
+
+def _run_batch(
+    specs: Sequence[ScenarioSpec],
+    event_sink: Optional[ProgressHook] = None,
+) -> Tuple[List[ScenarioOutcome], List[float]]:
+    """Worker entry point: run a chunk of specs, timing each scenario.
+
+    ``event_sink`` is passed explicitly by the in-process backends; pool
+    workers leave it ``None`` and fall back to the queue sink installed
+    by :func:`_init_worker_events`.
+    """
+    sink = event_sink if event_sink is not None else _WORKER_EVENT_SINK
     outcomes: List[ScenarioOutcome] = []
     timings: List[float] = []
     for spec in specs:
         started = time.perf_counter()
-        outcomes.append(run_scenario(spec))
-        timings.append(time.perf_counter() - started)
+        outcome = run_scenario(spec)
+        seconds = time.perf_counter() - started
+        outcomes.append(outcome)
+        timings.append(seconds)
+        _emit_event(sink, spec, outcome, seconds)
     return outcomes, timings
 
 
@@ -157,6 +250,43 @@ class CampaignResult:
             **self.property_rollup(),
         }
 
+    # -- serialisation -----------------------------------------------------
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        """Serialise the full result — outcomes and metadata — to JSON.
+
+        The round trip is lossless: ``CampaignResult.from_json(r.to_json())``
+        compares equal to ``r`` (and also restores the non-compared
+        backend/timing metadata), which is what lets campaign results be
+        archived, diffed and re-aggregated without re-running anything.
+        """
+        payload = {
+            "format": RESULT_JSON_FORMAT,
+            "backend": self.backend,
+            "workers": self.workers,
+            "elapsed_seconds": self.elapsed_seconds,
+            "scenario_seconds": list(self.scenario_seconds),
+            "outcomes": [codec.outcome_to_dict(o) for o in self.outcomes],
+        }
+        return json.dumps(payload, sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignResult":
+        """Inverse of :meth:`to_json`."""
+        payload = json.loads(text)
+        if payload.get("format") != RESULT_JSON_FORMAT:
+            raise ConfigurationError(
+                f"unsupported campaign-result format {payload.get('format')!r}; "
+                f"this build reads format {RESULT_JSON_FORMAT}"
+            )
+        return cls(
+            outcomes=tuple(codec.outcome_from_dict(o) for o in payload["outcomes"]),
+            backend=payload["backend"],
+            workers=int(payload["workers"]),
+            elapsed_seconds=float(payload["elapsed_seconds"]),
+            scenario_seconds=tuple(float(s) for s in payload["scenario_seconds"]),
+        )
+
 
 @dataclass(frozen=True)
 class CampaignRunner:
@@ -191,9 +321,22 @@ class CampaignRunner:
     # -- public API --------------------------------------------------------
 
     def run(
-        self, scenarios: Union[ScenarioGrid, Iterable[ScenarioSpec]]
+        self,
+        scenarios: Union[ScenarioGrid, Iterable[ScenarioSpec]],
+        *,
+        on_outcome: Optional[OutcomeHook] = None,
+        progress: Optional[ProgressHook] = None,
+        should_skip: Optional[SkipHook] = None,
     ) -> CampaignResult:
-        """Compile (if needed) and execute a campaign."""
+        """Compile (if needed) and execute a campaign.
+
+        ``on_outcome(outcome, seconds)`` fires in the calling process as
+        each outcome becomes available; ``progress`` receives one
+        :class:`ScenarioEvent` per finished scenario (worker-side under
+        the process backend); ``should_skip(spec)`` is consulted once per
+        scenario at dispatch time and drops the scenario when ``True``.
+        Without hooks the behaviour is exactly the hook-free campaign.
+        """
         if isinstance(scenarios, ScenarioGrid):
             specs: Tuple[ScenarioSpec, ...] = scenarios.compile()
         else:
@@ -203,17 +346,17 @@ class CampaignRunner:
 
         started = time.perf_counter()
         if self.backend == "serial":
-            outcomes, timings = _run_batch(specs)
+            outcomes, timings = self._run_inprocess(
+                [specs], on_outcome, progress, should_skip, per_scenario=True)
             workers = 1
         elif self.backend == "chunked":
-            outcomes, timings = [], []
-            for chunk in _chunk(specs, self._effective_chunk_size(len(specs), 1)):
-                chunk_outcomes, chunk_timings = _run_batch(chunk)
-                outcomes.extend(chunk_outcomes)
-                timings.extend(chunk_timings)
+            chunks = _chunk(specs, self._effective_chunk_size(len(specs), 1))
+            outcomes, timings = self._run_inprocess(
+                chunks, on_outcome, progress, should_skip, per_scenario=False)
             workers = 1
         else:
-            outcomes, timings, workers = self._run_process(specs)
+            outcomes, timings, workers = self._run_process(
+                specs, on_outcome, progress, should_skip)
         elapsed = time.perf_counter() - started
 
         return CampaignResult(
@@ -238,26 +381,184 @@ class CampaignRunner:
             return 1
         return max(1, -(-total // max(1, workers * 4)))
 
+    @staticmethod
+    def _filter_chunk(
+        chunk: Sequence[ScenarioSpec], should_skip: Optional[SkipHook]
+    ) -> Tuple[ScenarioSpec, ...]:
+        if should_skip is None:
+            return tuple(chunk)
+        return tuple(spec for spec in chunk if not should_skip(spec))
+
+    def _run_inprocess(
+        self,
+        chunks: Sequence[Sequence[ScenarioSpec]],
+        on_outcome: Optional[OutcomeHook],
+        progress: Optional[ProgressHook],
+        should_skip: Optional[SkipHook],
+        *,
+        per_scenario: bool,
+    ) -> Tuple[List[ScenarioOutcome], List[float]]:
+        """Serial/chunked execution with hooks.
+
+        ``per_scenario=True`` (serial backend) delivers ``on_outcome``
+        after every scenario and consults ``should_skip`` before each
+        one; the chunked backend mirrors the process backend instead —
+        skip decisions and ``on_outcome`` happen at chunk granularity.
+        """
+        outcomes: List[ScenarioOutcome] = []
+        timings: List[float] = []
+        for chunk in chunks:
+            if per_scenario:
+                for spec in chunk:
+                    if should_skip is not None and should_skip(spec):
+                        continue
+                    batch_outcomes, batch_timings = _run_batch((spec,), progress)
+                    self._deliver(batch_outcomes, batch_timings, on_outcome)
+                    outcomes.extend(batch_outcomes)
+                    timings.extend(batch_timings)
+            else:
+                live = self._filter_chunk(chunk, should_skip)
+                if not live:
+                    continue
+                batch_outcomes, batch_timings = _run_batch(live, progress)
+                self._deliver(batch_outcomes, batch_timings, on_outcome)
+                outcomes.extend(batch_outcomes)
+                timings.extend(batch_timings)
+        return outcomes, timings
+
+    @staticmethod
+    def _deliver(
+        outcomes: Sequence[ScenarioOutcome],
+        timings: Sequence[float],
+        on_outcome: Optional[OutcomeHook],
+    ) -> None:
+        if on_outcome is None:
+            return
+        for outcome, seconds in zip(outcomes, timings):
+            on_outcome(outcome, seconds)
+
     def _run_process(
-        self, specs: Sequence[ScenarioSpec]
+        self,
+        specs: Sequence[ScenarioSpec],
+        on_outcome: Optional[OutcomeHook],
+        progress: Optional[ProgressHook],
+        should_skip: Optional[SkipHook],
     ) -> Tuple[List[ScenarioOutcome], List[float], int]:
         workers = self._effective_workers()
         if not specs or workers == 1:
-            outcomes, timings = _run_batch(specs)
+            outcomes, timings = self._run_inprocess(
+                [specs], on_outcome, progress, should_skip, per_scenario=True)
             return outcomes, timings, 1
         chunks = _chunk(specs, self._effective_chunk_size(len(specs), workers))
         if "fork" in multiprocessing.get_all_start_methods():
             context = multiprocessing.get_context("fork")
         else:  # pragma: no cover - non-POSIX platforms
             context = multiprocessing.get_context()
+
+        event_queue = context.Queue() if progress is not None else None
+        drain: Optional[threading.Thread] = None
         try:
-            with context.Pool(processes=min(workers, len(chunks))) as pool:
-                batches = pool.map(_run_batch, chunks)
+            pool = context.Pool(
+                processes=min(workers, len(chunks)),
+                initializer=_init_worker_events if event_queue is not None else None,
+                initargs=(event_queue,) if event_queue is not None else (),
+            )
         except (OSError, PermissionError):  # pragma: no cover - locked-down hosts
             # Environments that forbid forking still get a correct (if
             # serial) campaign rather than a crash.
-            outcomes, timings = _run_batch(specs)
+            if event_queue is not None:
+                event_queue.close()
+                event_queue.join_thread()
+            outcomes, timings = self._run_inprocess(
+                [specs], on_outcome, progress, should_skip, per_scenario=True)
             return outcomes, timings, 1
-        outcomes = [outcome for batch, _ in batches for outcome in batch]
-        timings = [timing for _, batch_timings in batches for timing in batch_timings]
+
+        if event_queue is not None:
+            drain = threading.Thread(
+                target=_drain_events, args=(event_queue, progress), daemon=True)
+            drain.start()
+
+        try:
+            by_index = self._dispatch_waves(pool, chunks, workers, on_outcome, should_skip)
+            pool.close()
+            pool.join()
+        finally:
+            pool.terminate()
+            if event_queue is not None:
+                # The pool is joined: every worker has exited and flushed
+                # its queue feeder, so the sentinel lands after the last
+                # real event and the drain thread sees everything.
+                event_queue.put(None)
+                if drain is not None:
+                    drain.join(timeout=10)
+                event_queue.close()
+
+        outcomes = [o for i in range(len(chunks)) for o in by_index[i][0]]
+        timings = [t for i in range(len(chunks)) for t in by_index[i][1]]
         return outcomes, timings, workers
+
+    def _dispatch_waves(
+        self,
+        pool,
+        chunks: Sequence[Tuple[ScenarioSpec, ...]],
+        workers: int,
+        on_outcome: Optional[OutcomeHook],
+        should_skip: Optional[SkipHook],
+    ) -> Dict[int, Tuple[List[ScenarioOutcome], List[float]]]:
+        """Submit chunks in waves, delivering results as they complete.
+
+        At most ``2 × workers`` chunks are outstanding: enough to keep
+        the pool saturated, few enough that ``should_skip`` (evaluated at
+        submission time, after earlier results were delivered) can still
+        drop most of a point once its outcome is certified.
+        """
+        done: "queue_module.SimpleQueue" = queue_module.SimpleQueue()
+        by_index: Dict[int, Tuple[List[ScenarioOutcome], List[float]]] = {}
+        pending_chunks = iter(enumerate(chunks))
+        outstanding = 0
+        max_outstanding = max(2, workers * 2)
+
+        def submit_one() -> bool:
+            nonlocal outstanding
+            for index, chunk in pending_chunks:
+                live = self._filter_chunk(chunk, should_skip)
+                if not live:
+                    by_index[index] = ([], [])
+                    continue
+                pool.apply_async(
+                    _run_batch, (live,),
+                    callback=lambda result, i=index: done.put((i, result, None)),
+                    error_callback=lambda exc, i=index: done.put((i, None, exc)),
+                )
+                outstanding += 1
+                return True
+            return False
+
+        while outstanding < max_outstanding and submit_one():
+            pass
+        while outstanding:
+            index, result, exc = done.get()
+            outstanding -= 1
+            if exc is not None:
+                raise exc
+            batch_outcomes, batch_timings = result
+            by_index[index] = (list(batch_outcomes), list(batch_timings))
+            self._deliver(batch_outcomes, batch_timings, on_outcome)
+            while outstanding < max_outstanding and submit_one():
+                pass
+        return by_index
+
+
+def _drain_events(event_queue, progress: ProgressHook) -> None:
+    """Parent-side drain loop: forward worker events to the reporter."""
+    while True:
+        try:
+            event = event_queue.get()
+        except (EOFError, OSError):  # pragma: no cover - queue torn down
+            return
+        if event is None:
+            return
+        try:
+            progress(event)
+        except Exception:  # noqa: BLE001 - progress must never break a campaign
+            pass

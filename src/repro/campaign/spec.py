@@ -49,8 +49,11 @@ def normalize_crashes(schedule: CrashSchedule, n: int) -> Tuple[Tuple[ProcessId,
 
     A mapping is read as ``pid -> crash time``; a plain iterable of ids is
     read as "these processes are initially dead" (crash time 0).  Ids
-    outside ``1..n`` and negative times raise
-    :class:`repro.exceptions.ConfigurationError`.
+    outside ``1..n``, negative times and duplicate process ids raise
+    :class:`repro.exceptions.ConfigurationError`.  Duplicates are always
+    an error — even when the duplicated entries agree on the crash time —
+    because downstream consumers build ``dict(spec.crashes)``, which would
+    otherwise silently collapse the schedule.
     """
     if isinstance(schedule, Mapping):
         pairs = tuple(sorted((int(p), int(t)) for p, t in schedule.items()))
@@ -63,8 +66,16 @@ def normalize_crashes(schedule: CrashSchedule, n: int) -> Tuple[Tuple[ProcessId,
             )
         if time < 0:
             raise ConfigurationError(f"crash time of p{pid} must be >= 0, got {time}")
-    if len({pid for pid, _ in pairs}) != len(pairs):
-        raise ConfigurationError("crash schedule names a process twice")
+    seen_pids: set = set()
+    duplicates: set = set()
+    for pid, _ in pairs:
+        (duplicates if pid in seen_pids else seen_pids).add(pid)
+    if duplicates:
+        names = ", ".join(f"p{pid}" for pid in sorted(duplicates))
+        raise ConfigurationError(
+            f"crash schedule names {names} more than once; a process can "
+            "crash at most once, so each pid may appear at most once"
+        )
     return pairs
 
 
@@ -72,6 +83,32 @@ def normalize_params(params: Union[Mapping[str, Hashable], Iterable[Tuple[str, H
     """Canonicalise extra parameters to a sorted tuple of pairs."""
     items = params.items() if isinstance(params, Mapping) else params
     return tuple(sorted((str(key), value) for key, value in items))
+
+
+def _canonical_value(value: Hashable) -> Hashable:
+    """Rewrite a params value so that its ``repr`` is order-stable.
+
+    Scalars and tuples pass through unchanged (their ``repr`` is already
+    deterministic, and existing derived seeds must not shift).
+    Frozensets iterate in ``PYTHONHASHSEED``-dependent order, so they are
+    replaced by a marked tuple of their elements sorted by canonical
+    ``repr`` — without this, a fingerprint or derived seed computed over
+    a frozenset param would differ between sessions.
+    """
+    if isinstance(value, tuple):
+        return tuple(_canonical_value(item) for item in value)
+    if isinstance(value, frozenset):
+        return ("__frozenset__",) + tuple(
+            sorted((_canonical_value(item) for item in value), key=repr)
+        )
+    return value
+
+
+def _canonical_params(
+    params: Tuple[Tuple[str, Hashable], ...]
+) -> Tuple[Tuple[str, Hashable], ...]:
+    """The hashing-side view of ``params`` (see :func:`_canonical_value`)."""
+    return tuple((name, _canonical_value(value)) for name, value in params)
 
 
 @dataclass(frozen=True)
@@ -125,6 +162,25 @@ class ScenarioSpec:
         if self.max_steps < 1:
             raise ConfigurationError(f"max_steps must be >= 1, got {self.max_steps}")
 
+    # -- identity ----------------------------------------------------------
+
+    def identity(self) -> Tuple:
+        """The full canonical identity of the scenario, as a plain tuple.
+
+        This is the value the persistent store fingerprints
+        (:class:`repro.store.ScenarioFingerprint`): two specs with equal
+        identities produce equal outcomes, so one may be served from
+        cache in place of the other.  Unlike :meth:`derived_seed` it
+        *includes* ``max_steps`` — truncation (and therefore the outcome)
+        depends on the step budget, while the RNG stream deliberately
+        does not, so raising the budget extends a schedule instead of
+        replacing it.
+        """
+        return (
+            self.kind, self.n, self.f, self.k, self.scheduler, self.seed,
+            self.crashes, self.max_steps, _canonical_params(self.params),
+        )
+
     # -- seeding -----------------------------------------------------------
 
     def derived_seed(self) -> int:
@@ -136,7 +192,7 @@ class ScenarioSpec:
         """
         blob = repr(
             (self.kind, self.n, self.f, self.k, self.scheduler, self.seed,
-             self.crashes, self.params)
+             self.crashes, _canonical_params(self.params))
         ).encode()
         return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
 

@@ -1,0 +1,120 @@
+"""The result-store interface and the backend factory.
+
+A :class:`ResultStore` maps scenario fingerprints
+(:mod:`repro.store.fingerprint`) to the
+:class:`~repro.campaign.spec.ScenarioOutcome` the scenario produced.
+Stores are written to incrementally — one ``put`` per completed scenario,
+durable immediately — so that a killed campaign leaves behind every
+outcome it finished, and a rerun against the same store replays them as
+cache hits instead of recomputing.
+
+Two persistent backends ship (:class:`~repro.store.jsonl.JsonlResultStore`
+for portability and append-only simplicity,
+:class:`~repro.store.sqlite.SqliteResultStore` for large grids with
+indexed lookups) plus an in-memory backend for tests and ephemeral
+campaigns; :func:`open_store` picks one from a path.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple, Union
+
+from repro.campaign.spec import ScenarioOutcome
+from repro.store.fingerprint import ScenarioFingerprint
+
+__all__ = ["ResultStore", "Fingerprintish", "open_store"]
+
+#: Anything accepted as a store key.
+Fingerprintish = Union[str, ScenarioFingerprint]
+
+
+def _digest(fingerprint: Fingerprintish) -> str:
+    if isinstance(fingerprint, ScenarioFingerprint):
+        return fingerprint.digest
+    return str(fingerprint)
+
+
+class ResultStore(ABC):
+    """Persistent mapping ``fingerprint -> ScenarioOutcome``.
+
+    Implementations must make each :meth:`put` durable before returning
+    (that is the resume guarantee) and must return outcomes that compare
+    equal to the originally stored ones — cached campaign results are
+    asserted *equal* to cold runs, not merely similar.
+    """
+
+    # -- required ----------------------------------------------------------
+
+    @abstractmethod
+    def get(self, fingerprint: Fingerprintish) -> Optional[ScenarioOutcome]:
+        """The stored outcome for this fingerprint, or ``None``."""
+
+    @abstractmethod
+    def put(self, fingerprint: Fingerprintish, outcome: ScenarioOutcome) -> None:
+        """Store an outcome durably (last write wins on re-put)."""
+
+    @abstractmethod
+    def fingerprints(self) -> FrozenSet[str]:
+        """All fingerprints with a stored outcome (current schema only)."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release the backing resource; further calls are undefined."""
+
+    # -- conveniences ------------------------------------------------------
+
+    def get_many(
+        self, fingerprints: Iterable[Fingerprintish]
+    ) -> Dict[str, ScenarioOutcome]:
+        """Bulk lookup: only hits appear in the returned mapping."""
+        hits: Dict[str, ScenarioOutcome] = {}
+        for fingerprint in fingerprints:
+            digest = _digest(fingerprint)
+            if digest in hits:
+                continue
+            outcome = self.get(digest)
+            if outcome is not None:
+                hits[digest] = outcome
+        return hits
+
+    def put_many(
+        self, items: Iterable[Tuple[Fingerprintish, ScenarioOutcome]]
+    ) -> None:
+        """Bulk store (backends may override with a single transaction)."""
+        for fingerprint, outcome in items:
+            self.put(fingerprint, outcome)
+
+    def __contains__(self, fingerprint: object) -> bool:
+        if not isinstance(fingerprint, (str, ScenarioFingerprint)):
+            return False
+        return self.get(fingerprint) is not None
+
+    def __len__(self) -> int:
+        return len(self.fingerprints())
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def open_store(path: Union[str, "object"]) -> ResultStore:
+    """Open a result store, picking the backend from the path.
+
+    ``":memory:"`` opens the in-memory backend; a ``.sqlite`` / ``.db`` /
+    ``.sqlite3`` suffix opens SQLite; anything else opens the append-only
+    JSONL backend.  The file (and its parent directory) is created on
+    first use.
+    """
+    from repro.store.jsonl import JsonlResultStore
+    from repro.store.memory import MemoryResultStore
+    from repro.store.sqlite import SqliteResultStore
+
+    text = str(path)
+    if text == ":memory:":
+        return MemoryResultStore()
+    if text.endswith((".sqlite", ".sqlite3", ".db")):
+        return SqliteResultStore(text)
+    return JsonlResultStore(text)

@@ -1,0 +1,203 @@
+"""Cache-aware campaign execution: skip, resume, early-stop, report.
+
+:class:`CachingRunner` wraps a :class:`~repro.campaign.runner.CampaignRunner`
+and a :class:`~repro.store.base.ResultStore`:
+
+1. every compiled spec is fingerprinted and looked up in the store;
+2. hits are served from cache, misses are executed by the wrapped runner
+   (any backend) and **persisted incrementally** — each outcome is in
+   the store before the next chunk completes, so killing the campaign
+   loses at most in-flight work;
+3. the merged outcomes are returned in spec order, which makes a
+   resumed campaign's :class:`~repro.campaign.runner.CampaignResult`
+   *equal* to an uninterrupted run's (equality ignores timing only).
+
+An optional :class:`~repro.store.policy.EarlyStopPolicy` turns the run
+adaptive (certified points stop sampling; skipped scenarios are counted
+in :class:`CacheStats`, and the equality guarantee above deliberately no
+longer applies), and an optional
+:class:`~repro.store.progress.ProgressReporter` receives the live event
+stream, cache hits included.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.campaign.grid import ScenarioGrid
+from repro.campaign.runner import CampaignResult, CampaignRunner, ScenarioEvent
+from repro.campaign.scenarios import get_kind
+from repro.campaign.spec import ScenarioOutcome, ScenarioSpec
+from repro.store.base import ResultStore
+from repro.store.fingerprint import fingerprint_spec
+from repro.store.policy import EarlyStopPolicy
+from repro.store.progress import ProgressReporter
+
+__all__ = ["CacheStats", "CachingRunner"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Where each scenario of a cached campaign came from.
+
+    Counted per input position (duplicate specs in the input count once
+    each), so ``cached + executed + skipped == total`` always holds.
+    """
+
+    total: int
+    cached: int
+    executed: int
+    skipped: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of the campaign served from the store (0 when empty)."""
+        return self.cached / self.total if self.total else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "total": self.total,
+            "cached": self.cached,
+            "executed": self.executed,
+            "skipped": self.skipped,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class CachingRunner:
+    """A drop-in ``.run(...)`` that remembers across invocations.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.store.base.ResultStore` to read hits from and
+        persist new outcomes into.
+    runner:
+        The wrapped :class:`~repro.campaign.runner.CampaignRunner`
+        (default: serial).  Any backend works; persistence happens in
+        the calling process either way.
+    policy:
+        Optional :class:`~repro.store.policy.EarlyStopPolicy`.
+    progress:
+        Optional :class:`~repro.store.progress.ProgressReporter`.
+
+    After each ``run``, :attr:`last_stats` holds the run's
+    :class:`CacheStats`.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        runner: Optional[CampaignRunner] = None,
+        *,
+        policy: Optional[EarlyStopPolicy] = None,
+        progress: Optional[ProgressReporter] = None,
+    ):
+        self.store = store
+        self.runner = runner if runner is not None else CampaignRunner()
+        self.policy = policy
+        self.progress = progress
+        self.last_stats: Optional[CacheStats] = None
+
+    def run(
+        self, scenarios: Union[ScenarioGrid, Iterable[ScenarioSpec]]
+    ) -> CampaignResult:
+        """Execute a campaign, serving every known scenario from the store."""
+        if isinstance(scenarios, ScenarioGrid):
+            specs: Tuple[ScenarioSpec, ...] = scenarios.compile()
+        else:
+            specs = tuple(scenarios)
+        for spec in specs:
+            # Fail fast on unknown kinds even when everything is cached —
+            # a fully-cached campaign must reject the same inputs a cold
+            # one would.
+            get_kind(spec.kind)
+
+        fingerprints = [fingerprint_spec(spec) for spec in specs]
+        outcomes_by_fp: Dict[str, ScenarioOutcome] = self.store.get_many(fingerprints)
+
+        if self.progress is not None:
+            self.progress.campaign_started(len(specs))
+        # Cached outcomes are observed first (in spec order): a violation
+        # already in the store certifies its point before anything runs,
+        # and the reporter sees cache hits as zero-cost events.
+        for spec, fingerprint in zip(specs, fingerprints):
+            outcome = outcomes_by_fp.get(fingerprint)
+            if outcome is None:
+                continue
+            if self.policy is not None:
+                self.policy.observe(outcome)
+            if self.progress is not None:
+                self.progress(ScenarioEvent(
+                    label=spec.label(), verdict=outcome.verdict,
+                    seconds=0.0, worker_pid=os.getpid(), cached=True,
+                ))
+
+        cached_fps = frozenset(outcomes_by_fp)
+        pending: List[ScenarioSpec] = []
+        pending_fps = set()
+        duplicates: List[Tuple[ScenarioSpec, str]] = []
+        for spec, fingerprint in zip(specs, fingerprints):
+            if fingerprint in cached_fps:
+                continue
+            if fingerprint in pending_fps:
+                # Duplicates execute once, exactly like a grid dedup; the
+                # extra positions are replayed from the run's own result.
+                duplicates.append((spec, fingerprint))
+                continue
+            pending_fps.add(fingerprint)
+            pending.append(spec)
+
+        executed_fps: set = set()
+
+        def persist(outcome: ScenarioOutcome, seconds: float) -> None:
+            fingerprint = fingerprint_spec(outcome.spec)
+            self.store.put(fingerprint, outcome)
+            outcomes_by_fp[fingerprint] = outcome
+            executed_fps.add(fingerprint)
+            if self.policy is not None:
+                self.policy.observe(outcome)
+
+        inner = self.runner.run(
+            pending,
+            on_outcome=persist,
+            progress=self.progress,
+            should_skip=self.policy.should_skip if self.policy is not None else None,
+        )
+
+        if self.progress is not None:
+            # Deduplicated duplicate positions completed with their first
+            # occurrence; report them so totals add up to the campaign size.
+            for spec, fingerprint in duplicates:
+                outcome = outcomes_by_fp.get(fingerprint)
+                if outcome is not None:
+                    self.progress(ScenarioEvent(
+                        label=spec.label(), verdict=outcome.verdict,
+                        seconds=0.0, worker_pid=os.getpid(), cached=True,
+                    ))
+
+        merged = tuple(
+            outcomes_by_fp[fingerprint]
+            for fingerprint in fingerprints
+            if fingerprint in outcomes_by_fp
+        )
+        cached_positions = sum(1 for fp in fingerprints if fp in cached_fps)
+        executed_positions = sum(1 for fp in fingerprints if fp in executed_fps)
+        self.last_stats = CacheStats(
+            total=len(specs),
+            cached=cached_positions,
+            executed=executed_positions,
+            skipped=len(specs) - cached_positions - executed_positions,
+        )
+        if self.progress is not None:
+            self.progress.campaign_finished()
+
+        return CampaignResult(
+            outcomes=merged,
+            backend=inner.backend,
+            workers=inner.workers,
+            elapsed_seconds=inner.elapsed_seconds,
+            scenario_seconds=inner.scenario_seconds,
+        )

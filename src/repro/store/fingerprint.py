@@ -1,0 +1,69 @@
+"""Content-addressed scenario identity.
+
+A :class:`ScenarioFingerprint` is the stable sha256 of a scenario's full
+canonical identity (:meth:`repro.campaign.spec.ScenarioSpec.identity`),
+using the same ``repr``-of-a-canonical-tuple blob construction as
+:meth:`~repro.campaign.spec.ScenarioSpec.derived_seed`.  It is the key
+under which the persistent store files outcomes, which gives the cache
+its correctness argument for free:
+
+* **Stability.**  The identity tuple contains only canonicalised plain
+  data (sorted crash pairs, sorted params), so the fingerprint does not
+  depend on process, platform, ``PYTHONHASHSEED``, execution order or
+  how the spec was constructed.
+* **Completeness.**  Everything that can change an outcome is in the
+  tuple — including ``max_steps``, which :meth:`derived_seed` leaves out
+  (a bigger budget extends a schedule; it must not be served a
+  truncated cached outcome).
+* **Invalidation.**  :data:`SCHEMA_VERSION` participates in the hash.
+  Any change to the spec schema or its canonicalisation must bump it,
+  which re-keys every scenario: an old store then yields cache misses
+  (recompute and re-store) instead of stale hits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.campaign.spec import ScenarioSpec
+from repro.exceptions import ConfigurationError
+
+__all__ = ["SCHEMA_VERSION", "ScenarioFingerprint", "fingerprint_spec"]
+
+#: Bump on any change to ``ScenarioSpec``'s fields, their meaning, or the
+#: canonicalisation behind :meth:`ScenarioSpec.identity` — stored results
+#: keyed under the old version then become unreachable instead of wrong.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ScenarioFingerprint:
+    """A 64-hex-character sha256 digest naming one scenario's identity."""
+
+    digest: str
+
+    def __post_init__(self) -> None:
+        if len(self.digest) != 64 or any(c not in "0123456789abcdef" for c in self.digest):
+            raise ConfigurationError(
+                f"a scenario fingerprint is 64 lowercase hex characters, got {self.digest!r}"
+            )
+
+    @classmethod
+    def of(cls, spec: ScenarioSpec) -> "ScenarioFingerprint":
+        """Fingerprint a spec (stable across processes and sessions)."""
+        blob = repr((SCHEMA_VERSION, spec.identity())).encode()
+        return cls(hashlib.sha256(blob).hexdigest())
+
+    @property
+    def short(self) -> str:
+        """A 12-character prefix for logs and progress lines."""
+        return self.digest[:12]
+
+    def __str__(self) -> str:
+        return self.digest
+
+
+def fingerprint_spec(spec: ScenarioSpec) -> str:
+    """The fingerprint digest of a spec, as a plain string key."""
+    return ScenarioFingerprint.of(spec).digest

@@ -1,0 +1,102 @@
+"""Append-only JSONL result store.
+
+One JSON object per line: ``{"fp": <digest>, "v": <schema>, "outcome":
+{...}}``.  The format is deliberately boring — portable, diffable,
+mergeable with ``cat`` — and append-only, so a ``put`` is a single
+``write + flush`` and a campaign killed mid-run loses at most the line
+it was writing.
+
+Crash-safety on open:
+
+* a **torn final line** (the campaign was killed mid-append) is
+  recognised and truncated away, so the next append starts on a clean
+  line instead of corrupting the following record;
+* records from **other schema versions** are skipped — their
+  fingerprints can never be looked up anyway (the schema version is part
+  of the hash), so they are dead weight, not an error;
+* corruption *before* the final line is reported loudly: that is not a
+  kill artefact but real damage, and silently dropping stored evidence
+  would make a resumed campaign silently recompute — or worse, a
+  half-loaded index could shadow a later duplicate record.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, FrozenSet, Optional, Union
+
+from repro.campaign.codec import outcome_from_dict, outcome_to_dict
+from repro.campaign.spec import ScenarioOutcome
+from repro.exceptions import ConfigurationError
+from repro.store.base import Fingerprintish, ResultStore, _digest
+from repro.store.fingerprint import SCHEMA_VERSION
+
+__all__ = ["JsonlResultStore"]
+
+
+class JsonlResultStore(ResultStore):
+    """Append-only JSONL backend (the portable default)."""
+
+    def __init__(self, path: Union[str, Path]):
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._index: Dict[str, ScenarioOutcome] = {}
+        self._load()
+        self._file = self._path.open("a", encoding="utf-8")
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def _load(self) -> None:
+        if not self._path.exists():
+            return
+        data = self._path.read_bytes()
+        good_until = 0
+        for line_number, raw_line in enumerate(data.split(b"\n"), start=1):
+            stripped = raw_line.strip()
+            if stripped:
+                try:
+                    record = json.loads(stripped.decode("utf-8"))
+                    if not isinstance(record, dict):
+                        raise ConfigurationError(f"record is not an object: {record!r}")
+                    if record.get("v") == SCHEMA_VERSION:
+                        self._index[record["fp"]] = outcome_from_dict(record["outcome"])
+                except (ValueError, KeyError, TypeError, ConfigurationError) as exc:
+                    if good_until + len(raw_line) + 1 <= len(data):
+                        # The bad line is followed by more data: this is
+                        # not a torn final append but real corruption.
+                        raise ConfigurationError(
+                            f"corrupt result store {self._path}: unreadable record "
+                            f"on line {line_number} ({exc})"
+                        ) from exc
+                    break  # torn final line: drop it below
+            good_until += len(raw_line) + 1  # the split-away "\n"
+        good_until = min(good_until, len(data))
+        if good_until < len(data) or (data and not data.endswith(b"\n")):
+            # Truncate the torn tail so the next append starts clean.
+            clean = data[:good_until]
+            if clean and not clean.endswith(b"\n"):
+                clean += b"\n"
+            self._path.write_bytes(clean)
+
+    # -- ResultStore -------------------------------------------------------
+
+    def get(self, fingerprint: Fingerprintish) -> Optional[ScenarioOutcome]:
+        return self._index.get(_digest(fingerprint))
+
+    def put(self, fingerprint: Fingerprintish, outcome: ScenarioOutcome) -> None:
+        digest = _digest(fingerprint)
+        record = {"fp": digest, "v": SCHEMA_VERSION, "outcome": outcome_to_dict(outcome)}
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+        # Flushed to the OS per record: durable against the process being
+        # killed (the resume guarantee), not against the host dying.
+        self._file.flush()
+        self._index[digest] = outcome
+
+    def fingerprints(self) -> FrozenSet[str]:
+        return frozenset(self._index)
+
+    def close(self) -> None:
+        self._file.close()

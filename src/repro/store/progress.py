@@ -1,0 +1,141 @@
+"""Pool-wide campaign progress.
+
+A :class:`ProgressReporter` is a callable that consumes the
+:class:`~repro.campaign.runner.ScenarioEvent` stream a campaign emits —
+one event per finished scenario, produced *where the scenario ran*.
+Under the process backend the events cross the process boundary on a
+queue and are delivered from a drain thread, so the reporter keeps its
+counters under a lock and a long multiprocess campaign can be watched
+live: scenarios completed out of how many, verdict counts, which worker
+pids are alive, throughput.
+
+:class:`~repro.store.caching.CachingRunner` additionally brackets the
+stream with :meth:`campaign_started` / :meth:`campaign_finished` and
+synthesises ``cached=True`` events for store hits, so the reporter's
+totals always add up to the campaign size regardless of how much came
+from cache.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Dict, Optional, Set, TextIO
+
+from repro.campaign.runner import ScenarioEvent
+
+__all__ = ["ProgressReporter", "CollectingProgressReporter", "LogProgressReporter"]
+
+
+class ProgressReporter:
+    """Thread-safe counters over a campaign's scenario-event stream.
+
+    Subclasses override :meth:`on_event` (called with the lock *not*
+    held) for per-event behaviour; the base class keeps the aggregate
+    picture available via :meth:`snapshot` at any time during the run.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started_at: Optional[float] = None
+        self.total = 0
+        self.completed = 0
+        self.cached = 0
+        self.verdicts: Dict[str, int] = {"ok": 0, "violation": 0, "error": 0}
+        self.worker_pids: Set[int] = set()
+
+    # -- lifecycle (driven by CachingRunner; optional otherwise) -----------
+
+    def campaign_started(self, total: int) -> None:
+        with self._lock:
+            self._started_at = time.perf_counter()
+            self.total = total
+
+    def campaign_finished(self) -> None:
+        pass
+
+    # -- the event stream --------------------------------------------------
+
+    def __call__(self, event: ScenarioEvent) -> None:
+        with self._lock:
+            self.completed += 1
+            if event.cached:
+                self.cached += 1
+            self.verdicts[event.verdict] = self.verdicts.get(event.verdict, 0) + 1
+            self.worker_pids.add(event.worker_pid)
+        self.on_event(event)
+
+    def on_event(self, event: ScenarioEvent) -> None:
+        """Per-event hook for subclasses (no-op by default)."""
+
+    # -- inspection --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """A consistent aggregate view, safe to call mid-campaign."""
+        with self._lock:
+            elapsed = (
+                time.perf_counter() - self._started_at
+                if self._started_at is not None else 0.0
+            )
+            return {
+                "total": self.total,
+                "completed": self.completed,
+                "cached": self.cached,
+                "executed": self.completed - self.cached,
+                "workers_seen": len(self.worker_pids),
+                "elapsed_seconds": elapsed,
+                "scenarios_per_second": self.completed / elapsed if elapsed > 0 else 0.0,
+                **dict(self.verdicts),
+            }
+
+
+class CollectingProgressReporter(ProgressReporter):
+    """Keeps every event; the assertion-friendly reporter for tests."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._events_lock = threading.Lock()
+        self.events: list = []
+
+    def on_event(self, event: ScenarioEvent) -> None:
+        with self._events_lock:
+            self.events.append(event)
+
+
+class LogProgressReporter(ProgressReporter):
+    """Prints one line every ``every`` scenarios, plus every failure.
+
+    The campaign-visibility default for long sweeps::
+
+        [campaign] 120/4096 (2 cached) ok=116 violation=4 error=0 workers=8
+    """
+
+    def __init__(self, *, every: int = 50, stream: Optional[TextIO] = None):
+        super().__init__()
+        self._every = max(1, every)
+        self._stream = stream if stream is not None else sys.stderr
+
+    def _emit_line(self) -> None:
+        snap = self.snapshot()
+        print(
+            f"[campaign] {snap['completed']}/{snap['total'] or '?'} "
+            f"({snap['cached']} cached) ok={snap['ok']} "
+            f"violation={snap['violation']} error={snap['error']} "
+            f"workers={snap['workers_seen']}",
+            file=self._stream,
+            flush=True,
+        )
+
+    def campaign_started(self, total: int) -> None:
+        super().campaign_started(total)
+        print(f"[campaign] started: {total} scenarios", file=self._stream, flush=True)
+
+    def on_event(self, event: ScenarioEvent) -> None:
+        if event.verdict == "error":
+            print(f"[campaign] ERROR {event.label}", file=self._stream, flush=True)
+        if self.completed % self._every == 0:
+            self._emit_line()
+
+    def campaign_finished(self) -> None:
+        self._emit_line()

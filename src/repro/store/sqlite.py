@@ -1,0 +1,118 @@
+"""SQLite result store for large grids.
+
+The JSONL backend replays its whole file on open; for campaigns in the
+hundreds of thousands of scenarios an indexed, queryable store is the
+better trade.  One table, primary-keyed by fingerprint, one commit per
+``put`` (that commit is the durability point a resumed campaign relies
+on), batched ``IN (...)`` lookups for ``get_many``.
+
+The schema version is stored per row: rows written under an older
+schema are invisible to lookups (their fingerprints would not match
+anyway — the version is hashed into the fingerprint) but are kept on
+disk for forensics and pruning.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple, Union
+
+from repro.campaign.codec import outcome_from_dict, outcome_to_dict
+from repro.campaign.spec import ScenarioOutcome
+from repro.exceptions import ConfigurationError
+from repro.store.base import Fingerprintish, ResultStore, _digest
+from repro.store.fingerprint import SCHEMA_VERSION
+
+__all__ = ["SqliteResultStore"]
+
+#: SQLite limits the number of bound variables; stay well under it.
+_IN_BATCH = 500
+
+
+class SqliteResultStore(ResultStore):
+    """SQLite-backed store (one file, indexed lookups, per-put commits)."""
+
+    def __init__(self, path: Union[str, Path]):
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._conn = sqlite3.connect(str(self._path))
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS results ("
+                "  fingerprint TEXT PRIMARY KEY,"
+                "  schema_version INTEGER NOT NULL,"
+                "  outcome TEXT NOT NULL"
+                ")"
+            )
+            self._conn.commit()
+        except sqlite3.DatabaseError as exc:
+            raise ConfigurationError(
+                f"cannot open result store {self._path}: {exc}"
+            ) from exc
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    # -- ResultStore -------------------------------------------------------
+
+    def get(self, fingerprint: Fingerprintish) -> Optional[ScenarioOutcome]:
+        row = self._conn.execute(
+            "SELECT outcome FROM results WHERE fingerprint = ? AND schema_version = ?",
+            (_digest(fingerprint), SCHEMA_VERSION),
+        ).fetchone()
+        if row is None:
+            return None
+        return outcome_from_dict(json.loads(row[0]))
+
+    def get_many(
+        self, fingerprints: Iterable[Fingerprintish]
+    ) -> Dict[str, ScenarioOutcome]:
+        digests = list({_digest(fp) for fp in fingerprints})
+        hits: Dict[str, ScenarioOutcome] = {}
+        for start in range(0, len(digests), _IN_BATCH):
+            batch = digests[start:start + _IN_BATCH]
+            placeholders = ",".join("?" for _ in batch)
+            rows = self._conn.execute(
+                f"SELECT fingerprint, outcome FROM results "
+                f"WHERE schema_version = ? AND fingerprint IN ({placeholders})",
+                [SCHEMA_VERSION, *batch],
+            ).fetchall()
+            for digest, payload in rows:
+                hits[digest] = outcome_from_dict(json.loads(payload))
+        return hits
+
+    def put(self, fingerprint: Fingerprintish, outcome: ScenarioOutcome) -> None:
+        payload = json.dumps(outcome_to_dict(outcome), sort_keys=True)
+        self._conn.execute(
+            "INSERT OR REPLACE INTO results (fingerprint, schema_version, outcome) "
+            "VALUES (?, ?, ?)",
+            (_digest(fingerprint), SCHEMA_VERSION, payload),
+        )
+        self._conn.commit()
+
+    def put_many(
+        self, items: Iterable[Tuple[Fingerprintish, ScenarioOutcome]]
+    ) -> None:
+        rows = [
+            (_digest(fp), SCHEMA_VERSION, json.dumps(outcome_to_dict(o), sort_keys=True))
+            for fp, o in items
+        ]
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO results (fingerprint, schema_version, outcome) "
+            "VALUES (?, ?, ?)",
+            rows,
+        )
+        self._conn.commit()
+
+    def fingerprints(self) -> FrozenSet[str]:
+        rows = self._conn.execute(
+            "SELECT fingerprint FROM results WHERE schema_version = ?",
+            (SCHEMA_VERSION,),
+        ).fetchall()
+        return frozenset(row[0] for row in rows)
+
+    def close(self) -> None:
+        self._conn.close()

@@ -157,6 +157,27 @@ class TestEarlyValidation:
         with pytest.raises(ConfigurationError):
             normalize_crashes({5: 0}, 4)
 
+    def test_normalize_crashes_rejects_duplicate_pids_in_iterables(self):
+        # Duplicates must raise (naming the pid), never silently collapse:
+        # downstream consumers build dict(spec.crashes), which would
+        # quietly drop the repeated entry.
+        with pytest.raises(ConfigurationError, match="p2 more than once"):
+            normalize_crashes([2, 2], 4)
+        with pytest.raises(ConfigurationError, match="p1.*more than once"):
+            normalize_crashes(iter([1, 3, 1]), 4)
+        # ... even when the duplicated entries agree on the crash time.
+        with pytest.raises(ConfigurationError, match="p3 more than once"):
+            normalize_crashes((3, 3), 6)
+
+    def test_normalize_crashes_rejects_pids_colliding_after_int_coercion(self):
+        # Mapping keys "1" and 1 are distinct dict keys but the same pid.
+        with pytest.raises(ConfigurationError, match="p1 more than once"):
+            normalize_crashes({"1": 0, 1: 5}, 4)
+
+    def test_normalize_crashes_names_every_duplicated_pid(self):
+        with pytest.raises(ConfigurationError, match="p1, p2"):
+            normalize_crashes([1, 1, 2, 2, 3], 4)
+
 
 class TestTheorem8Grids:
     def test_sides_partition_the_parameter_space(self):

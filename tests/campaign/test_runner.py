@@ -7,6 +7,7 @@ import pickle
 import pytest
 
 from repro.campaign import (
+    CampaignResult,
     CampaignRunner,
     ScenarioGrid,
     ScenarioOutcome,
@@ -114,6 +115,88 @@ class TestAggregation:
         import json
 
         assert json.loads(json.dumps(result.summary()))["scenarios"] == len(result.outcomes)
+
+
+class TestResultJsonRoundTrip:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return CampaignRunner(backend="chunked", chunk_size=7).run(SPECS)
+
+    def test_round_trip_compares_equal(self, result):
+        restored = CampaignResult.from_json(result.to_json())
+        assert restored == result
+        assert [o.spec for o in restored.outcomes] == [o.spec for o in result.outcomes]
+
+    def test_round_trip_restores_metadata(self, result):
+        restored = CampaignResult.from_json(result.to_json(indent=2))
+        # Metadata is excluded from equality, so pin it separately.
+        assert restored.backend == result.backend
+        assert restored.workers == result.workers
+        assert restored.elapsed_seconds == result.elapsed_seconds
+        assert restored.scenario_seconds == result.scenario_seconds
+
+    def test_round_trip_preserves_derived_seeds_and_rollups(self, result):
+        restored = CampaignResult.from_json(result.to_json())
+        assert [o.spec.derived_seed() for o in restored.outcomes] == [
+            o.spec.derived_seed() for o in result.outcomes
+        ]
+        assert restored.verdict_counts() == result.verdict_counts()
+        assert restored.property_rollup() == result.property_rollup()
+
+    def test_unknown_format_rejected(self, result):
+        import json
+
+        payload = json.loads(result.to_json())
+        payload["format"] = 999
+        with pytest.raises(ConfigurationError):
+            CampaignResult.from_json(json.dumps(payload))
+
+    def test_params_with_tuples_round_trip(self):
+        spec = ScenarioSpec(
+            kind="theorem8-solvable", n=4, f=1, k=1,
+            params=(("window", (1, 2, 3)), ("label", "x"), ("ratio", 0.5)),
+        )
+        result = CampaignRunner().run([spec])
+        restored = CampaignResult.from_json(result.to_json())
+        assert restored == result
+        assert restored.outcomes[0].spec.param("window") == (1, 2, 3)
+
+
+class TestRunnerHooks:
+    def test_on_outcome_streams_every_outcome_in_order(self):
+        seen = []
+        result = CampaignRunner().run(SPECS, on_outcome=lambda o, s: seen.append(o))
+        assert seen == list(result.outcomes)
+
+    def test_process_backend_delivers_on_outcome_in_parent(self):
+        import os
+
+        pids = []
+        result = CampaignRunner(backend="process", workers=2, chunk_size=5).run(
+            SPECS, on_outcome=lambda o, s: pids.append(os.getpid())
+        )
+        assert len(pids) == len(result.outcomes)
+        assert set(pids) == {os.getpid()}  # persistence happens in the caller
+
+    def test_should_skip_drops_scenarios_on_every_backend(self):
+        drop = lambda spec: spec.scheduler == "random"  # noqa: E731
+        kept = [s for s in SPECS if s.scheduler != "random"]
+        for runner in (
+            CampaignRunner(),
+            CampaignRunner(backend="chunked", chunk_size=3),
+            CampaignRunner(backend="process", workers=2, chunk_size=3),
+        ):
+            result = runner.run(SPECS, should_skip=drop)
+            assert [o.spec for o in result.outcomes] == kept
+
+    def test_progress_events_cover_the_campaign(self):
+        events = []
+        result = CampaignRunner(backend="chunked", chunk_size=4).run(
+            SPECS, progress=events.append
+        )
+        assert len(events) == len(result.outcomes)
+        assert {e.verdict for e in events} == {o.verdict for o in result.outcomes}
+        assert all(e.seconds >= 0 and not e.cached for e in events)
 
 
 class TestRobustness:

@@ -1,0 +1,25 @@
+"""Shared fixtures for the store suite: one fixture per backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store import JsonlResultStore, MemoryResultStore, SqliteResultStore
+
+BACKENDS = ("jsonl", "sqlite", "memory")
+
+
+def make_store(backend: str, tmp_path):
+    if backend == "jsonl":
+        return JsonlResultStore(tmp_path / "store.jsonl")
+    if backend == "sqlite":
+        return SqliteResultStore(tmp_path / "store.sqlite")
+    return MemoryResultStore()
+
+
+@pytest.fixture(params=BACKENDS)
+def store(request, tmp_path):
+    """One ResultStore per registered backend, closed on teardown."""
+    instance = make_store(request.param, tmp_path)
+    yield instance
+    instance.close()

@@ -1,0 +1,49 @@
+"""A deterministic, deliberately slow scenario kind for resume tests.
+
+The kill/resume acceptance test needs a campaign that (a) takes long
+enough to be killed mid-run, (b) produces outcomes that are a pure
+function of the spec, so a resumed campaign can be asserted *equal* to
+an uninterrupted one.  Real border scenarios satisfy (b) but finish in
+microseconds at test sizes; this kind adds a controlled sleep.
+
+The module registers the kind on import.  It is imported both by the
+test process and by the child campaign process (which gets this
+directory on its ``PYTHONPATH``), so cached outcomes written by the
+child resolve to the same kind when the parent resumes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+from repro.campaign.scenarios import scenario_kind
+from repro.campaign.spec import ScenarioOutcome, ScenarioSpec
+
+SLOW_KIND = "store-test-slow"
+
+
+def slow_specs(count: int, *, sleep_ms: int = 40) -> List[ScenarioSpec]:
+    """``count`` distinct scenarios of the slow kind, ``sleep_ms`` each."""
+    return [
+        ScenarioSpec(
+            kind=SLOW_KIND, n=4, f=1, k=1, scheduler="random", seed=index,
+            params=(("sleep_ms", sleep_ms),),
+        )
+        for index in range(count)
+    ]
+
+
+@scenario_kind(SLOW_KIND)
+def _run_slow(spec: ScenarioSpec) -> ScenarioOutcome:
+    time.sleep(int(spec.param("sleep_ms", 40)) / 1000.0)
+    # Everything below is derived from the spec alone — never from wall
+    # time — so outcomes are identical across runs, processes and kills.
+    fingerprint_ish = spec.derived_seed()
+    return ScenarioOutcome(
+        spec=spec,
+        verdict="ok",
+        distinct_decisions=1,
+        decided=spec.n - spec.f,
+        steps=fingerprint_ish % 997,
+    )

@@ -1,0 +1,171 @@
+"""ResultStore backends: round-trip fidelity, persistence, crash repair."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignRunner, ScenarioSpec, theorem8_specs
+from repro.exceptions import ConfigurationError
+from repro.store import (
+    JsonlResultStore,
+    ScenarioFingerprint,
+    SqliteResultStore,
+    fingerprint_spec,
+)
+
+SPECS = theorem8_specs([4], seeds=(1,), max_steps=4_000)
+OUTCOMES = CampaignRunner().run(SPECS).outcomes
+
+
+class TestRoundTrip:
+    def test_put_get_identity(self, store):
+        for outcome in OUTCOMES[:5]:
+            fingerprint = fingerprint_spec(outcome.spec)
+            store.put(fingerprint, outcome)
+            assert store.get(fingerprint) == outcome
+
+    def test_get_accepts_fingerprint_objects_and_strings(self, store):
+        outcome = OUTCOMES[0]
+        fingerprint = ScenarioFingerprint.of(outcome.spec)
+        store.put(fingerprint, outcome)
+        assert store.get(fingerprint) == outcome
+        assert store.get(fingerprint.digest) == outcome
+        assert fingerprint in store
+        assert fingerprint.digest in store
+
+    def test_miss_returns_none(self, store):
+        assert store.get("0" * 64) is None
+        assert "0" * 64 not in store
+
+    def test_get_many_returns_only_hits(self, store):
+        stored = OUTCOMES[:3]
+        for outcome in stored:
+            store.put(fingerprint_spec(outcome.spec), outcome)
+        wanted = [fingerprint_spec(o.spec) for o in OUTCOMES[:6]]
+        hits = store.get_many(wanted)
+        assert set(hits) == set(wanted[:3])
+        assert all(hits[fingerprint_spec(o.spec)] == o for o in stored)
+
+    def test_put_many_and_len(self, store):
+        store.put_many((fingerprint_spec(o.spec), o) for o in OUTCOMES)
+        assert len(store) == len(OUTCOMES)
+        assert store.fingerprints() == frozenset(fingerprint_spec(o.spec) for o in OUTCOMES)
+
+    def test_last_write_wins(self, store):
+        first, second = OUTCOMES[0], OUTCOMES[1]
+        key = fingerprint_spec(first.spec)
+        store.put(key, first)
+        store.put(key, second)
+        assert store.get(key) == second
+        assert len(store) == 1
+
+    def test_error_outcomes_round_trip(self, store):
+        infeasible = ScenarioSpec(kind="theorem8-impossible", n=4, f=1, k=1)
+        (outcome,) = CampaignRunner().run([infeasible]).outcomes
+        assert outcome.verdict == "error"
+        store.put(fingerprint_spec(infeasible), outcome)
+        assert store.get(fingerprint_spec(infeasible)) == outcome
+
+
+@pytest.mark.parametrize("backend_cls,suffix", [
+    (JsonlResultStore, "store.jsonl"),
+    (SqliteResultStore, "store.sqlite"),
+])
+class TestPersistence:
+    def test_reopen_sees_everything(self, tmp_path, backend_cls, suffix):
+        path = tmp_path / suffix
+        with backend_cls(path) as store:
+            for outcome in OUTCOMES:
+                store.put(fingerprint_spec(outcome.spec), outcome)
+        with backend_cls(path) as reopened:
+            assert len(reopened) == len(OUTCOMES)
+            for outcome in OUTCOMES:
+                assert reopened.get(fingerprint_spec(outcome.spec)) == outcome
+
+    def test_creates_parent_directories(self, tmp_path, backend_cls, suffix):
+        path = tmp_path / "nested" / "dirs" / suffix
+        with backend_cls(path) as store:
+            store.put(fingerprint_spec(OUTCOMES[0].spec), OUTCOMES[0])
+        assert path.exists()
+
+
+class TestJsonlCrashRepair:
+    def _populate(self, path, count=3):
+        with JsonlResultStore(path) as store:
+            for outcome in OUTCOMES[:count]:
+                store.put(fingerprint_spec(outcome.spec), outcome)
+
+    def test_torn_final_line_is_dropped_and_healed(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        self._populate(path)
+        intact = path.read_text()
+        path.write_text(intact + '{"fp": "dead", "v": 1, "outco')  # killed mid-append
+        with JsonlResultStore(path) as store:
+            assert len(store) == 3  # the torn record is gone, the rest intact
+            # ... and the file was healed: appends land on a fresh line.
+            store.put(fingerprint_spec(OUTCOMES[3].spec), OUTCOMES[3])
+        with JsonlResultStore(path) as reopened:
+            assert len(reopened) == 4
+
+    def test_missing_trailing_newline_is_repaired(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        self._populate(path)
+        path.write_text(path.read_text().rstrip("\n"))  # complete record, torn newline
+        with JsonlResultStore(path) as store:
+            assert len(store) == 3
+            store.put(fingerprint_spec(OUTCOMES[3].spec), OUTCOMES[3])
+        with JsonlResultStore(path) as reopened:
+            assert len(reopened) == 4  # no two records glued onto one line
+
+    def test_mid_file_corruption_is_loud(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        self._populate(path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:20]  # damage a non-final record
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ConfigurationError, match="corrupt result store"):
+            JsonlResultStore(path)
+
+    def test_non_object_json_line_is_loud_not_a_crash(self, tmp_path):
+        # Valid JSON that is not an object must hit the corruption path,
+        # not escape as an AttributeError from record.get().
+        path = tmp_path / "store.jsonl"
+        self._populate(path)
+        lines = path.read_text().splitlines()
+        lines.insert(1, "123")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ConfigurationError, match="corrupt result store"):
+            JsonlResultStore(path)
+
+    def test_other_schema_versions_are_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        self._populate(path)
+        with path.open("a") as handle:
+            handle.write(json.dumps({"fp": "f" * 64, "v": 999, "outcome": {}}) + "\n")
+        with JsonlResultStore(path) as store:
+            assert len(store) == 3
+            assert store.get("f" * 64) is None
+
+
+class TestSqliteSpecifics:
+    def test_get_many_batches_over_the_in_limit(self, tmp_path):
+        # More lookups than one IN (...) batch; hits must still all land.
+        with SqliteResultStore(tmp_path / "store.sqlite") as store:
+            for outcome in OUTCOMES:
+                store.put(fingerprint_spec(outcome.spec), outcome)
+            wanted = [fingerprint_spec(o.spec) for o in OUTCOMES]
+            wanted += [format(i, "064x") for i in range(600)]  # misses
+            hits = store.get_many(wanted)
+            assert len(hits) == len(OUTCOMES)
+
+    def test_unreadable_file_is_a_configuration_error(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        path.write_text("this is not a database")
+        with pytest.raises(ConfigurationError):
+            store = SqliteResultStore(path)
+            try:
+                store.get("0" * 64)
+            finally:
+                store.close()

@@ -1,0 +1,143 @@
+"""Cache-hit determinism: cached, resumed and cold campaigns are equal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignRunner, ScenarioSpec, theorem8_specs
+from repro.exceptions import ConfigurationError
+from repro.store import CachingRunner, MemoryResultStore, fingerprint_spec
+
+SPECS = theorem8_specs([4], seeds=(1,), max_steps=4_000)
+COLD = CampaignRunner().run(SPECS)
+
+RUNNERS = {
+    "serial": CampaignRunner(),
+    "chunked": CampaignRunner(backend="chunked", chunk_size=3),
+    "process": CampaignRunner(backend="process", workers=2, chunk_size=3),
+}
+
+
+@pytest.fixture(params=tuple(RUNNERS))
+def backend_runner(request):
+    return RUNNERS[request.param]
+
+
+class TestColdThenWarm:
+    def test_cold_run_matches_plain_campaign_and_fills_the_store(
+        self, store, backend_runner
+    ):
+        caching = CachingRunner(store, backend_runner)
+        result = caching.run(SPECS)
+        assert result == COLD
+        assert caching.last_stats.executed == len(SPECS)
+        assert caching.last_stats.cached == 0
+        assert len(store) == len(SPECS)
+
+    def test_warm_run_is_pure_replay_and_equal(self, store, backend_runner):
+        CachingRunner(store).run(SPECS)
+        caching = CachingRunner(store, backend_runner)
+        warm = caching.run(SPECS)
+        assert warm == COLD
+        assert [o.spec for o in warm.outcomes] == [o.spec for o in COLD.outcomes]
+        assert caching.last_stats.cached == len(SPECS)
+        assert caching.last_stats.executed == 0
+        assert caching.last_stats.hit_rate == 1.0
+
+    def test_partially_cached_run_equals_cold_run(self, store, backend_runner):
+        # A store holding an arbitrary prefix stands in for any
+        # interrupted campaign: the rerun must recompute exactly the
+        # missing scenarios and produce the uninterrupted result.
+        prefix = len(SPECS) // 3
+        CachingRunner(store).run(SPECS[:prefix])
+        caching = CachingRunner(store, backend_runner)
+        resumed = caching.run(SPECS)
+        assert resumed == COLD
+        assert caching.last_stats.cached == prefix
+        assert caching.last_stats.executed == len(SPECS) - prefix
+
+    def test_scattered_cache_hits_keep_campaign_order(self, store, backend_runner):
+        # Cache every third scenario (not a prefix): merged outcomes must
+        # still come back in spec order, not hits-first.
+        scattered = SPECS[::3]
+        CachingRunner(store).run(scattered)
+        caching = CachingRunner(store, backend_runner)
+        resumed = caching.run(SPECS)
+        assert resumed == COLD
+        assert caching.last_stats.cached == len(scattered)
+
+
+class TestStatsAndEdgeCases:
+    def test_stats_add_up(self, store):
+        caching = CachingRunner(store)
+        caching.run(SPECS[:10])
+        stats = caching.last_stats
+        assert stats.total == 10
+        assert stats.cached + stats.executed + stats.skipped == stats.total
+        assert stats.as_dict()["hit_rate"] == 0.0
+
+    def test_empty_campaign(self, store):
+        caching = CachingRunner(store)
+        result = caching.run([])
+        assert result.outcomes == ()
+        assert caching.last_stats.total == 0
+        assert caching.last_stats.hit_rate == 0.0
+
+    def test_duplicate_specs_execute_once_but_count_per_position(self, store):
+        spec = SPECS[0]
+        caching = CachingRunner(store)
+        result = caching.run([spec, spec, spec])
+        assert len(result.outcomes) == 3
+        assert len({id(o) for o in result.outcomes}) <= 3
+        assert result.outcomes[0] == result.outcomes[1] == result.outcomes[2]
+        assert caching.last_stats.total == 3
+        assert caching.last_stats.executed == 3  # three positions, one execution
+        assert len(store) == 1
+
+    def test_unknown_kind_fails_fast_even_when_fully_cached(self, store):
+        caching = CachingRunner(store)
+        caching.run(SPECS[:1])
+        bogus = ScenarioSpec(kind="no-such-kind", n=4, f=1, k=1)
+        with pytest.raises(ConfigurationError):
+            caching.run([bogus])
+
+    def test_grid_accepted_directly(self, store):
+        from repro.campaign import ScenarioGrid
+
+        grid = ScenarioGrid(
+            kinds=("theorem8-solvable",), n_values=(4,), f_values=(1,), k_values=(1,),
+        )
+        caching = CachingRunner(store)
+        first = caching.run(grid)
+        again = caching.run(grid)
+        assert first == again
+        assert caching.last_stats.cached == len(first.outcomes)
+
+    def test_max_steps_is_part_of_the_cache_key(self, store):
+        # A truncation-sensitive knob must never be served a stale hit.
+        base = SPECS[0]
+        bigger = ScenarioSpec(
+            kind=base.kind, n=base.n, f=base.f, k=base.k, scheduler=base.scheduler,
+            seed=base.seed, crashes=base.crashes, max_steps=base.max_steps * 2,
+            params=base.params,
+        )
+        caching = CachingRunner(store)
+        caching.run([base])
+        caching.run([bigger])
+        assert caching.last_stats.executed == 1  # not served from base's entry
+        assert len(store) == 2
+
+    def test_store_contents_are_addressable_by_fingerprint(self, store):
+        CachingRunner(store).run(SPECS[:5])
+        for spec in SPECS[:5]:
+            stored = store.get(fingerprint_spec(spec))
+            assert stored is not None
+            assert stored.spec == spec
+
+    def test_memory_store_rejects_unpersistable_params_like_disk_does(self):
+        spec = ScenarioSpec(
+            kind="theorem8-solvable", n=4, f=1, k=1,
+            params=(("bad", object()),),  # hashable, but not persistable
+        )
+        with pytest.raises(ConfigurationError):
+            CachingRunner(MemoryResultStore()).run([spec])

@@ -1,0 +1,133 @@
+"""Adaptive budgets: EarlyStopPolicy certification, skipping, accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignRunner, ScenarioSpec, corollary13_specs
+from repro.exceptions import ConfigurationError
+from repro.store import CachingRunner, EarlyStopPolicy, MemoryResultStore, point_key
+from slow_kind import SLOW_KIND  # noqa: F401  (registers the kind)
+
+
+def sampled_point_specs(samples: int, *, n=4, f=1, k=1) -> list:
+    """Many samples of one (kind, n, f, k) point, distinct seeds."""
+    return [
+        ScenarioSpec(kind=SLOW_KIND, n=n, f=f, k=k, scheduler="random", seed=seed,
+                     params=(("sleep_ms", 0),))
+        for seed in range(samples)
+    ]
+
+
+class TestPolicyMechanics:
+    def test_observation_certifies_and_skips(self):
+        policy = EarlyStopPolicy(stop_on=("ok",))
+        specs = sampled_point_specs(5)
+        outcome = CampaignRunner().run(specs[:1]).outcomes[0]
+        assert not policy.should_skip(specs[1])  # nothing certified yet
+        policy.observe(outcome)
+        assert policy.should_skip(specs[2])
+        assert policy.should_skip(specs[3])
+        assert policy.skipped == (specs[2], specs[3])
+        assert policy.certified_points() == {point_key(specs[0]): "ok"}
+
+    def test_default_does_not_certify_ok_or_error(self):
+        policy = EarlyStopPolicy()
+        specs = sampled_point_specs(2)
+        outcome = CampaignRunner().run(specs[:1]).outcomes[0]
+        policy.observe(outcome)  # verdict "ok": not a certifier by default
+        assert not policy.should_skip(specs[1])
+        assert policy.skipped_count == 0
+
+    def test_distinct_points_have_independent_budgets(self):
+        policy = EarlyStopPolicy(stop_on=("ok",))
+        point_a = sampled_point_specs(2, k=1)
+        point_b = sampled_point_specs(2, k=2)
+        policy.observe(CampaignRunner().run(point_a[:1]).outcomes[0])
+        assert policy.should_skip(point_a[1])
+        assert not policy.should_skip(point_b[1])
+
+    def test_reset_forgets_everything(self):
+        policy = EarlyStopPolicy(stop_on=("ok",))
+        specs = sampled_point_specs(3)
+        policy.observe(CampaignRunner().run(specs[:1]).outcomes[0])
+        assert policy.should_skip(specs[1])
+        policy.reset()
+        assert not policy.should_skip(specs[2])
+        assert policy.skipped_count == 0
+
+    def test_invalid_stop_on_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EarlyStopPolicy(stop_on=())
+        with pytest.raises(ConfigurationError):
+            EarlyStopPolicy(stop_on=("sometimes",))
+
+
+class TestAdaptiveCampaigns:
+    def test_serial_early_stop_executes_one_sample_per_point(self):
+        specs = sampled_point_specs(10)
+        policy = EarlyStopPolicy(stop_on=("ok",))
+        caching = CachingRunner(MemoryResultStore(), policy=policy)
+        result = caching.run(specs)
+        # Serial dispatch observes outcome i before dispatching i+1, so
+        # exactly one sample of the (certified-ok) point runs.
+        assert caching.last_stats.executed == 1
+        assert caching.last_stats.skipped == 9
+        assert policy.skipped_count == 9
+        assert len(result.outcomes) == 1
+
+    def test_skipped_scenarios_are_recorded_not_lost(self):
+        specs = sampled_point_specs(6)
+        policy = EarlyStopPolicy(stop_on=("ok",))
+        caching = CachingRunner(MemoryResultStore(), policy=policy)
+        caching.run(specs)
+        assert set(policy.skipped) == set(specs[1:])
+        stats = caching.last_stats
+        assert stats.cached + stats.executed + stats.skipped == stats.total
+
+    def test_cached_violation_certifies_before_anything_runs(self):
+        # A violation already in the store must stop the point's pending
+        # samples without executing a single scenario of it.
+        middle = [s for s in corollary13_specs([5]) if s.kind == "corollary13-middle"]
+        assert middle  # the Theorem 10 construction: a certified violation
+        store = MemoryResultStore()
+        CachingRunner(store).run(middle[:1])
+
+        policy = EarlyStopPolicy()  # default: stop on violation
+        caching = CachingRunner(store, policy=policy)
+        more_of_the_point = [
+            ScenarioSpec(
+                kind=middle[0].kind, n=middle[0].n, f=middle[0].f, k=middle[0].k,
+                scheduler=middle[0].scheduler, seed=seed,
+                max_steps=middle[0].max_steps,
+            )
+            for seed in range(1, 5)
+        ]
+        caching.run(middle[:1] + more_of_the_point)
+        assert caching.last_stats.cached == 1
+        assert caching.last_stats.executed == 0
+        assert caching.last_stats.skipped == len(more_of_the_point)
+
+    def test_process_backend_accounting_stays_consistent(self):
+        # Under the pool, chunks in flight when a point certifies still
+        # run — the guaranteed invariants are the accounting ones.
+        specs = sampled_point_specs(24)
+        policy = EarlyStopPolicy(stop_on=("ok",))
+        caching = CachingRunner(
+            MemoryResultStore(),
+            CampaignRunner(backend="process", workers=2, chunk_size=1),
+            policy=policy,
+        )
+        result = caching.run(specs)
+        stats = caching.last_stats
+        assert stats.cached + stats.executed + stats.skipped == stats.total
+        assert stats.executed >= 1
+        assert len(result.outcomes) == stats.executed
+        assert stats.skipped == policy.skipped_count
+
+    def test_early_stop_off_means_no_skips(self):
+        specs = sampled_point_specs(5)
+        caching = CachingRunner(MemoryResultStore())
+        caching.run(specs)
+        assert caching.last_stats.skipped == 0
+        assert caching.last_stats.executed == 5

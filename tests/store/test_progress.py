@@ -1,0 +1,102 @@
+"""Progress reporting: event streams, pool-wide liveness, cached events."""
+
+from __future__ import annotations
+
+import io
+import os
+
+from repro.campaign import CampaignRunner, theorem8_specs
+from repro.store import (
+    CachingRunner,
+    CollectingProgressReporter,
+    LogProgressReporter,
+    MemoryResultStore,
+)
+
+SPECS = theorem8_specs([4], seeds=(1,), max_steps=4_000)
+
+
+class TestEventStream:
+    def test_serial_campaign_reports_every_scenario(self):
+        reporter = CollectingProgressReporter()
+        caching = CachingRunner(MemoryResultStore(), progress=reporter)
+        result = caching.run(SPECS)
+        assert len(reporter.events) == len(result.outcomes) == len(SPECS)
+        snap = reporter.snapshot()
+        assert snap["total"] == len(SPECS)
+        assert snap["completed"] == len(SPECS)
+        assert snap["cached"] == 0
+        assert snap["ok"] + snap["violation"] + snap["error"] == len(SPECS)
+
+    def test_verdict_counts_match_the_result(self):
+        reporter = CollectingProgressReporter()
+        CachingRunner(MemoryResultStore(), progress=reporter).run(SPECS)
+        counts = CampaignRunner().run(SPECS).verdict_counts()
+        snap = reporter.snapshot()
+        assert {k: snap[k] for k in ("ok", "violation", "error")} == counts
+
+    def test_process_campaign_streams_worker_side_events(self):
+        reporter = CollectingProgressReporter()
+        caching = CachingRunner(
+            MemoryResultStore(),
+            CampaignRunner(backend="process", workers=2, chunk_size=3),
+            progress=reporter,
+        )
+        result = caching.run(SPECS)
+        assert len(reporter.events) == len(result.outcomes)
+        pids = {event.worker_pid for event in reporter.events}
+        assert len(pids) >= 1  # a degraded (fork-less) pool still reports
+        if result.workers > 1:
+            assert os.getpid() not in pids  # events were produced worker-side
+
+    def test_cached_scenarios_appear_as_cached_events(self):
+        store = MemoryResultStore()
+        CachingRunner(store).run(SPECS[:10])
+        reporter = CollectingProgressReporter()
+        CachingRunner(store, progress=reporter).run(SPECS)
+        cached_events = [event for event in reporter.events if event.cached]
+        fresh_events = [event for event in reporter.events if not event.cached]
+        assert len(cached_events) == 10
+        assert len(fresh_events) == len(SPECS) - 10
+        assert all(event.worker_pid == os.getpid() for event in cached_events)
+        assert reporter.snapshot()["executed"] == len(SPECS) - 10
+
+    def test_duplicate_specs_still_reach_the_announced_total(self):
+        # Deduplicated duplicates complete with their first occurrence;
+        # the reporter must still see completed == total at the end.
+        reporter = CollectingProgressReporter()
+        duplicated = [SPECS[0], SPECS[0], SPECS[1], SPECS[0]]
+        CachingRunner(MemoryResultStore(), progress=reporter).run(duplicated)
+        snap = reporter.snapshot()
+        assert snap["total"] == 4
+        assert snap["completed"] == 4
+        assert snap["cached"] == 2  # the two replayed duplicate positions
+
+    def test_progress_exceptions_never_break_the_campaign(self):
+        class ExplodingReporter(CollectingProgressReporter):
+            def on_event(self, event):
+                raise RuntimeError("reporting is broken")
+
+        caching = CachingRunner(MemoryResultStore(), progress=ExplodingReporter())
+        result = caching.run(SPECS[:5])
+        assert len(result.outcomes) == 5  # outcomes unaffected
+
+
+class TestLogReporter:
+    def test_log_lines_are_emitted(self):
+        stream = io.StringIO()
+        reporter = LogProgressReporter(every=10, stream=stream)
+        CachingRunner(MemoryResultStore(), progress=reporter).run(SPECS)
+        text = stream.getvalue()
+        assert f"started: {len(SPECS)} scenarios" in text
+        assert f"{len(SPECS)}/{len(SPECS)}" in text
+        assert "violation=" in text
+
+    def test_errors_are_always_logged(self):
+        from repro.campaign import ScenarioSpec
+
+        stream = io.StringIO()
+        reporter = LogProgressReporter(every=1000, stream=stream)
+        infeasible = ScenarioSpec(kind="theorem8-impossible", n=4, f=1, k=1)
+        CachingRunner(MemoryResultStore(), progress=reporter).run([infeasible])
+        assert "ERROR" in stream.getvalue()
