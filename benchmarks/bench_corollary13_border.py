@@ -62,7 +62,9 @@ def classify_campaign(n_values, result: CampaignResult) -> List[Tuple]:
 
 
 def test_corollary13_border(benchmark):
-    specs = corollary13_specs(N_VALUES)
+    # The border classification consumes verdicts only; verdict-only
+    # recording skips all per-step trace allocation in the workers.
+    specs = corollary13_specs(N_VALUES, recording="verdict-only")
     runner = CampaignRunner(backend="process", workers=4)
 
     # Serial/process equality is pinned by tests/campaign/test_runner.py;
@@ -93,7 +95,7 @@ def test_corollary13_store_replay(benchmark, tmp_path):
     The classification of the replayed campaign must match the freshly
     computed one row for row — cache hits are first-class evidence.
     """
-    specs = corollary13_specs(N_VALUES[:2])
+    specs = corollary13_specs(N_VALUES[:2], recording="verdict-only")
     with open_store(tmp_path / "corollary13.jsonl") as store:
         cold = CachingRunner(store).run(specs)
         warm_runner = CachingRunner(store)

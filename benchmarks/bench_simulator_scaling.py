@@ -5,9 +5,22 @@ reproduction needs: how the executor's cost (steps, messages, wall-clock
 per run) scales with the system size for the Section VI protocol under the
 fair schedule.  ``pytest-benchmark`` measures the wall-clock; the table
 reports the volume counters.
+
+On top of the absolute scaling curve, ``test_recording_policy_speedup``
+measures the zero-copy engine against the seed hot path, frozen verbatim
+in :mod:`benchmarks._legacy_executor` (eager snapshot views, per-step
+knowledge-graph rebuilds): at every ``n >= 32`` the current engine under
+``VERDICT_ONLY`` recording must be at least 3x faster while producing the
+bit-identical run.  The headline numbers land in
+``BENCH_E13_simulator_scaling.json`` (see ``$REPRO_BENCH_JSON``), which
+``benchmarks/compare_bench.py`` diffs against the committed baseline in
+CI — a >25% regression of the speedup or of the volume counters fails the
+workflow.
 """
 
 from __future__ import annotations
+
+import time
 
 import pytest
 
@@ -15,17 +28,40 @@ from repro.algorithms.kset_initial_crash import KSetInitialCrash
 from repro.analysis.reporting import format_table
 from repro.analysis.run_properties import run_statistics
 from repro.models.initial_crash import initial_crash_model
-from repro.simulation.executor import execute
-from benchmarks.conftest import emit
+from repro.simulation.executor import ExecutionSettings, RecordingPolicy, execute
+from benchmarks.conftest import emit, emit_json
+from benchmarks._legacy_executor import LegacyKSet, legacy_execute
 
 SIZES = [8, 16, 24, 32, 48, 64]
+SPEEDUP_SIZES = [32, 48]
+#: The acceptance floor: current engine (verdict-only) vs the seed hot path.
+SPEEDUP_FLOOR = 3.0
 
 
-def run_once(n: int):
+def run_once(n: int, recording: RecordingPolicy = RecordingPolicy.FULL):
     f = n // 2
     model = initial_crash_model(n, f)
     algorithm = KSetInitialCrash(n, f)
-    return execute(algorithm, model, {p: p for p in model.processes})
+    return execute(
+        algorithm, model, {p: p for p in model.processes},
+        settings=ExecutionSettings(recording=recording),
+    )
+
+
+def run_once_legacy(n: int):
+    f = n // 2
+    model = initial_crash_model(n, f)
+    algorithm = LegacyKSet(n, f)
+    return legacy_execute(algorithm, model, {p: p for p in model.processes})
+
+
+def _best_of(fn, *args, reps=3):
+    best, result = float("inf"), None
+    for _ in range(reps):
+        started = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - started)
+    return best, result
 
 
 @pytest.mark.parametrize("n", SIZES)
@@ -53,3 +89,49 @@ def test_simulator_scaling_table(benchmark):
     # steps grow roughly linearly with n (each process needs a constant
     # number of scheduling rounds), messages quadratically.
     assert rows[-1][1] < 20 * SIZES[-1]
+
+
+def test_recording_policy_speedup(benchmark):
+    """Zero-copy + verdict-only vs the frozen seed hot path: >= 3x at n >= 32."""
+
+    def measure():
+        rows = []
+        payload = {}
+        for n in SPEEDUP_SIZES:
+            legacy_seconds, legacy_run = _best_of(run_once_legacy, n)
+            full_seconds, full_run = _best_of(run_once, n, RecordingPolicy.FULL)
+            verdict_seconds, verdict_run = _best_of(
+                run_once, n, RecordingPolicy.VERDICT_ONLY)
+            # identical executions, whatever the engine or policy
+            assert verdict_run.completed and full_run.completed and legacy_run.completed
+            assert verdict_run.decisions() == full_run.decisions() == legacy_run.decisions()
+            assert verdict_run.length == full_run.length == legacy_run.length
+            assert (verdict_run.messages_sent() == full_run.messages_sent()
+                    == legacy_run.messages_sent())
+            speedup = legacy_seconds / verdict_seconds if verdict_seconds else 0.0
+            rows.append((n, round(legacy_seconds * 1e3, 2), round(full_seconds * 1e3, 2),
+                         round(verdict_seconds * 1e3, 2), round(speedup, 2)))
+            payload.update({
+                f"steps_n{n}": verdict_run.length,
+                f"messages_sent_n{n}": verdict_run.messages_sent(),
+                f"legacy_seconds_n{n}": round(legacy_seconds, 6),
+                f"full_seconds_n{n}": round(full_seconds, 6),
+                f"verdict_seconds_n{n}": round(verdict_seconds, 6),
+                f"speedup_verdict_only_n{n}": round(speedup, 3),
+            })
+        return rows, payload
+
+    rows, payload = benchmark.pedantic(measure, iterations=1, rounds=1)
+    emit(
+        "E13 recording-policy speedup (seed hot path vs zero-copy engine)",
+        format_table(
+            ("n", "seed ms", "full ms", "verdict-only ms", "speedup"), rows
+        ),
+    )
+    benchmark.extra_info.update(payload)
+    emit_json("E13_simulator_scaling", payload)
+    for n, _legacy_ms, _full_ms, _verdict_ms, speedup in rows:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"expected >= {SPEEDUP_FLOOR}x over the seed hot path at n={n}, "
+            f"measured {speedup:.2f}x"
+        )

@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Diff current ``BENCH_*.json`` artifacts against the committed baseline.
+
+CI runs the benchmarks with ``REPRO_BENCH_JSON`` pointing at an artifact
+directory, then invokes::
+
+    python benchmarks/compare_bench.py --current bench-artifacts
+
+For every baseline file in ``benchmarks/baselines/`` the corresponding
+current artifact must exist, and every numeric metric the baseline pins
+must be within the regression threshold (default 25%):
+
+* keys containing ``speedup`` are **higher-is-better** — the run fails
+  when the current value drops more than the threshold below baseline;
+* keys ending in ``_seconds`` are machine-dependent and are skipped
+  (speedup ratios, not absolute wall-clock, are what the gate pins);
+* every other numeric key (steps, message counts, ...) is
+  **lower-is-better** — the run fails when the current value grows more
+  than the threshold above baseline.  The executor is deterministic, so
+  these normally match exactly; the tolerance only absorbs deliberate
+  workload changes small enough not to matter.
+
+Exit status 0 when everything holds, 1 on any regression or missing
+artifact — wired as a failing step into the GitHub Actions workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+DEFAULT_THRESHOLD = 0.25
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+
+
+def is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def classify(key: str) -> str:
+    """``skip`` (wall-clock), ``higher`` (speedups) or ``lower`` (volumes)."""
+    if key.endswith("_seconds") or "_seconds_" in key:
+        return "skip"
+    if "speedup" in key:
+        return "higher"
+    return "lower"
+
+
+def compare_payloads(
+    name: str, baseline: dict, current: dict, threshold: float
+) -> Tuple[List[str], List[str]]:
+    """Return ``(report_lines, regressions)`` for one benchmark file."""
+    lines: List[str] = []
+    regressions: List[str] = []
+    for key in sorted(baseline):
+        base_value = baseline[key]
+        if not is_number(base_value):
+            continue
+        direction = classify(key)
+        if direction == "skip":
+            continue
+        if key not in current:
+            regressions.append(f"{name}: metric {key!r} missing from current artifact")
+            continue
+        now = current[key]
+        if not is_number(now):
+            regressions.append(f"{name}: metric {key!r} is not numeric: {now!r}")
+            continue
+        if direction == "higher":
+            floor = base_value * (1.0 - threshold)
+            ok = now >= floor
+            verdict = "OK" if ok else f"REGRESSED (floor {floor:.3f})"
+        else:
+            ceiling = base_value * (1.0 + threshold)
+            ok = now <= ceiling
+            verdict = "OK" if ok else f"REGRESSED (ceiling {ceiling:.3f})"
+        lines.append(
+            f"  {key:<32} baseline={base_value:<12g} current={now:<12g} {verdict}"
+        )
+        if not ok:
+            regressions.append(
+                f"{name}: {key} {'fell' if direction == 'higher' else 'grew'} "
+                f"beyond {threshold:.0%} of baseline "
+                f"(baseline {base_value!r}, current {now!r})"
+            )
+    return lines, regressions
+
+
+def compare_directories(
+    baseline_dir: Path, current_dir: Path, threshold: float
+) -> Iterable[str]:
+    """Yield regression messages; print a per-metric report as a side effect."""
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        yield f"no baseline files found under {baseline_dir}"
+        return
+    for baseline_path in baselines:
+        name = baseline_path.name
+        current_path = current_dir / name
+        print(f"== {name} ==")
+        if not current_path.exists():
+            print(f"  current artifact missing: {current_path}")
+            yield f"{name}: current artifact missing ({current_path})"
+            continue
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        current = json.loads(current_path.read_text(encoding="utf-8"))
+        lines, regressions = compare_payloads(name, baseline, current, threshold)
+        for line in lines:
+            print(line)
+        yield from regressions
+
+
+def main(argv: Iterable[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current", type=Path, default=Path("bench-artifacts"),
+        help="directory holding the freshly produced BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=BASELINE_DIR,
+        help="directory holding the committed baseline BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="allowed relative regression (default 0.25 = 25%%)",
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    regressions = list(
+        compare_directories(args.baseline, args.current, args.threshold)
+    )
+    if regressions:
+        print("\nbenchmark regressions detected:")
+        for regression in regressions:
+            print(f"  - {regression}")
+        return 1
+    print("\nno benchmark regressions (threshold "
+          f"{args.threshold:.0%}, baselines: {args.baseline})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -84,8 +84,10 @@ from repro.algorithms import (
 from repro.simulation import (
     ExecutionSettings,
     IsolationAdversary,
+    LazyAdversaryView,
     PartitioningAdversary,
     RandomScheduler,
+    RecordingPolicy,
     RoundRobinScheduler,
     Run,
     SilenceAdversary,
@@ -181,6 +183,8 @@ __all__ = [
     # simulation
     "execute",
     "ExecutionSettings",
+    "RecordingPolicy",
+    "LazyAdversaryView",
     "Run",
     "RoundRobinScheduler",
     "RandomScheduler",

@@ -32,7 +32,7 @@ from typing import FrozenSet, Optional, Sequence, Tuple
 
 from repro.algorithms.base import Algorithm, ProcessState, StepOutput, broadcast
 from repro.exceptions import ConfigurationError
-from repro.graphs.knowledge_graph import KnowledgeGraph
+from repro.graphs.knowledge_graph import decide_from_reports
 from repro.types import ProcessId, Value
 
 __all__ = ["TwoStageState", "TwoStageKnowledgeProtocol"]
@@ -130,6 +130,7 @@ class TwoStageKnowledgeProtocol(Algorithm):
                 _kind, sender, predecessors, value = payload
                 reports.add((sender, tuple(predecessors), value))
 
+        new_reports = len(reports) != len(state.reports)
         new_state = replace(
             state, heard_stage1=frozenset(heard), reports=frozenset(reports)
         )
@@ -160,8 +161,12 @@ class TwoStageKnowledgeProtocol(Algorithm):
                     predecessors=predecessors,
                     reports=frozenset(reports),
                 )
+                new_reports = True
 
-        if new_state.stage == 2:
+        # The decision depends only on the report set, so a step that
+        # brought no new report cannot newly complete the closure — skip
+        # the (O(edges)) attempt instead of recomputing the same "not yet".
+        if new_state.stage == 2 and new_reports:
             decision = self._try_decide(new_state)
             if decision is not None:
                 new_state = new_state.decide(decision)
@@ -171,15 +176,21 @@ class TwoStageKnowledgeProtocol(Algorithm):
     # -- decision ------------------------------------------------------------
 
     def _try_decide(self, state: TwoStageState) -> Optional[Value]:
-        """Return the decision value once the knowledge closure is complete."""
-        knowledge = KnowledgeGraph(owner=state.pid)
+        """Return the decision value once the knowledge closure is complete.
+
+        Works directly on the raw report tuples via
+        :func:`repro.graphs.knowledge_graph.decide_from_reports` — the
+        per-attempt :class:`KnowledgeGraph` (one frozenset per report,
+        rebuilt on every stage-2 step) was the dominant allocation of a
+        Section VI run.  Reports are write-once per process, so the
+        graph's conflicting-report validation has nothing to detect here.
+        """
+        heard_from = {}
+        values = {}
         for process, predecessors, value in state.reports:
-            knowledge.record(process, predecessors, value)
-        if state.pid not in knowledge.heard_from:
-            return None
-        if not knowledge.is_complete():
-            return None
-        return knowledge.decision_value()
+            heard_from[process] = predecessors
+            values[process] = value
+        return decide_from_reports(state.pid, heard_from, values)
 
     # -- documentation helpers -------------------------------------------------
 

@@ -147,6 +147,7 @@ def sweep_theorem8(
     runner: Optional[CampaignRunner] = None,
     store=None,
     progress=None,
+    recording: str = "full",
 ) -> List[SweepPoint]:
     """Sweep the full (n, f, k) grid and compare prediction with observation.
 
@@ -158,9 +159,17 @@ def sweep_theorem8(
     where it stopped — producing the identical points either way.
     ``progress`` (:class:`repro.store.ProgressReporter`) streams
     pool-wide per-scenario events while the campaign runs.
+
+    ``recording`` selects the executor's
+    :class:`~repro.simulation.recording.RecordingPolicy` for every
+    scenario.  The sweep only consumes verdicts, so ``"verdict-only"``
+    skips all per-step trace allocation and returns the **identical**
+    list of points measurably faster — the setting to use for large
+    grids.
     """
     n_values = list(n_values)
-    specs = theorem8_specs(n_values, seeds=seeds, max_steps=max_steps)
+    specs = theorem8_specs(
+        n_values, seeds=seeds, max_steps=max_steps, recording=recording)
     campaign_runner = runner if runner is not None else CampaignRunner()
     if store is not None or progress is not None:
         from repro.store import CachingRunner, MemoryResultStore

@@ -86,6 +86,7 @@ def spec_to_dict(spec: ScenarioSpec) -> Dict[str, Any]:
         "crashes": [[pid, time] for pid, time in spec.crashes],
         "max_steps": spec.max_steps,
         "params": [[name, encode_value(value)] for name, value in spec.params],
+        "recording": spec.recording,
     }
 
 
@@ -101,6 +102,7 @@ def spec_from_dict(data: Mapping[str, Any]) -> ScenarioSpec:
         crashes=tuple((int(pid), int(time)) for pid, time in data["crashes"]),
         max_steps=int(data["max_steps"]),
         params=tuple((str(name), decode_value(value)) for name, value in data["params"]),
+        recording=data.get("recording", "full"),
     )
 
 

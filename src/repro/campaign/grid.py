@@ -74,6 +74,11 @@ class ScenarioGrid:
         Step budget of every compiled scenario.
     params:
         Extra kind-specific knobs attached to every scenario.
+    recording:
+        Recording-policy name applied to every compiled scenario
+        (``"full"``, ``"decisions-only"`` or ``"verdict-only"``); the
+        policy changes what the executed runs retain, never their
+        verdicts.
     """
 
     kinds: Tuple[str, ...]
@@ -86,6 +91,7 @@ class ScenarioGrid:
     point_filter: Optional[Callable[[int, int, int], bool]] = None
     max_steps: int = 10_000
     params: Tuple[Tuple[str, Hashable], ...] = ()
+    recording: str = "full"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "kinds", tuple(self.kinds))
@@ -159,6 +165,7 @@ class ScenarioGrid:
                                         crashes=normalize_crashes(schedule, n),
                                         max_steps=self.max_steps,
                                         params=self.params,
+                                        recording=self.recording,
                                     )
                                     if spec not in seen:
                                         seen.add(spec)

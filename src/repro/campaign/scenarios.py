@@ -46,6 +46,7 @@ from repro.models.initial_crash import initial_crash_model
 from repro.partitioning.scenarios import Theorem10Scenario
 from repro.simulation.adversary import PartitioningAdversary
 from repro.simulation.executor import ExecutionSettings, execute
+from repro.simulation.recording import RecordingPolicy
 from repro.simulation.scheduler import Adversary, RandomScheduler, RoundRobinScheduler
 
 __all__ = [
@@ -53,6 +54,7 @@ __all__ = [
     "get_kind",
     "registered_kinds",
     "build_adversary",
+    "build_settings",
     "initial_crash_patterns",
     "execute_theorem8_solvable",
     "execute_theorem8_impossible",
@@ -115,6 +117,19 @@ def build_adversary(spec: ScenarioSpec) -> Adversary:
     )
 
 
+def build_settings(spec: ScenarioSpec) -> ExecutionSettings:
+    """The spec's execution settings: step budget plus recording policy.
+
+    Campaign outcomes only consume decisions, flags and counters, so a
+    ``"verdict-only"`` spec skips all per-step trace allocation while
+    producing the identical :class:`ScenarioOutcome`.
+    """
+    return ExecutionSettings(
+        max_steps=spec.max_steps,
+        recording=RecordingPolicy.coerce(spec.recording),
+    )
+
+
 def initial_crash_patterns(n: int, f: int, seeds: Sequence[int]) -> List[frozenset]:
     """Representative initial-crash sets: none, largest, smallest, seeded."""
     processes = tuple(range(1, n + 1))
@@ -150,7 +165,7 @@ def execute_theorem8_solvable(spec: ScenarioSpec):
         proposals,
         adversary=build_adversary(spec),
         failure_pattern=pattern,
-        settings=ExecutionSettings(max_steps=spec.max_steps),
+        settings=build_settings(spec),
     )
     return run, KSetAgreementProblem(spec.k).evaluate(run, proposals=proposals)
 
@@ -186,7 +201,7 @@ def execute_theorem8_impossible(spec: ScenarioSpec):
         proposals,
         adversary=PartitioningAdversary(groups),
         failure_pattern=pattern,
-        settings=ExecutionSettings(max_steps=spec.max_steps),
+        settings=build_settings(spec),
     )
     return run, KSetAgreementProblem(k).evaluate(run, proposals=proposals)
 
@@ -208,6 +223,7 @@ def theorem8_solvable_grid(
     *,
     seeds: Sequence[int] = (1, 2),
     max_steps: int = 20_000,
+    recording: str = "full",
 ) -> ScenarioGrid:
     """The solvable side of the Theorem 8 sweep as a declarative grid."""
     seeds = tuple(seeds)
@@ -219,6 +235,7 @@ def theorem8_solvable_grid(
         crash_sets=lambda n, f: initial_crash_patterns(n, f, seeds),
         point_filter=lambda n, f, k: theorem8_verdict(n, f, k).is_solvable,
         max_steps=max_steps,
+        recording=recording,
     )
 
 
@@ -226,6 +243,7 @@ def theorem8_impossible_grid(
     n_values: Sequence[int],
     *,
     max_steps: int = 20_000,
+    recording: str = "full",
 ) -> ScenarioGrid:
     """The impossible side: one partitioning construction per point."""
     return ScenarioGrid(
@@ -234,6 +252,7 @@ def theorem8_impossible_grid(
         schedulers=("partitioning",),
         point_filter=lambda n, f, k: not theorem8_verdict(n, f, k).is_solvable,
         max_steps=max_steps,
+        recording=recording,
     )
 
 
@@ -242,10 +261,13 @@ def theorem8_specs(
     *,
     seeds: Sequence[int] = (1, 2),
     max_steps: int = 20_000,
+    recording: str = "full",
 ) -> Tuple[ScenarioSpec, ...]:
     """All scenarios of the Theorem 8 border sweep over ``n_values``."""
-    solvable = theorem8_solvable_grid(n_values, seeds=seeds, max_steps=max_steps)
-    impossible = theorem8_impossible_grid(n_values, max_steps=max_steps)
+    solvable = theorem8_solvable_grid(
+        n_values, seeds=seeds, max_steps=max_steps, recording=recording)
+    impossible = theorem8_impossible_grid(
+        n_values, max_steps=max_steps, recording=recording)
     return solvable.compile() + impossible.compile()
 
 
@@ -256,9 +278,11 @@ def theorem8_point_specs(
     *,
     seeds: Sequence[int] = (1, 2),
     max_steps: int = 20_000,
+    recording: str = "full",
 ) -> Tuple[ScenarioSpec, ...]:
     """The solvable-side scenarios of a single parameter point."""
-    grid = theorem8_solvable_grid([n], seeds=seeds, max_steps=max_steps)
+    grid = theorem8_solvable_grid(
+        [n], seeds=seeds, max_steps=max_steps, recording=recording)
     grid = ScenarioGrid(
         kinds=grid.kinds,
         n_values=grid.n_values,
@@ -268,6 +292,7 @@ def theorem8_point_specs(
         seeds=grid.seeds,
         crash_sets=grid.crash_sets,
         max_steps=grid.max_steps,
+        recording=grid.recording,
     )
     return grid.compile()
 
@@ -287,7 +312,7 @@ def _run_corollary13_k1(spec: ScenarioSpec) -> ScenarioOutcome:
         proposals,
         adversary=build_adversary(spec),
         failure_pattern=FailurePattern(model.processes, dict(spec.crashes)),
-        settings=ExecutionSettings(max_steps=spec.max_steps),
+        settings=build_settings(spec),
     )
     return ScenarioOutcome.from_report(
         spec, KSetAgreementProblem(1).evaluate(run, proposals=proposals), run
@@ -306,7 +331,7 @@ def _run_corollary13_kmax(spec: ScenarioSpec) -> ScenarioOutcome:
         proposals,
         adversary=build_adversary(spec),
         failure_pattern=FailurePattern(model.processes, dict(spec.crashes)),
-        settings=ExecutionSettings(max_steps=spec.max_steps),
+        settings=build_settings(spec),
     )
     return ScenarioOutcome.from_report(
         spec, KSetAgreementProblem(n - 1).evaluate(run, proposals=proposals), run
@@ -316,7 +341,10 @@ def _run_corollary13_kmax(spec: ScenarioSpec) -> ScenarioOutcome:
 @scenario_kind("corollary13-middle")
 def _run_corollary13_middle(spec: ScenarioSpec) -> ScenarioOutcome:
     """The Theorem 10 violation construction (``2 <= k <= n - 2``)."""
-    scenario = Theorem10Scenario(n=spec.n, k=spec.k, max_steps=spec.max_steps)
+    scenario = Theorem10Scenario(
+        n=spec.n, k=spec.k, max_steps=spec.max_steps,
+        recording=RecordingPolicy.coerce(spec.recording),
+    )
     run, report = scenario.violation_run(FlawedQuorumKSet(spec.n, spec.k))
     return ScenarioOutcome.from_report(spec, report, run)
 
@@ -326,6 +354,7 @@ def corollary13_specs(
     *,
     max_steps: int = 10_000,
     middle_max_steps: int = 6_000,
+    recording: str = "full",
 ) -> Tuple[ScenarioSpec, ...]:
     """All scenarios of the Corollary 13 border sweep over ``n_values``.
 
@@ -341,31 +370,37 @@ def corollary13_specs(
                 specs.append(ScenarioSpec(
                     kind="corollary13-k1", n=n, f=n - 1, k=1,
                     scheduler="round-robin", max_steps=max_steps,
+                    recording=recording,
                 ))
                 specs.append(ScenarioSpec(
                     kind="corollary13-k1", n=n, f=n - 1, k=1,
                     scheduler="random", seed=1, crashes=((n, 0),),
                     max_steps=max_steps, params=(("max_delay", 8),),
+                    recording=recording,
                 ))
             elif k == n - 1:
                 specs.append(ScenarioSpec(
                     kind="corollary13-kmax", n=n, f=n - 1, k=k,
                     scheduler="round-robin", max_steps=max_steps,
+                    recording=recording,
                 ))
                 specs.append(ScenarioSpec(
                     kind="corollary13-kmax", n=n, f=n - 1, k=k,
                     scheduler="round-robin",
                     crashes=tuple((p, 0) for p in range(1, n)),
                     max_steps=max_steps,
+                    recording=recording,
                 ))
                 specs.append(ScenarioSpec(
                     kind="corollary13-kmax", n=n, f=n - 1, k=k,
                     scheduler="random", seed=2, crashes=((1, 0), (2, 5)),
                     max_steps=max_steps,
+                    recording=recording,
                 ))
             else:
                 specs.append(ScenarioSpec(
                     kind="corollary13-middle", n=n, f=n - 1, k=k,
                     scheduler="partitioning", max_steps=middle_max_steps,
+                    recording=recording,
                 ))
     return tuple(specs)

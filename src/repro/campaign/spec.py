@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Mapping, Tuple, Union
 
 from repro.exceptions import ConfigurationError
+from repro.simulation.recording import RECORDING_POLICY_NAMES
 from repro.types import ProcessId, Time
 
 __all__ = [
@@ -138,6 +139,13 @@ class ScenarioSpec:
         Step budget of the execution.
     params:
         Extra kind-specific knobs as sorted ``(name, value)`` pairs.
+    recording:
+        Name of the :class:`repro.simulation.recording.RecordingPolicy`
+        the execution runs under (``"full"``, ``"decisions-only"`` or
+        ``"verdict-only"``).  The policy is part of the spec's identity
+        (and therefore of its store fingerprint), but deliberately *not*
+        of :meth:`derived_seed` — the RNG stream, the schedule and the
+        outcome are identical across recording policies.
     """
 
     kind: str
@@ -149,6 +157,7 @@ class ScenarioSpec:
     crashes: Tuple[Tuple[ProcessId, Time], ...] = ()
     max_steps: int = 10_000
     params: Tuple[Tuple[str, Hashable], ...] = ()
+    recording: str = "full"
 
     def __post_init__(self) -> None:
         if self.n < 1:
@@ -161,6 +170,11 @@ class ScenarioSpec:
             raise ConfigurationError(f"k must be >= 1, got k={self.k}")
         if self.max_steps < 1:
             raise ConfigurationError(f"max_steps must be >= 1, got {self.max_steps}")
+        if self.recording not in RECORDING_POLICY_NAMES:
+            raise ConfigurationError(
+                f"unknown recording policy {self.recording!r}; choose one of "
+                f"{RECORDING_POLICY_NAMES}"
+            )
 
     # -- identity ----------------------------------------------------------
 
@@ -179,6 +193,7 @@ class ScenarioSpec:
         return (
             self.kind, self.n, self.f, self.k, self.scheduler, self.seed,
             self.crashes, self.max_steps, _canonical_params(self.params),
+            self.recording,
         )
 
     # -- seeding -----------------------------------------------------------
@@ -188,7 +203,10 @@ class ScenarioSpec:
 
         Independent of execution order, worker assignment and
         ``PYTHONHASHSEED``; distinct scenarios of a grid get distinct
-        streams with overwhelming probability.
+        streams with overwhelming probability.  ``recording`` (like
+        ``max_steps``) is deliberately excluded: the RNG stream — and
+        with it the schedule — must be bit-identical across recording
+        policies.
         """
         blob = repr(
             (self.kind, self.n, self.f, self.k, self.scheduler, self.seed,
@@ -218,7 +236,8 @@ class ScenarioSpec:
             else "-"
         )
         seed = f"/s{self.seed}" if self.scheduler not in DETERMINISTIC_SCHEDULERS else ""
-        return f"{self.kind}(n={self.n},f={self.f},k={self.k}) {self.scheduler}{seed} crashes={crash}"
+        rec = f" rec={self.recording}" if self.recording != "full" else ""
+        return f"{self.kind}(n={self.n},f={self.f},k={self.k}) {self.scheduler}{seed} crashes={crash}{rec}"
 
 
 @dataclass(frozen=True)

@@ -14,6 +14,8 @@ __all__ = [
     "ModelError",
     "AdmissibilityError",
     "SimulationError",
+    "StaleViewError",
+    "TraceUnavailableError",
     "ScheduleExhaustedError",
     "AlgorithmError",
     "FailureDetectorError",
@@ -54,6 +56,29 @@ class AdmissibilityError(ModelError):
 
 class SimulationError(ReproError):
     """The simulation engine reached an internal inconsistency."""
+
+
+class StaleViewError(SimulationError):
+    """An adversary used a lazy view after the step it was issued for.
+
+    The executor hands adversaries a zero-copy
+    :class:`repro.simulation.scheduler.LazyAdversaryView` that reads the
+    *live* execution state.  The view is only valid while the adversary's
+    ``next_step`` call for that step is running; retaining it and reading
+    it later would silently observe future state, so every access after
+    the step raises this error instead.
+    """
+
+
+class TraceUnavailableError(SimulationError):
+    """A run query needs trace data its recording policy did not keep.
+
+    Runs executed under ``RecordingPolicy.DECISIONS_ONLY`` or
+    ``RecordingPolicy.VERDICT_ONLY`` skip per-step event construction;
+    queries that need the step events (state sequences, per-step message
+    logs, ...) raise this error rather than silently returning an empty
+    trace.  Re-run with ``RecordingPolicy.FULL`` to get the full trace.
+    """
 
 
 class ScheduleExhaustedError(SimulationError):

@@ -41,6 +41,7 @@ from repro.simulation.executor import (
     execute,
     group_decided,
 )
+from repro.simulation.recording import RecordingPolicy
 from repro.simulation.message import Message
 from repro.simulation.run import Run
 from repro.simulation.scheduler import AdversaryView, RoundRobinScheduler
@@ -71,9 +72,11 @@ class _CompositeBlockingAdversary(_BlockedDeliveryAdversary):
         self._partition = PartitioningAdversary(blocks)
         self._pairs = frozenset(blocked_pairs)
 
+    def _released(self, view: AdversaryView) -> bool:
+        return view.alive.issubset(view.decided)
+
     def _blocked(self, message: Message, view: AdversaryView) -> bool:
-        released = view.alive.issubset(view.decided)
-        if released:
+        if self._released_for(view):
             return False
         if self._partition._blocked(message, view):
             return True
@@ -265,6 +268,11 @@ class Theorem10Scenario:
     k: int
     gst: int = 0
     max_steps: int = 20_000
+    #: Recording policy of :meth:`violation_run` (the campaign plumbs the
+    #: spec's policy through here).  The Lemma 12 machinery
+    #: (:meth:`block_runs`, :meth:`pasted_run`) always records full traces
+    #: — indistinguishability verification replays state sequences.
+    recording: RecordingPolicy = RecordingPolicy.FULL
 
     #: Justification used for condition (C); quotes the paper's argument.
     CONDITION_C_JUSTIFICATION = (
@@ -351,7 +359,9 @@ class Theorem10Scenario:
             self.model,
             self.proposals,
             adversary=adversary,
-            settings=ExecutionSettings(max_steps=self.max_steps),
+            settings=ExecutionSettings(
+                max_steps=self.max_steps, recording=self.recording
+            ),
         )
         report = KSetAgreementProblem(self.k).evaluate(run, proposals=self.proposals)
         return run, report

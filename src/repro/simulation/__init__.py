@@ -16,10 +16,12 @@ core theorem machinery and the benchmarks analyse.
 
 from repro.simulation.message import Message, MessageBuffer
 from repro.simulation.events import StepEvent
+from repro.simulation.recording import RecordingPolicy
 from repro.simulation.run import Run
 from repro.simulation.scheduler import (
     Adversary,
     AdversaryView,
+    LazyAdversaryView,
     StepDirective,
     RoundRobinScheduler,
     RandomScheduler,
@@ -35,9 +37,11 @@ __all__ = [
     "Message",
     "MessageBuffer",
     "StepEvent",
+    "RecordingPolicy",
     "Run",
     "Adversary",
     "AdversaryView",
+    "LazyAdversaryView",
     "StepDirective",
     "RoundRobinScheduler",
     "RandomScheduler",

@@ -19,6 +19,13 @@ adversaries here are those constructions made executable:
   never receive messages from a designated group ``D`` until every member
   of ``D-bar`` has decided (condition (dec-D-bar) of Theorem 1); all other
   communication is unrestricted.
+
+All three honour the lazy-view contract of
+:class:`repro.simulation.scheduler.LazyAdversaryView`: they read each view
+only inside the ``next_step`` call that received it and never retain it.
+Per-step derived facts (the "has everyone decided?" release check) are
+memoised on the view's identity, so they are computed once per step rather
+than once per pending message.
 """
 
 from __future__ import annotations
@@ -38,6 +45,13 @@ class _BlockedDeliveryAdversary(Adversary):
 
     def __init__(self) -> None:
         self._last: Optional[ProcessId] = None
+        # Subclasses that restrict who may step override _may_step; the
+        # base class detects that once so the common all-may-step case
+        # reuses the view's cached tuple instead of rebuilding it.
+        self._filters_steppers = (
+            type(self)._may_step is not _BlockedDeliveryAdversary._may_step
+        )
+        self._released_memo: Optional[Tuple[AdversaryView, bool]] = None
 
     # subclasses override ------------------------------------------------
 
@@ -47,12 +61,33 @@ class _BlockedDeliveryAdversary(Adversary):
     def _blocked(self, message: Message, view: AdversaryView) -> bool:
         raise NotImplementedError
 
+    def _released(self, view: AdversaryView) -> bool:
+        """Whether the blocking predicate is lifted for this step."""
+        return False
+
     # ----------------------------------------------------------------------
 
+    def _released_for(self, view: AdversaryView) -> bool:
+        """Per-view memo of :meth:`_released` (one evaluation per step).
+
+        Keyed on the view *object* (a strong reference, so the identity
+        cannot be recycled while memoised) — each step gets a fresh view,
+        so this collapses the per-pending-message release checks into one.
+        """
+        memo = self._released_memo
+        if memo is not None and memo[0] is view:
+            return memo[1]
+        released = self._released(view)
+        self._released_memo = (view, released)
+        return released
+
     def next_step(self, view: AdversaryView) -> Optional[StepDirective]:
-        candidates = tuple(
-            pid for pid in view.undecided_alive() if self._may_step(pid, view)
-        )
+        if self._filters_steppers:
+            candidates: Tuple[ProcessId, ...] = tuple(
+                pid for pid in view.undecided_alive() if self._may_step(pid, view)
+            )
+        else:
+            candidates = view.undecided_alive()
         if not candidates:
             return None
         pid = self._pick_next(candidates)
@@ -118,7 +153,7 @@ class PartitioningAdversary(_BlockedDeliveryAdversary):
         return view.alive.issubset(view.decided)
 
     def _blocked(self, message: Message, view: AdversaryView) -> bool:
-        if self._released(view):
+        if self._released_for(view):
             return False
         return not self._same_block(message.sender, message.receiver)
 
@@ -187,7 +222,7 @@ class SilenceAdversary(_BlockedDeliveryAdversary):
         return alive_listeners.issubset(view.decided)
 
     def _blocked(self, message: Message, view: AdversaryView) -> bool:
-        if self._released(view):
+        if self._released_for(view):
             return False
         return message.sender in self.silenced and message.receiver in self.listeners
 

@@ -18,12 +18,32 @@ of Section II:
 The executor stops when its *stop condition* holds (by default: every
 correct process has decided), when the adversary has nothing left to
 schedule, or when the step budget is exhausted, whichever comes first.
+
+The per-step hot path is zero-copy:
+
+* the adversary receives a
+  :class:`~repro.simulation.scheduler.LazyAdversaryView` backed by the
+  live state dict and message buffer (invalidated after each step — see
+  :class:`repro.exceptions.StaleViewError`) instead of an eagerly copied
+  snapshot,
+* ``alive``, ``decided`` and the sorted undecided-alive tuple are
+  maintained incrementally (they change at most ``n`` times per run, not
+  every step),
+* the built-in stop conditions advertise the set of processes whose
+  decisions they await (``required_deciders``), which turns the per-step
+  stop check into an O(1) counter test,
+* how much trace is recorded is controlled by the settings'
+  :class:`~repro.simulation.recording.RecordingPolicy`: verdict-only
+  campaigns skip :class:`~repro.simulation.events.StepEvent` and
+  failure-detector-history construction entirely.  The recording policy
+  never influences the schedule — decisions, completed/truncated flags
+  and volume counters are identical across policies.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Mapping, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional
 
 from repro.algorithms.base import Algorithm, ProcessState
 from repro.exceptions import (
@@ -35,10 +55,11 @@ from repro.exceptions import (
 from repro.failure_detectors.base import FailurePattern, RecordedHistory
 from repro.models.model import SystemModel
 from repro.simulation.events import StepEvent
-from repro.simulation.message import MessageBuffer
+from repro.simulation.message import Message, MessageBuffer
+from repro.simulation.recording import RecordingPolicy
 from repro.simulation.run import Run
-from repro.simulation.scheduler import Adversary, AdversaryView, RoundRobinScheduler
-from repro.types import ProcessId, Value
+from repro.simulation.scheduler import Adversary, LazyAdversaryView, RoundRobinScheduler
+from repro.types import ProcessId, Time, Value
 
 __all__ = [
     "StopCondition",
@@ -46,12 +67,20 @@ __all__ = [
     "all_alive_decided",
     "group_decided",
     "ExecutionSettings",
+    "RecordingPolicy",
     "execute",
 ]
 
 #: A stop condition receives the current states, the set of processes that
 #: already decided and the set of correct processes, and returns ``True``
 #: when the execution may stop.
+#:
+#: A stop condition that only waits for a fixed set of processes to decide
+#: may additionally expose a ``required_deciders(correct)`` attribute
+#: returning that set; the executor then tracks it incrementally (an O(1)
+#: membership update per decision) and never invokes the callable itself.
+#: Conditions without the attribute are invoked after every step, exactly
+#: as before.
 StopCondition = Callable[
     [Mapping[ProcessId, ProcessState], FrozenSet[ProcessId], FrozenSet[ProcessId]], bool
 ]
@@ -64,6 +93,9 @@ def all_correct_decided(
 ) -> bool:
     """Stop once every correct process has decided (the default)."""
     return correct.issubset(decided)
+
+
+all_correct_decided.required_deciders = lambda correct: correct
 
 
 def all_alive_decided(
@@ -82,6 +114,11 @@ def all_alive_decided(
     return not (undecided_with_state & correct)
 
 
+# Inside the executor ``states`` always covers every process, so the
+# condition reduces to "every correct process decided".
+all_alive_decided.required_deciders = lambda correct: correct
+
+
 def group_decided(group) -> StopCondition:
     """Stop once every *correct* member of ``group`` has decided."""
     members = frozenset(group)
@@ -93,6 +130,7 @@ def group_decided(group) -> StopCondition:
     ) -> bool:
         return (members & correct).issubset(decided)
 
+    condition.required_deciders = lambda correct: members & correct
     return condition
 
 
@@ -110,11 +148,20 @@ class ExecutionSettings:
         When ``True`` a truncated run raises
         :class:`repro.exceptions.ScheduleExhaustedError` instead of being
         returned; the partial run is attached to the exception.
+    recording:
+        How much of the execution the returned run keeps (default:
+        everything).  See
+        :class:`~repro.simulation.recording.RecordingPolicy`; the policy
+        never changes the schedule or the verdict-relevant outputs.
     """
 
     max_steps: int = 10_000
     stop_condition: Optional[StopCondition] = None
     raise_on_exhaustion: bool = False
+    recording: RecordingPolicy = RecordingPolicy.FULL
+
+
+_DEFAULT_SETTINGS = ExecutionSettings()
 
 
 def execute(
@@ -146,9 +193,10 @@ def execute(
         assumption — violations raise
         :class:`repro.exceptions.AdmissibilityError`.
     settings:
-        Step budget and stop condition.
+        Step budget, stop condition and recording policy.
     """
-    settings = settings or ExecutionSettings()
+    settings = settings or _DEFAULT_SETTINGS
+    recording = settings.recording
     adversary = adversary or RoundRobinScheduler()
     stop_condition = settings.stop_condition or all_correct_decided
 
@@ -171,24 +219,63 @@ def execute(
 
     buffer = MessageBuffer(processes)
     history = RecordedHistory()
-    events: list[StepEvent] = []
-    decided: set[ProcessId] = {pid for pid, s in states.items() if s.has_decided}
+    record_events = recording.records_events
+    record_history = recording.records_history
+    events: Optional[List[StepEvent]] = [] if record_events else None
+
+    # Decisions are tracked incrementally for every policy: the maps grow
+    # by one entry per deciding step, so maintaining them costs O(1) per
+    # step and Run.decisions() never has to replay the event stream.
+    decisions: Dict[ProcessId, Value] = {}
+    decision_times: Dict[ProcessId, Time] = {}
+    decided: FrozenSet[ProcessId] = frozenset(
+        pid for pid, state in states.items() if state.has_decided
+    )
     correct = pattern.correct & frozenset(processes)
 
-    completed = stop_condition(states, frozenset(decided), correct)
+    # Incremental stop tracking: built-in conditions advertise the set of
+    # processes whose decisions they await, reducing the per-step check to
+    # "is the waiting set empty".  Custom conditions are invoked per step.
+    required = getattr(stop_condition, "required_deciders", None)
+    waiting: Optional[set] = None
+    if required is not None:
+        waiting = set(required(correct)) - decided
+        completed = not waiting
+    else:
+        completed = stop_condition(states, decided, correct)
+
+    # Incremental liveness tracking: the alive set shrinks only at the
+    # (pre-sorted) planned crash times instead of being recomputed from
+    # the failure pattern on every step.
+    crash_schedule = sorted((t, pid) for pid, t in pattern.crash_times.items())
+    crash_count = len(crash_schedule)
+    crash_index = 0
+    alive_set = set(processes)
+    alive: FrozenSet[ProcessId] = frozenset(alive_set)
+    undecided_alive: tuple = ()
+    membership_dirty = True  # alive or decided changed since the last view
+
     time = 0
-    while not completed and time < settings.max_steps:
+    max_steps = settings.max_steps
+    while not completed and time < max_steps:
         time += 1
-        view = AdversaryView(
-            time=time,
-            processes=processes,
-            states=dict(states),
-            pending={pid: buffer.pending_for(pid) for pid in processes},
-            alive=pattern.alive_at(time),
-            correct=correct,
-            decided=frozenset(decided),
+        if crash_index < crash_count and crash_schedule[crash_index][0] <= time:
+            while crash_index < crash_count and crash_schedule[crash_index][0] <= time:
+                alive_set.discard(crash_schedule[crash_index][1])
+                crash_index += 1
+            alive = frozenset(alive_set)
+            membership_dirty = True
+        if membership_dirty:
+            undecided_alive = tuple(sorted(alive - decided))
+            membership_dirty = False
+
+        view = LazyAdversaryView(
+            time, processes, states, buffer, alive, correct, decided, undecided_alive
         )
-        directive = adversary.next_step(view)
+        try:
+            directive = adversary.next_step(view)
+        finally:
+            view.invalidate()
         if directive is None:
             time -= 1
             break
@@ -204,7 +291,8 @@ def execute(
         fd_output = None
         if detector is not None:
             fd_output = detector.output(pid, time, pattern)
-            history.record(pid, time, fd_output)
+            if record_history:
+                history.record(pid, time, fd_output)
 
         delivered = buffer.take(pid, directive.deliver)
         for message in delivered:
@@ -219,7 +307,7 @@ def execute(
         new_state = output.state
         _validate_transition(pid, old_state, new_state)
 
-        sent = []
+        sent: List[Message] = []
         for outgoing in output.messages:
             if outgoing.receiver not in states:
                 raise AlgorithmError(
@@ -227,37 +315,55 @@ def execute(
                     f"part of the executed system; wrap the algorithm in "
                     f"RestrictedAlgorithm to run it on a subsystem"
                 )
-            sent.append(buffer.put(pid, outgoing.receiver, outgoing.payload, time))
+            message = buffer.put(pid, outgoing.receiver, outgoing.payload, time)
+            if record_events:
+                sent.append(message)
 
         states[pid] = new_state
         newly_decided = new_state.has_decided and not old_state.has_decided
         if newly_decided:
-            decided.add(pid)
-        events.append(
-            StepEvent(
-                time=time,
-                pid=pid,
-                delivered=delivered,
-                fd_output=fd_output,
-                sent=tuple(sent),
-                state_after=new_state,
-                newly_decided=newly_decided,
+            decisions[pid] = new_state.decision
+            decision_times[pid] = time
+            decided = decided | {pid}
+            membership_dirty = True
+            if waiting is not None:
+                waiting.discard(pid)
+        if record_events:
+            events.append(
+                StepEvent(
+                    time=time,
+                    pid=pid,
+                    delivered=delivered,
+                    fd_output=fd_output,
+                    sent=tuple(sent),
+                    state_after=new_state,
+                    newly_decided=newly_decided,
+                )
             )
-        )
-        completed = stop_condition(states, frozenset(decided), correct)
+        if waiting is not None:
+            if newly_decided:
+                completed = not waiting
+        else:
+            completed = stop_condition(states, decided, correct)
 
-    truncated = not completed and time >= settings.max_steps
+    truncated = not completed and time >= max_steps
     run = Run(
         algorithm_name=algorithm.name,
         model_name=model.name,
         processes=processes,
         proposals=dict(proposals),
-        events=tuple(events),
+        events=tuple(events) if record_events else (),
         failure_pattern=pattern,
         fd_history=history,
         completed=completed,
         truncated=truncated,
-        undelivered=buffer.all_pending(),
+        undelivered=buffer.all_pending() if recording.records_undelivered else (),
+        recording=recording,
+        final_decisions=decisions,
+        final_decision_times=decision_times if recording.records_decision_times else None,
+        step_count=time,
+        sent_total=buffer.sent_count,
+        delivered_total=buffer.delivered_count,
     )
     if truncated and settings.raise_on_exhaustion:
         raise ScheduleExhaustedError(

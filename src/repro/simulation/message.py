@@ -7,13 +7,21 @@ receivers to their pending messages, with no ordering guarantees beyond
 what an adversary chooses to deliver (the unfavourable message-order
 parameter); ordered-delivery models are obtained by using schedulers that
 always deliver the oldest pending messages first.
+
+The per-receiver queues are :class:`collections.deque`\\ s and
+:meth:`MessageBuffer.take` removes the selected messages in a single
+rotation pass — the buffer sits on the executor's hot path, where the old
+select-then-rebuild implementation scanned every queue twice per step.
+Queues are always ordered by message id (ids are assigned in send order),
+which is what lets a rejected ``take`` restore the queue exactly.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.exceptions import SimulationError
 from repro.types import ProcessId, Time
@@ -59,7 +67,7 @@ class MessageBuffer:
     """
 
     def __init__(self, processes: Iterable[ProcessId]):
-        self._pending: Dict[ProcessId, List[Message]] = {p: [] for p in processes}
+        self._pending: Dict[ProcessId, Deque[Message]] = {p: deque() for p in processes}
         self._ids = itertools.count(1)
         self.sent_count = 0
         self.delivered_count = 0
@@ -68,7 +76,8 @@ class MessageBuffer:
 
     def put(self, sender: ProcessId, receiver: ProcessId, payload: object, sent_at: Time) -> Message:
         """Place a new message into the receiver's buffer and return it."""
-        if receiver not in self._pending:
+        queue = self._pending.get(receiver)
+        if queue is None:
             raise SimulationError(f"message addressed to unknown process p{receiver}")
         message = Message(
             msg_id=next(self._ids),
@@ -77,7 +86,7 @@ class MessageBuffer:
             payload=payload,
             sent_at=sent_at,
         )
-        self._pending[receiver].append(message)
+        queue.append(message)
         self.sent_count += 1
         return message
 
@@ -85,26 +94,42 @@ class MessageBuffer:
 
     def pending_for(self, receiver: ProcessId) -> Tuple[Message, ...]:
         """All messages currently buffered for ``receiver`` (oldest first)."""
-        return tuple(self._pending.get(receiver, ()))
+        queue = self._pending.get(receiver)
+        return tuple(queue) if queue else ()
 
     def take(self, receiver: ProcessId, msg_ids: Iterable[int]) -> Tuple[Message, ...]:
         """Remove and return the messages with the given ids for ``receiver``.
 
         Requesting an id that is not pending for the receiver raises
         :class:`repro.exceptions.SimulationError` — adversaries must only
-        deliver messages that exist.
+        deliver messages that exist.  A rejected ``take`` leaves the
+        buffer unchanged.
         """
         wanted = set(msg_ids)
         if not wanted:
             return ()
-        queue = self._pending.get(receiver, [])
-        selected = [m for m in queue if m.msg_id in wanted]
+        queue = self._pending.get(receiver)
+        selected: List[Message] = []
+        if queue:
+            # Single rotation pass: every message is popped exactly once;
+            # the ones not selected re-enter the queue in arrival order.
+            for _ in range(len(queue)):
+                message = queue.popleft()
+                if message.msg_id in wanted:
+                    selected.append(message)
+                else:
+                    queue.append(message)
         if len(selected) != len(wanted):
+            if selected and queue is not None:
+                # Queues are ordered by id, so merging by id restores the
+                # exact pre-call queue before we report the failure.
+                restored = sorted((*queue, *selected), key=lambda m: m.msg_id)
+                queue.clear()
+                queue.extend(restored)
             missing = wanted - {m.msg_id for m in selected}
             raise SimulationError(
                 f"cannot deliver unknown/foreign message ids {sorted(missing)} to p{receiver}"
             )
-        self._pending[receiver] = [m for m in queue if m.msg_id not in wanted]
         self.delivered_count += len(selected)
         return tuple(selected)
 
@@ -122,7 +147,11 @@ class MessageBuffer:
         """The processes this buffer knows about."""
         return tuple(self._pending)
 
+    def knows_receiver(self, receiver: ProcessId) -> bool:
+        """``True`` when ``receiver`` is a process of this buffer."""
+        return receiver in self._pending
+
     def oldest_pending(self, receiver: ProcessId) -> Optional[Message]:
         """The oldest pending message for ``receiver`` (or ``None``)."""
-        queue = self._pending.get(receiver, [])
+        queue = self._pending.get(receiver)
         return queue[0] if queue else None

@@ -1,0 +1,92 @@
+"""Recording policies: how much of an execution the executor keeps.
+
+Every result in the reproduction bottoms out in
+:func:`repro.simulation.executor.execute`, but different consumers need
+very different amounts of the execution back:
+
+* the indistinguishability machinery (Definition 2, run pasting) replays
+  per-process state sequences and therefore needs the full
+  :class:`~repro.simulation.events.StepEvent` trace,
+* most property checks (k-agreement, validity, termination) only need the
+  final decisions plus the completed/truncated flags,
+* a campaign sweep frequently consumes nothing but a boolean verdict per
+  scenario.
+
+A :class:`RecordingPolicy` names one of those contracts.  Under
+``DECISIONS_ONLY`` and ``VERDICT_ONLY`` the executor skips ``StepEvent``
+and failure-detector history construction entirely — the dominating
+allocation cost of verdict-only sweeps — while still producing a
+:class:`~repro.simulation.run.Run` whose ``decisions()``, ``completed``,
+``truncated``, ``length`` and message counters are **bit-identical** to a
+``FULL`` run of the same execution (the schedule itself never depends on
+the policy).  Queries that need data the policy skipped raise
+:class:`repro.exceptions.TraceUnavailableError` instead of returning an
+empty trace.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["RecordingPolicy", "RECORDING_POLICY_NAMES"]
+
+
+class RecordingPolicy(enum.Enum):
+    """What the executor records about one execution.
+
+    ``FULL``
+        Everything (the default): step events, failure-detector history,
+        undelivered messages, decisions and decision times.
+    ``DECISIONS_ONLY``
+        No step events and no failure-detector history; decisions,
+        decision times and the undelivered-message tally are kept.
+    ``VERDICT_ONLY``
+        Only what the k-set agreement property checkers need: the final
+        decisions, completed/truncated flags, step and message counters.
+    """
+
+    FULL = "full"
+    DECISIONS_ONLY = "decisions-only"
+    VERDICT_ONLY = "verdict-only"
+
+    @classmethod
+    def coerce(cls, value: Union["RecordingPolicy", str]) -> "RecordingPolicy":
+        """Accept a policy or its string name (``"verdict-only"`` etc.)."""
+        if isinstance(value, RecordingPolicy):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown recording policy {value!r}; choose one of "
+                f"{RECORDING_POLICY_NAMES}"
+            ) from None
+
+    # -- what each policy keeps -------------------------------------------
+
+    @property
+    def records_events(self) -> bool:
+        """``True`` when per-step :class:`StepEvent` objects are recorded."""
+        return self is RecordingPolicy.FULL
+
+    @property
+    def records_history(self) -> bool:
+        """``True`` when the failure-detector history is recorded."""
+        return self is RecordingPolicy.FULL
+
+    @property
+    def records_decision_times(self) -> bool:
+        """``True`` when per-process decision times are recorded."""
+        return self is not RecordingPolicy.VERDICT_ONLY
+
+    @property
+    def records_undelivered(self) -> bool:
+        """``True`` when the final undelivered-message list is recorded."""
+        return self is not RecordingPolicy.VERDICT_ONLY
+
+
+#: The accepted string spellings, in enum order (used by spec validation).
+RECORDING_POLICY_NAMES = tuple(policy.value for policy in RecordingPolicy)

@@ -12,17 +12,30 @@ queries the paper's machinery needs:
   Definition 2's indistinguishability-until-decision compares,
 * the set of processes a given process heard from before deciding, which
   is what conditions (dec-D-bar) and T-independence are about.
+
+How much of the underlying trace exists depends on the run's
+:class:`~repro.simulation.recording.RecordingPolicy`: under
+``DECISIONS_ONLY``/``VERDICT_ONLY`` the executor skips the step events
+(and with them the per-step message log), recording the decisions and the
+volume counters directly instead.  The decision/counter queries therefore
+work — and return identical values — under every policy, while queries
+that genuinely need the step events raise
+:class:`repro.exceptions.TraceUnavailableError` on trimmed runs.  Runs
+constructed directly from events (run pasting, tests) keep working: every
+directly-recorded field falls back to deriving from ``events``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from repro.algorithms.base import ProcessState
+from repro.exceptions import TraceUnavailableError
 from repro.failure_detectors.base import FailurePattern, RecordedHistory
 from repro.simulation.events import StepEvent
 from repro.simulation.message import Message
+from repro.simulation.recording import RecordingPolicy
 from repro.types import UNDECIDED, ProcessId, Time, Value
 
 __all__ = ["Run"]
@@ -42,19 +55,30 @@ class Run:
     proposals:
         The initial value of every executed process.
     events:
-        The step events in execution order.
+        The step events in execution order (empty when the recording
+        policy skipped them).
     failure_pattern:
         The planned failure pattern of the run.
     fd_history:
         The recorded failure-detector history (empty in detector-free
-        models).
+        models and under trimmed recording policies).
     completed:
         ``True`` when the executor's stop condition was met (by default:
         every correct process decided).
     truncated:
         ``True`` when the step budget ran out first.
     undelivered:
-        Messages still buffered when the execution stopped.
+        Messages still buffered when the execution stopped (not recorded
+        under ``VERDICT_ONLY``).
+    recording:
+        The :class:`RecordingPolicy` the run was executed under.
+    final_decisions / final_decision_times:
+        Decision values/times recorded directly by the executor; when
+        ``None`` (runs constructed from events) they are derived from
+        ``events`` on demand.
+    step_count / sent_total / delivered_total:
+        Volume counters recorded directly by the executor; when ``None``
+        they are derived from ``events``.
     """
 
     algorithm_name: str
@@ -67,11 +91,29 @@ class Run:
     completed: bool = False
     truncated: bool = False
     undelivered: Tuple[Message, ...] = ()
+    recording: RecordingPolicy = RecordingPolicy.FULL
+    final_decisions: Optional[Mapping[ProcessId, Value]] = None
+    final_decision_times: Optional[Mapping[ProcessId, Time]] = None
+    step_count: Optional[int] = None
+    sent_total: Optional[int] = None
+    delivered_total: Optional[int] = None
+
+    # -- trace availability -------------------------------------------------
+
+    def _require_events(self, query: str) -> None:
+        if self.recording is not RecordingPolicy.FULL:
+            raise TraceUnavailableError(
+                f"{query} needs the step-event trace, which "
+                f"RecordingPolicy.{self.recording.name} does not record; "
+                "re-run with RecordingPolicy.FULL"
+            )
 
     # -- decisions ---------------------------------------------------------
 
     def decisions(self) -> Dict[ProcessId, Value]:
         """Map every decided process to its decision value."""
+        if self.final_decisions is not None:
+            return dict(self.final_decisions)
         decided: Dict[ProcessId, Value] = {}
         for event in self.events:
             if event.newly_decided:
@@ -80,6 +122,13 @@ class Run:
 
     def decision_times(self) -> Dict[ProcessId, Time]:
         """Map every decided process to the time of its deciding step."""
+        if self.final_decision_times is not None:
+            return dict(self.final_decision_times)
+        if self.recording is RecordingPolicy.VERDICT_ONLY:
+            raise TraceUnavailableError(
+                "decision times are not recorded under "
+                "RecordingPolicy.VERDICT_ONLY; use DECISIONS_ONLY or FULL"
+            )
         times: Dict[ProcessId, Time] = {}
         for event in self.events:
             if event.newly_decided and event.pid not in times:
@@ -117,6 +166,7 @@ class Run:
 
     def steps_of(self, pid: ProcessId) -> Tuple[StepEvent, ...]:
         """All step events of one process, in execution order."""
+        self._require_events("steps_of")
         return tuple(e for e in self.events if e.pid == pid)
 
     def state_sequence(self, pid: ProcessId, *, until_decision: bool = True) -> Tuple[ProcessState, ...]:
@@ -153,6 +203,11 @@ class Run:
 
     def undelivered_to(self, pid: ProcessId) -> Tuple[Message, ...]:
         """Messages addressed to ``pid`` that were still pending at the end."""
+        if not self.recording.records_undelivered:
+            raise TraceUnavailableError(
+                "undelivered messages are not recorded under "
+                "RecordingPolicy.VERDICT_ONLY; use DECISIONS_ONLY or FULL"
+            )
         return tuple(m for m in self.undelivered if m.receiver == pid)
 
     # -- aggregates ------------------------------------------------------------
@@ -160,14 +215,20 @@ class Run:
     @property
     def length(self) -> int:
         """Number of recorded steps."""
+        if self.step_count is not None:
+            return self.step_count
         return len(self.events)
 
     def messages_sent(self) -> int:
         """Total number of messages sent during the run."""
+        if self.sent_total is not None:
+            return self.sent_total
         return sum(len(e.sent) for e in self.events)
 
     def messages_delivered(self) -> int:
         """Total number of messages delivered during the run."""
+        if self.delivered_total is not None:
+            return self.delivered_total
         return sum(len(e.delivered) for e in self.events)
 
     def summary(self) -> Dict[str, object]:

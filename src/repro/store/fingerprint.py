@@ -34,7 +34,8 @@ __all__ = ["SCHEMA_VERSION", "ScenarioFingerprint", "fingerprint_spec"]
 #: Bump on any change to ``ScenarioSpec``'s fields, their meaning, or the
 #: canonicalisation behind :meth:`ScenarioSpec.identity` — stored results
 #: keyed under the old version then become unreachable instead of wrong.
-SCHEMA_VERSION = 1
+#: Version history: 2 — ``ScenarioSpec.recording`` joined the identity.
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)

@@ -64,6 +64,27 @@ class TestMessageBuffer:
         assert buffer.oldest_pending(2) == first
         assert buffer.oldest_pending(1) is None
 
+    def test_take_preserves_arrival_order_of_the_rest(self):
+        buffer = MessageBuffer([1, 2])
+        messages = [buffer.put(1, 2, f"m{i}", i) for i in range(5)]
+        taken = buffer.take(2, [messages[1].msg_id, messages[3].msg_id])
+        assert taken == (messages[1], messages[3])
+        assert buffer.pending_for(2) == (messages[0], messages[2], messages[4])
+
+    def test_rejected_take_leaves_the_buffer_unchanged(self):
+        buffer = MessageBuffer([1, 2])
+        messages = [buffer.put(1, 2, f"m{i}", i) for i in range(4)]
+        before = buffer.pending_for(2)
+        with pytest.raises(SimulationError):
+            buffer.take(2, [messages[0].msg_id, messages[2].msg_id, 999])
+        assert buffer.pending_for(2) == before
+        assert buffer.delivered_count == 0
+
+    def test_knows_receiver(self):
+        buffer = MessageBuffer([1, 2])
+        assert buffer.knows_receiver(1)
+        assert not buffer.knows_receiver(9)
+
     @given(st.lists(st.tuples(st.integers(1, 4), st.integers(1, 4)), max_size=30))
     def test_counters_consistent(self, sends):
         buffer = MessageBuffer([1, 2, 3, 4])

@@ -1,0 +1,315 @@
+"""Recording policies and the lazy-view contract of the executor.
+
+The recording policy must never change *what happens* — only what the
+returned :class:`Run` retains.  The property tests below randomise over
+parameter points, crash sets and schedules (the same strategy the
+executor-invariant tests use) and assert that trimmed runs report exactly
+the same verdict-relevant facts as full ones.  The lazy-view tests pin
+the loud-failure contract: a view (or anything it exposes lazily) used
+after its step raises :class:`repro.exceptions.StaleViewError`.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.kset_initial_crash import KSetInitialCrash
+from repro.algorithms.trivial import DecideOwnValue
+from repro.exceptions import StaleViewError, TraceUnavailableError
+from repro.failure_detectors.base import FailurePattern
+from repro.models.initial_crash import initial_crash_model
+from repro.simulation.executor import ExecutionSettings, execute
+from repro.simulation.recording import RECORDING_POLICY_NAMES, RecordingPolicy
+from repro.simulation.scheduler import (
+    Adversary,
+    RandomScheduler,
+    RoundRobinScheduler,
+    StepDirective,
+)
+
+
+@st.composite
+def executions(draw):
+    """A random initial-crash execution: point, dead set and schedule."""
+    n = draw(st.integers(min_value=3, max_value=7))
+    f = draw(st.integers(min_value=1, max_value=n - 1))
+    dead_size = draw(st.integers(min_value=0, max_value=f))
+    dead = frozenset(
+        draw(
+            st.lists(
+                st.integers(min_value=1, max_value=n),
+                min_size=dead_size, max_size=dead_size, unique=True,
+            )
+        )
+    )
+    seed = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=2**32 - 1)))
+    return n, f, dead, seed
+
+
+def run_execution(n, f, dead, seed, *, recording, max_steps=4_000):
+    model = initial_crash_model(n, f)
+    adversary = RoundRobinScheduler() if seed is None else RandomScheduler(seed, max_delay=10)
+    return execute(
+        KSetInitialCrash(n, f),
+        model,
+        {p: p for p in model.processes},
+        adversary=adversary,
+        failure_pattern=FailurePattern.initially_dead(model.processes, dead),
+        settings=ExecutionSettings(max_steps=max_steps, recording=recording),
+    )
+
+
+class TestPolicyEquivalence:
+    @given(executions())
+    def test_trimmed_runs_report_identical_facts(self, case):
+        """DECISIONS_ONLY/VERDICT_ONLY agree with FULL on everything a verdict needs."""
+        full = run_execution(*case, recording=RecordingPolicy.FULL)
+        for policy in (RecordingPolicy.DECISIONS_ONLY, RecordingPolicy.VERDICT_ONLY):
+            trimmed = run_execution(*case, recording=policy)
+            assert trimmed.completed == full.completed
+            assert trimmed.truncated == full.truncated
+            assert trimmed.decisions() == full.decisions()
+            assert trimmed.distinct_decisions() == full.distinct_decisions()
+            assert trimmed.decided_processes() == full.decided_processes()
+            assert trimmed.length == full.length
+            assert trimmed.messages_sent() == full.messages_sent()
+            assert trimmed.messages_delivered() == full.messages_delivered()
+            assert trimmed.recording is policy
+
+    @given(executions())
+    @settings(max_examples=10)
+    def test_decision_times_match_between_full_and_decisions_only(self, case):
+        full = run_execution(*case, recording=RecordingPolicy.FULL)
+        decisions_only = run_execution(*case, recording=RecordingPolicy.DECISIONS_ONLY)
+        assert decisions_only.decision_times() == full.decision_times()
+        assert decisions_only.last_decision_time() == full.last_decision_time()
+
+    def test_full_directly_recorded_maps_agree_with_the_event_stream(self):
+        # The executor records decisions incrementally even under FULL;
+        # they must coincide with what replaying the events yields.
+        model = initial_crash_model(5, 2)
+        run = execute(KSetInitialCrash(5, 2), model, {p: p for p in model.processes})
+        from_events = {}
+        times = {}
+        for event in run.events:
+            if event.newly_decided:
+                from_events[event.pid] = event.state_after.decision
+                times.setdefault(event.pid, event.time)
+        assert run.decisions() == from_events
+        assert run.decision_times() == times
+        assert run.messages_sent() == sum(len(e.sent) for e in run.events)
+        assert run.messages_delivered() == sum(len(e.delivered) for e in run.events)
+
+
+class TestTrimmedRunSurface:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        return {
+            policy: run_execution(
+                6, 3, frozenset({6}), None, recording=RecordingPolicy(policy)
+            )
+            for policy in RECORDING_POLICY_NAMES
+        }
+
+    def test_events_skipped_on_trimmed_runs(self, runs):
+        assert runs["full"].events
+        assert runs["decisions-only"].events == ()
+        assert runs["verdict-only"].events == ()
+
+    def test_fd_history_skipped_on_trimmed_runs(self):
+        from repro.algorithms.sigma_kset import SigmaKSetAgreement
+        from repro.failure_detectors.sigma import SigmaK
+        from repro.models.asynchronous import asynchronous_model
+
+        model = asynchronous_model(3, 2, failure_detector=SigmaK(1))
+        full = execute(SigmaKSetAgreement(3), model, {1: 1, 2: 2, 3: 3})
+        trimmed = execute(
+            SigmaKSetAgreement(3), model, {1: 1, 2: 2, 3: 3},
+            settings=ExecutionSettings(recording=RecordingPolicy.VERDICT_ONLY),
+        )
+        assert len(full.fd_history) == full.length
+        assert len(trimmed.fd_history) == 0
+        assert trimmed.decisions() == full.decisions()
+
+    def test_event_queries_raise_on_trimmed_runs(self, runs):
+        for policy in ("decisions-only", "verdict-only"):
+            run = runs[policy]
+            with pytest.raises(TraceUnavailableError):
+                run.steps_of(1)
+            with pytest.raises(TraceUnavailableError):
+                run.state_sequence(1)
+            with pytest.raises(TraceUnavailableError):
+                run.received_before_decision(1)
+
+    def test_decision_times_raise_only_on_verdict_only(self, runs):
+        assert runs["decisions-only"].decision_times()
+        with pytest.raises(TraceUnavailableError):
+            runs["verdict-only"].decision_times()
+
+    def test_undelivered_raise_only_on_verdict_only(self, runs):
+        assert runs["decisions-only"].undelivered_to(6) == runs["full"].undelivered_to(6)
+        with pytest.raises(TraceUnavailableError):
+            runs["verdict-only"].undelivered_to(6)
+
+    def test_admissibility_check_refuses_trimmed_runs(self, runs):
+        model = initial_crash_model(6, 3)
+        assert model.is_admissible(runs["full"])
+        for policy in ("decisions-only", "verdict-only"):
+            with pytest.raises(TraceUnavailableError):
+                model.admissibility_violations(runs[policy])
+
+    def test_summary_works_under_every_policy(self, runs):
+        summaries = {policy: run.summary() for policy, run in runs.items()}
+        assert summaries["decisions-only"] == summaries["full"]
+        assert summaries["verdict-only"] == summaries["full"]
+
+    def test_settings_accept_policy_names_via_coerce(self):
+        assert RecordingPolicy.coerce("verdict-only") is RecordingPolicy.VERDICT_ONLY
+        assert RecordingPolicy.coerce(RecordingPolicy.FULL) is RecordingPolicy.FULL
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            RecordingPolicy.coerce("everything")
+
+
+class ViewStashingAdversary(Adversary):
+    """Round-robin-ish adversary that retains views across steps."""
+
+    def __init__(self):
+        self.stashed = []
+        self.stale_error_at_step = None
+
+    def next_step(self, view):
+        if self.stashed and self.stale_error_at_step is None:
+            try:
+                self.stashed[-1].undecided_alive()
+            except StaleViewError:
+                self.stale_error_at_step = view.time
+        self.stashed.append(view)
+        candidates = view.undecided_alive()
+        if not candidates:
+            return None
+        pid = candidates[0]
+        return StepDirective(pid=pid, deliver=tuple(m.msg_id for m in view.pending_for(pid)))
+
+
+class TestLazyViewExpiry:
+    def test_view_accessed_after_its_step_raises(self):
+        adversary = ViewStashingAdversary()
+        model = initial_crash_model(3, 0)
+        run = execute(DecideOwnValue(), model, {1: "a", 2: "b", 3: "c"}, adversary=adversary)
+        assert run.completed
+        # the previous step's view raised as soon as step 2 touched it
+        assert adversary.stale_error_at_step == 2
+        # and every retained view is dead after the run, attribute by attribute
+        for view in adversary.stashed:
+            for access in (
+                lambda: view.time,
+                lambda: view.states,
+                lambda: view.pending,
+                lambda: view.alive,
+                lambda: view.correct,
+                lambda: view.decided,
+                lambda: view.processes,
+                lambda: view.undecided_alive(),
+                lambda: view.pending_for(1),
+            ):
+                with pytest.raises(StaleViewError):
+                    access()
+
+    def test_lazily_exposed_mappings_expire_with_their_view(self):
+        captured = {}
+
+        class MappingStasher(Adversary):
+            def next_step(self, view):
+                if "states" not in captured:
+                    captured["states"] = view.states
+                    captured["pending"] = view.pending
+                    # live reads work while the view is current
+                    assert captured["states"][1] is not None
+                    assert list(captured["pending"][1]) == list(view.pending_for(1))
+                candidates = view.undecided_alive()
+                if not candidates:
+                    return None
+                return StepDirective(pid=candidates[0])
+
+        model = initial_crash_model(2, 0)
+        execute(DecideOwnValue(), model, {1: 1, 2: 2}, adversary=MappingStasher())
+        with pytest.raises(StaleViewError):
+            captured["states"][1]
+        with pytest.raises(StaleViewError):
+            len(captured["states"])
+        with pytest.raises(StaleViewError):
+            captured["pending"][1]
+        with pytest.raises(StaleViewError):
+            list(captured["pending"])
+
+    def test_snapshot_view_still_constructible_and_cached(self):
+        from repro.algorithms.base import ProcessState
+        from repro.simulation.scheduler import AdversaryView
+
+        view = AdversaryView(
+            time=1,
+            processes=(1, 2, 3),
+            states={p: ProcessState(pid=p, proposal=p) for p in (1, 2, 3)},
+            pending={},
+            alive=frozenset({1, 2, 3}),
+            correct=frozenset({1, 2, 3}),
+            decided=frozenset({2}),
+        )
+        first = view.undecided_alive()
+        assert first == (1, 3)
+        assert view.undecided_alive() is first  # cached tuple, no re-sort
+
+
+class TestIncrementalStopTracking:
+    def test_builtin_conditions_advertise_required_deciders(self):
+        from repro.simulation.executor import (
+            all_alive_decided,
+            all_correct_decided,
+            group_decided,
+        )
+
+        correct = frozenset({1, 2, 3})
+        assert all_correct_decided.required_deciders(correct) == correct
+        assert all_alive_decided.required_deciders(correct) == correct
+        assert group_decided({2, 9}).required_deciders(correct) == frozenset({2})
+
+    def test_custom_condition_equals_fast_path(self):
+        # A plain lambda with the same semantics as group_decided must
+        # produce the identical run through the per-step fallback.
+        from repro.simulation.executor import group_decided
+
+        model = initial_crash_model(4, 0)
+        members = frozenset({1, 2})
+        fast = execute(
+            DecideOwnValue(), model, {p: p for p in model.processes},
+            settings=ExecutionSettings(stop_condition=group_decided(members)),
+        )
+        slow = execute(
+            DecideOwnValue(), model, {p: p for p in model.processes},
+            settings=ExecutionSettings(
+                stop_condition=lambda s, d, c: (members & c).issubset(d)
+            ),
+        )
+        assert fast.decisions() == slow.decisions()
+        assert fast.length == slow.length
+        assert fast.completed == slow.completed
+
+    def test_custom_condition_still_called_per_step(self):
+        calls = []
+
+        def condition(states, decided, correct):
+            calls.append((len(decided), frozenset(decided)))
+            return False
+
+        model = initial_crash_model(2, 0)
+        run = execute(
+            DecideOwnValue(), model, {1: 1, 2: 2},
+            settings=ExecutionSettings(max_steps=5, stop_condition=condition),
+        )
+        assert not run.completed
+        assert len(calls) == run.length + 1  # once before the loop + once per step
+        assert isinstance(calls[-1][1], frozenset)
