@@ -118,17 +118,22 @@ def test_theorem8_sweep_cached_resume(benchmark, tmp_path):
     warm campaign must execute *zero* scenarios, serve every outcome
     from cache, and still produce a `CampaignResult` equal to the cold
     run — the property that makes killing and resuming a long sweep
-    free of recomputation.
+    free of recomputation.  Both campaigns append to one provenance
+    journal, whose replayed ledger must show exactly that: first
+    campaign all ran, second all cached, each summing to the size.
     """
+    from repro.provenance import read_journal, replay_ledger
+
     specs = theorem8_specs(SWEEP_N, **SWEEP_KWARGS)
+    journal_path = tmp_path / "theorem8_journal.jsonl"
     with open_store(tmp_path / "theorem8.sqlite") as store:
-        cold_runner = CachingRunner(store)
+        cold_runner = CachingRunner(store, journal=journal_path)
         cold_started = time.perf_counter()
         cold = cold_runner.run(specs)
         cold_seconds = time.perf_counter() - cold_started
         assert cold_runner.last_stats.cached == 0
 
-        warm_runner = CachingRunner(store)
+        warm_runner = CachingRunner(store, journal=journal_path)
         warm_started = time.perf_counter()
         warm = benchmark.pedantic(warm_runner.run, args=(specs,), iterations=1, rounds=1)
         warm_seconds = time.perf_counter() - warm_started
@@ -136,12 +141,26 @@ def test_theorem8_sweep_cached_resume(benchmark, tmp_path):
     assert warm == cold  # resumed == uninterrupted, outcome for outcome
     assert warm_runner.last_stats.executed == 0
     assert warm_runner.last_stats.cached == len(specs)
+
+    replay = replay_ledger(read_journal(journal_path))
+    cold_ledger = replay.campaigns[cold_runner.last_campaign_id]
+    warm_ledger = replay.campaigns[warm_runner.last_campaign_id]
+    assert cold_ledger.finished and warm_ledger.finished
+    assert cold_ledger.ran == cold_ledger.total == len(specs)
+    assert warm_ledger.cached == warm_ledger.total == len(specs)
+    # Simulated work is deterministic: the cache replay's ledger carries
+    # the same step/message totals the execution did.
+    assert warm_ledger.usage.steps == cold_ledger.usage.steps
+    assert warm_ledger.usage.messages_sent == cold_ledger.usage.messages_sent
+
     benchmark.extra_info.update(
         {
             "scenarios": len(specs),
             "cold_seconds": round(cold_seconds, 4),
             "warm_seconds": round(warm_seconds, 4),
             "replay_speedup": round(cold_seconds / warm_seconds, 3) if warm_seconds > 0 else 0.0,
+            "journaled_steps": cold_ledger.usage.steps,
+            "journaled_messages_sent": cold_ledger.usage.messages_sent,
             **warm_runner.last_stats.as_dict(),
         }
     )

@@ -29,9 +29,13 @@ def summarize(values: Sequence[float]) -> Dict[str, float]:
         median = data[middle]
     else:
         median = (data[middle - 1] + data[middle]) / 2.0
+    # Clamp the mean into [min, max]: naive float summation can land a
+    # ULP outside the range (e.g. five equal values whose partial sums
+    # round up), and downstream consumers rely on min <= mean <= max.
+    mean = min(max(sum(data) / count, data[0]), data[-1])
     return {
         "count": float(count),
-        "mean": sum(data) / count,
+        "mean": mean,
         "min": data[0],
         "max": data[-1],
         "median": median,

@@ -120,6 +120,8 @@ def outcome_to_dict(outcome: ScenarioOutcome) -> Dict[str, Any]:
         "truncated": outcome.truncated,
         "violations": list(outcome.violations),
         "error": outcome.error,
+        "messages_sent": outcome.messages_sent,
+        "messages_delivered": outcome.messages_delivered,
     }
 
 
@@ -137,4 +139,7 @@ def outcome_from_dict(data: Mapping[str, Any]) -> ScenarioOutcome:
         truncated=bool(data["truncated"]),
         violations=tuple(data["violations"]),
         error=data["error"],
+        # Tolerant decode: archived payloads predate the message counters.
+        messages_sent=int(data.get("messages_sent", 0)),
+        messages_delivered=int(data.get("messages_delivered", 0)),
     )

@@ -63,6 +63,7 @@ from repro.campaign.grid import ScenarioGrid
 from repro.campaign.scenarios import get_kind
 from repro.campaign.spec import ScenarioOutcome, ScenarioSpec
 from repro.exceptions import ConfigurationError
+from repro.provenance.usage import ResourceUsage
 
 __all__ = ["CampaignRunner", "CampaignResult", "ScenarioEvent", "run_scenario"]
 
@@ -85,7 +86,9 @@ class ScenarioEvent:
     process backend) and are plain picklable data, so they can cross the
     process boundary on a queue.  ``cached`` marks events synthesised by
     :class:`repro.store.CachingRunner` for store hits, which never reach
-    a worker.
+    a worker.  ``fingerprint`` is the scenario's store digest and
+    ``usage`` its :class:`~repro.provenance.usage.ResourceUsage` — both
+    are what the campaign journal persists per scenario.
     """
 
     label: str
@@ -93,6 +96,8 @@ class ScenarioEvent:
     seconds: float
     worker_pid: int
     cached: bool = False
+    fingerprint: str = ""
+    usage: Optional[ResourceUsage] = None
 
 
 def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
@@ -125,12 +130,18 @@ def _emit_event(sink: Optional[ProgressHook], spec: ScenarioSpec,
                 outcome: ScenarioOutcome, seconds: float) -> None:
     if sink is None:
         return
+    # Function-level import: repro.store's caching layer imports this
+    # module, so the fingerprint helper cannot be imported at the top.
+    from repro.store.fingerprint import fingerprint_spec
+
     try:
         sink(ScenarioEvent(
             label=spec.label(),
             verdict=outcome.verdict,
             seconds=seconds,
             worker_pid=os.getpid(),
+            fingerprint=fingerprint_spec(spec),
+            usage=ResourceUsage.of_outcome(outcome, seconds=seconds),
         ))
     except Exception:  # noqa: BLE001 - progress must never break a campaign
         pass

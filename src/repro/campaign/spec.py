@@ -248,7 +248,9 @@ class ScenarioOutcome:
     least one k-set agreement property failed — possibly by design, on the
     impossible side of a border) or ``"error"`` (the execution raised).
     Outcomes deliberately carry no timing information so that campaigns
-    executed by different backends compare equal.
+    executed by different backends compare equal; ``steps`` and the
+    message counters *are* part of the outcome — the executor maintains
+    them under every recording policy, so they are deterministic too.
     """
 
     spec: ScenarioSpec
@@ -262,6 +264,8 @@ class ScenarioOutcome:
     truncated: bool = False
     violations: Tuple[str, ...] = ()
     error: str = ""
+    messages_sent: int = 0
+    messages_delivered: int = 0
 
     @property
     def all_ok(self) -> bool:
@@ -305,6 +309,8 @@ class ScenarioOutcome:
             steps=run.length,
             truncated=run.truncated,
             violations=tuple(report.violations),
+            messages_sent=run.messages_sent(),
+            messages_delivered=run.messages_delivered(),
         )
 
     @classmethod

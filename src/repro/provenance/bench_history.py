@@ -1,0 +1,110 @@
+"""Queryable history over ``BENCH_*.json`` benchmark artifacts.
+
+CI's benchmark smoke job emits one ``BENCH_<experiment>.json`` per
+benchmark (see ``benchmarks/conftest.py``), each a flat dict of metric
+name → value plus a ``name`` field.  Downloaded artifact directories —
+one per run, e.g. ``bench-artifacts/run-41/``, ``run-42/`` — become a
+perf *trajectory* here instead of numbers buried in CI logs: load each
+directory, then ask :func:`metric_trajectory` how a metric moved across
+runs.
+
+Only stdlib + ``repro.exceptions`` is imported, keeping the provenance
+package free of store/campaign dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple, Union
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["BenchRecord", "load_bench_dir", "bench_history", "metric_trajectory"]
+
+_BENCH_PREFIX = "BENCH_"
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One benchmark result: which run, which experiment, what numbers."""
+
+    run: str
+    experiment: str
+    metrics: Tuple[Tuple[str, Any], ...]
+
+    def metric(self, name: str, default: Any = None) -> Any:
+        for key, value in self.metrics:
+            if key == name:
+                return value
+        return default
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"run": self.run, "experiment": self.experiment, **dict(self.metrics)}
+
+
+def _load_bench_file(path: Path, run: str) -> BenchRecord:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ConfigurationError(f"malformed benchmark artifact {path}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"malformed benchmark artifact {path}: expected an object, "
+            f"got {type(payload).__name__}"
+        )
+    experiment = str(payload.get("name") or path.stem[len(_BENCH_PREFIX):])
+    metrics = tuple(
+        (key, value) for key, value in sorted(payload.items()) if key != "name"
+    )
+    return BenchRecord(run=run, experiment=experiment, metrics=metrics)
+
+
+def load_bench_dir(directory: Union[str, Path], *, run: str = "") -> Tuple[BenchRecord, ...]:
+    """All ``BENCH_*.json`` records of one artifact directory.
+
+    ``run`` labels the records (defaults to the directory name).  A
+    directory with no benchmark files loads empty; a missing directory
+    raises.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ConfigurationError(f"no benchmark artifact directory at {directory}")
+    run = run or directory.name
+    return tuple(
+        _load_bench_file(path, run)
+        for path in sorted(directory.glob(f"{_BENCH_PREFIX}*.json"))
+    )
+
+
+def bench_history(directories: Sequence[Union[str, Path]]) -> Tuple[BenchRecord, ...]:
+    """Records of several artifact directories, in the given run order."""
+    records: List[BenchRecord] = []
+    for directory in directories:
+        records.extend(load_bench_dir(directory))
+    return tuple(records)
+
+
+def metric_trajectory(
+    records: Sequence[BenchRecord],
+    experiment: str,
+    metric: str,
+) -> Tuple[Tuple[str, Any], ...]:
+    """``(run, value)`` pairs of one metric across runs, record order.
+
+    Runs where the experiment was not benchmarked, or the metric not
+    emitted, are left out — a trajectory over heterogeneous history
+    never fabricates points.
+    """
+    trajectory: List[Tuple[str, Any]] = []
+    for record in records:
+        if record.experiment != experiment:
+            continue
+        value = record.metric(metric, default=_MISSING)
+        if value is not _MISSING:
+            trajectory.append((record.run, value))
+    return tuple(trajectory)
+
+
+_MISSING = object()

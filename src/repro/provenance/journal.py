@@ -1,0 +1,391 @@
+"""The append-only campaign journal: what ran, why, and at what cost.
+
+A store remembers *outcomes*; the journal remembers *decisions*.  Every
+campaign run through :class:`~repro.store.caching.CachingRunner` appends
+one ``campaign-start`` record, one ``scenario`` record per input
+position (``ran`` / ``cached`` / ``skipped``, each with its
+:class:`~repro.provenance.usage.ResourceUsage`), optional ``early-stop``
+records naming the certified points, and a ``campaign-finish`` record —
+making a sweep auditable after the fact: exactly what executed, what was
+served from cache, what an adaptive budget dropped, and what it all
+cost.
+
+The format mirrors the JSONL result store on purpose: one
+schema-versioned JSON object per line, appended with a ``write + flush``
+so a SIGKILL loses at most the line being written.  Reading is
+torn-tail-safe (:func:`read_journal` drops a torn final line, reports
+mid-file corruption loudly, skips rows of other journal versions) and
+the writer is **thread-safe** — under the process campaign backend the
+``ran`` records arrive from the parent's event-drain thread while the
+caller's thread appends lifecycle records.
+
+:func:`replay_ledger` folds a journal (possibly spanning several
+campaigns, including killed ones) back into a :class:`JournalReplay`:
+per-campaign ledgers whose ``ran + cached + skipped`` counts must sum to
+the campaign size, and a merged per-fingerprint decision map — a killed
+and resumed campaign replays to the *same* merged ledger as an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.exceptions import ConfigurationError
+from repro.provenance.usage import ResourceUsage
+
+__all__ = [
+    "JOURNAL_SCHEMA_VERSION",
+    "SCENARIO_DECISIONS",
+    "CampaignJournal",
+    "CampaignLedger",
+    "JournalReplay",
+    "read_journal",
+    "replay_ledger",
+]
+
+#: Bump on any change to the journal record schema; readers skip rows of
+#: other versions (they can still be inspected as raw JSON).
+JOURNAL_SCHEMA_VERSION = 1
+
+#: How a scenario position was settled.  ``ran`` — executed this
+#: campaign; ``cached`` — served from the store (or replayed from a
+#: duplicate position's execution); ``skipped`` — dropped by an
+#: early-stop policy.
+SCENARIO_DECISIONS = ("ran", "cached", "skipped")
+
+_RECORD_TYPES = ("campaign-start", "scenario", "early-stop", "campaign-finish")
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort JSON-safe projection for point keys and metadata."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(item) for item in value]
+    return repr(value)
+
+
+class CampaignJournal:
+    """Thread-safe append-only writer for one journal file.
+
+    Opening the journal validates (and heals, exactly like the JSONL
+    result store) the existing file, so appends always start on a clean
+    line; the file then only ever grows.  ``close()`` is idempotent and
+    the journal is a context manager.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        if self._path.exists():
+            _scan(self._path.read_bytes(), self._path, heal=True)
+        self._lock = threading.Lock()
+        self._file = self._path.open("a", encoding="utf-8")
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    # -- the record stream -------------------------------------------------
+
+    def campaign_started(
+        self,
+        campaign: str,
+        total: int,
+        *,
+        backend: str = "serial",
+        workers: Optional[int] = None,
+    ) -> None:
+        self._append({
+            "type": "campaign-start",
+            "campaign": campaign,
+            "total": int(total),
+            "backend": backend,
+            "workers": workers,
+            "pid": os.getpid(),
+        })
+
+    def scenario(
+        self,
+        campaign: str,
+        fingerprint: str,
+        decision: str,
+        *,
+        verdict: str = "",
+        usage: Optional[ResourceUsage] = None,
+        label: str = "",
+        worker_pid: Optional[int] = None,
+    ) -> None:
+        if decision not in SCENARIO_DECISIONS:
+            raise ConfigurationError(
+                f"unknown scenario decision {decision!r}; one of {SCENARIO_DECISIONS}"
+            )
+        self._append({
+            "type": "scenario",
+            "campaign": campaign,
+            "fp": str(fingerprint),
+            "decision": decision,
+            "verdict": verdict,
+            "label": label,
+            "worker_pid": worker_pid,
+            "usage": (usage or ResourceUsage()).to_dict(),
+        })
+
+    def scenario_event(self, campaign: str, event: Any) -> None:
+        """Journal one :class:`~repro.campaign.runner.ScenarioEvent`.
+
+        The decision is read off the event: ``cached`` events are store
+        hits (or duplicate-position replays), everything else ran.
+        """
+        self.scenario(
+            campaign,
+            event.fingerprint,
+            "cached" if event.cached else "ran",
+            verdict=event.verdict,
+            usage=event.usage,
+            label=event.label,
+            worker_pid=event.worker_pid,
+        )
+
+    def early_stop(self, campaign: str, point: Any, verdict: str) -> None:
+        self._append({
+            "type": "early-stop",
+            "campaign": campaign,
+            "point": _jsonable(point),
+            "verdict": verdict,
+        })
+
+    def campaign_finished(self, campaign: str, stats: Optional[Dict[str, Any]] = None) -> None:
+        self._append({
+            "type": "campaign-finish",
+            "campaign": campaign,
+            "stats": dict(stats) if stats else {},
+        })
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        record = {"v": JOURNAL_SCHEMA_VERSION, "ts": time.time(), **record}
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            # One write + flush per record, under the lock: lines never
+            # interleave even when the drain thread and the caller's
+            # thread journal concurrently, and a kill tears at most the
+            # final line (which read_journal drops).
+            self._file.write(line)
+            self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- reading -----------------------------------------------------------------
+
+
+def _scan(data: bytes, path: Path, *, heal: bool) -> List[Dict[str, Any]]:
+    """Parse journal bytes: tolerate a torn tail, report real damage.
+
+    Classification matches the JSONL result store: an unreadable *final*
+    line without further data behind it is a kill artefact and is
+    dropped (and truncated away when ``heal`` is set); an unreadable
+    line *followed by more data* is genuine corruption and raises.
+    """
+    records: List[Dict[str, Any]] = []
+    good_until = 0
+    for line_number, raw_line in enumerate(data.split(b"\n"), start=1):
+        stripped = raw_line.strip()
+        if stripped:
+            try:
+                record = json.loads(stripped.decode("utf-8"))
+                if not isinstance(record, dict) or "type" not in record:
+                    raise ConfigurationError(f"not a journal record: {record!r}")
+                if record.get("v") == JOURNAL_SCHEMA_VERSION:
+                    records.append(record)
+            except (ValueError, KeyError, TypeError, ConfigurationError) as exc:
+                if good_until + len(raw_line) + 1 <= len(data):
+                    raise ConfigurationError(
+                        f"corrupt campaign journal {path}: unreadable record "
+                        f"on line {line_number} ({exc})"
+                    ) from exc
+                break  # torn final line: a kill artefact, drop it
+        good_until += len(raw_line) + 1
+    good_until = min(good_until, len(data))
+    if heal and (good_until < len(data) or (data and not data.endswith(b"\n"))):
+        clean = data[:good_until]
+        if clean and not clean.endswith(b"\n"):
+            clean += b"\n"
+        path.write_bytes(clean)
+    return records
+
+
+def read_journal(path: Union[str, Path]) -> Tuple[Dict[str, Any], ...]:
+    """All current-version records of a journal file, in append order."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"no campaign journal at {path}")
+    return tuple(_scan(path.read_bytes(), path, heal=False))
+
+
+# -- replay ------------------------------------------------------------------
+
+
+@dataclass
+class CampaignLedger:
+    """One campaign's per-scenario accounting, replayed from the journal."""
+
+    campaign: str
+    total: int
+    backend: str = "serial"
+    workers: Optional[int] = None
+    ran: int = 0
+    cached: int = 0
+    skipped: int = 0
+    usage: ResourceUsage = field(default_factory=ResourceUsage)
+    early_stops: Tuple[Tuple[Any, str], ...] = ()
+    finished: bool = False
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def recorded(self) -> int:
+        """Scenario records seen; equals ``total`` for finished campaigns."""
+        return self.ran + self.cached + self.skipped
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "campaign": self.campaign,
+            "total": self.total,
+            "backend": self.backend,
+            "workers": self.workers,
+            "ran": self.ran,
+            "cached": self.cached,
+            "skipped": self.skipped,
+            "finished": self.finished,
+            "seconds": round(self.usage.seconds, 6),
+            "steps": self.usage.steps,
+            "messages_sent": self.usage.messages_sent,
+            "messages_delivered": self.usage.messages_delivered,
+        }
+
+
+#: Merge precedence for the cross-campaign decision map: having run
+#: anywhere outweighs cache hits, which outweigh skips.
+_DECISION_RANK = {"skipped": 0, "cached": 1, "ran": 2}
+
+
+@dataclass
+class JournalReplay:
+    """A journal folded back into ledgers and a merged decision map."""
+
+    campaigns: Dict[str, CampaignLedger]
+    decisions: Dict[str, str]
+    ran_counts: Dict[str, int]
+    scenario_records: Tuple[Dict[str, Any], ...]
+
+    @property
+    def ran_fingerprints(self) -> frozenset:
+        return frozenset(fp for fp, d in self.decisions.items() if d == "ran")
+
+    @property
+    def cached_fingerprints(self) -> frozenset:
+        return frozenset(fp for fp, d in self.decisions.items() if d == "cached")
+
+    def total_usage(self, *, include_cached: bool = False) -> ResourceUsage:
+        """Summed cost of everything that ran (optionally cache hits too)."""
+        total = ResourceUsage()
+        for record in self.scenario_records:
+            if record["decision"] == "ran" or (
+                include_cached and record["decision"] == "cached"
+            ):
+                total = total + ResourceUsage.from_dict(record["usage"])
+        return total
+
+
+def replay_ledger(records) -> JournalReplay:
+    """Fold journal records into per-campaign ledgers, validating as it goes.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` on structural
+    damage: an unknown record type, a scenario record for a campaign
+    that never started, an unknown decision, or a *finished* campaign
+    whose ``ran + cached + skipped`` does not sum to its size.  Killed
+    campaigns (no ``campaign-finish`` record) are exempt from the sum
+    check — their partial ledger is exactly what the resume replays.
+    """
+    campaigns: Dict[str, CampaignLedger] = {}
+    decisions: Dict[str, str] = {}
+    ran_counts: Dict[str, int] = {}
+    scenario_records: List[Dict[str, Any]] = []
+    for record in records:
+        kind = record.get("type")
+        campaign = record.get("campaign")
+        if kind not in _RECORD_TYPES:
+            raise ConfigurationError(f"unknown journal record type {kind!r}")
+        if not isinstance(campaign, str) or not campaign:
+            raise ConfigurationError(f"journal record without a campaign id: {record!r}")
+        if kind == "campaign-start":
+            campaigns[campaign] = CampaignLedger(
+                campaign=campaign,
+                total=int(record["total"]),
+                backend=record.get("backend", "serial"),
+                workers=record.get("workers"),
+            )
+            continue
+        ledger = campaigns.get(campaign)
+        if ledger is None:
+            raise ConfigurationError(
+                f"journal records a {kind!r} for campaign {campaign!r} "
+                "before its campaign-start"
+            )
+        if kind == "scenario":
+            decision = record.get("decision")
+            fingerprint = record.get("fp")
+            if decision not in SCENARIO_DECISIONS:
+                raise ConfigurationError(
+                    f"unknown scenario decision {decision!r} in journal"
+                )
+            if not isinstance(fingerprint, str) or not fingerprint:
+                raise ConfigurationError(
+                    f"scenario record without a fingerprint: {record!r}"
+                )
+            usage = ResourceUsage.from_dict(record.get("usage", {}))
+            setattr(ledger, decision, getattr(ledger, decision) + 1)
+            ledger.usage = ledger.usage + usage
+            previous = decisions.get(fingerprint)
+            if previous is None or _DECISION_RANK[decision] > _DECISION_RANK[previous]:
+                decisions[fingerprint] = decision
+            if decision == "ran":
+                ran_counts[fingerprint] = ran_counts.get(fingerprint, 0) + 1
+            scenario_records.append(record)
+        elif kind == "early-stop":
+            ledger.early_stops = ledger.early_stops + (
+                (record.get("point"), record.get("verdict", "")),
+            )
+        else:  # campaign-finish
+            ledger.finished = True
+            ledger.stats = dict(record.get("stats") or {})
+            if ledger.recorded != ledger.total:
+                raise ConfigurationError(
+                    f"campaign {campaign!r} finished with "
+                    f"{ledger.recorded} scenario records for {ledger.total} "
+                    "scenarios; the journal is incomplete"
+                )
+    return JournalReplay(
+        campaigns=campaigns,
+        decisions=decisions,
+        ran_counts=ran_counts,
+        scenario_records=tuple(scenario_records),
+    )

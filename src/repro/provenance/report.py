@@ -1,0 +1,156 @@
+"""``python -m repro.provenance.report`` — validate and summarise a journal.
+
+CI runs this against the journal the benchmark smoke job produced; a
+malformed journal (mid-file corruption, records for campaigns that never
+started, a finished campaign whose ledger does not sum to its size)
+exits non-zero, keeping the format honest across Python versions.
+
+Optionally joins a result store (``--store``) for by-dimension cost
+aggregation, and benchmark artifact directories (``--bench``) for the
+perf trajectory.
+
+This module is a CLI endpoint, deliberately *not* exported from
+``repro.provenance``: it imports ``repro.store`` lazily inside
+:func:`main`, which would cycle at module level (store → caching →
+campaign runner → provenance usage).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.provenance.bench_history import bench_history, load_bench_dir
+from repro.provenance.journal import read_journal, replay_ledger
+from repro.provenance.queries import (
+    aggregate_cost,
+    aggregate_outcomes,
+    disagreement_report,
+)
+
+__all__ = ["main"]
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.provenance.report",
+        description="Validate a campaign journal and report its cost ledger.",
+    )
+    parser.add_argument("journal", help="path to a campaign journal (JSONL)")
+    parser.add_argument(
+        "--store",
+        help="result store to join for outcome/cost aggregation "
+        "(.jsonl / .sqlite path)",
+    )
+    parser.add_argument(
+        "--by",
+        default="kind,n,scheduler",
+        help="comma-separated spec dimensions to aggregate by "
+        "(default: kind,n,scheduler)",
+    )
+    parser.add_argument(
+        "--bench",
+        action="append",
+        default=[],
+        metavar="DIR",
+        help="benchmark artifact directory holding BENCH_*.json "
+        "(repeatable; listed in run order)",
+    )
+    return parser
+
+
+def _format_table(rows: List[List[str]], header: List[str]) -> str:
+    widths = [
+        max(len(header[column]), *(len(row[column]) for row in rows))
+        if rows
+        else len(header[column])
+        for column in range(len(header))
+    ]
+    def fmt(row: List[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+    return "\n".join([fmt(header)] + [fmt(row) for row in rows])
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    out = print
+    try:
+        records = read_journal(args.journal)
+        replay = replay_ledger(records)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    out(f"journal: {args.journal}")
+    out(f"  records: {len(records)}  campaigns: {len(replay.campaigns)}")
+    for ledger in replay.campaigns.values():
+        state = "finished" if ledger.finished else "INCOMPLETE (killed?)"
+        out(
+            f"  campaign {ledger.campaign} [{ledger.backend}"
+            + (f" x{ledger.workers}" if ledger.workers else "")
+            + f"] {state}: {ledger.ran} ran, {ledger.cached} cached, "
+            f"{ledger.skipped} skipped of {ledger.total} "
+            f"({ledger.usage.seconds:.2f}s, {ledger.usage.steps} steps)"
+        )
+        for point, verdict in ledger.early_stops:
+            out(f"    early-stop {point} -> {verdict}")
+    total = replay.total_usage()
+    out(
+        f"  executed total: {len(replay.ran_fingerprints)} unique scenario(s), "
+        f"{total.seconds:.2f}s wall, {total.steps} steps, "
+        f"{total.messages_sent} sent / {total.messages_delivered} delivered"
+    )
+
+    if args.store:
+        # Imported here, not at module level: repro.store pulls in the
+        # caching/campaign layers that provenance must stay below.
+        from repro.store import open_store
+
+        by = tuple(dim.strip() for dim in args.by.split(",") if dim.strip())
+        try:
+            with open_store(args.store) as store:
+                outcome_groups = aggregate_outcomes(store, by)
+                cost_groups, unresolved = aggregate_cost(store, replay, by)
+                drill_down = disagreement_report(store)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        out(f"\nstore: {args.store}  grouped by {', '.join(by)}")
+        rows = []
+        for key in sorted(outcome_groups, key=repr):
+            outcome = outcome_groups[key]
+            cost = cost_groups.get(key)
+            rows.append([
+                ":".join(str(part) for part in key),
+                str(outcome.scenarios),
+                str(outcome.ok),
+                str(outcome.violation + outcome.error),
+                str(outcome.usage.steps),
+                f"{cost.usage.seconds:.2f}" if cost else "-",
+            ])
+        out(_format_table(
+            rows, ["group", "stored", "ok", "non-ok", "steps", "ran-seconds"]
+        ))
+        if unresolved:
+            out(f"  ({len(unresolved)} journaled fingerprint(s) not in this store)")
+        out(drill_down)
+
+    if args.bench:
+        try:
+            records_by_dir = [load_bench_dir(directory) for directory in args.bench]
+            history = bench_history(args.bench)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        out(f"\nbench history: {len(history)} record(s) across {len(records_by_dir)} run(s)")
+        for record in history:
+            metrics = ", ".join(f"{key}={value}" for key, value in record.metrics)
+            out(f"  [{record.run}] {record.experiment}: {metrics}")
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,7 @@ campaigns; :func:`open_store` picks one from a path.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, FrozenSet, Iterable, Optional, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple, Union
 
 from repro.campaign.spec import ScenarioOutcome
 from repro.store.fingerprint import ScenarioFingerprint
@@ -60,7 +60,13 @@ class ResultStore(ABC):
 
     @abstractmethod
     def close(self) -> None:
-        """Release the backing resource; further calls are undefined."""
+        """Release the backing resource.
+
+        ``close`` is **idempotent** — closing twice is a no-op, which is
+        what lets stores be used both as context managers and with an
+        explicit ``close()`` in ``finally`` blocks.  Reads and writes
+        after close are undefined (backends may raise).
+        """
 
     # -- conveniences ------------------------------------------------------
 
@@ -84,6 +90,18 @@ class ResultStore(ABC):
         """Bulk store (backends may override with a single transaction)."""
         for fingerprint, outcome in items:
             self.put(fingerprint, outcome)
+
+    def items(self) -> Iterator[Tuple[str, ScenarioOutcome]]:
+        """Every ``(fingerprint, outcome)`` pair, sorted by fingerprint.
+
+        The provenance query layer (:mod:`repro.provenance.queries`)
+        aggregates over this; backends may override with a streaming
+        implementation.
+        """
+        for digest in sorted(self.fingerprints()):
+            outcome = self.get(digest)
+            if outcome is not None:
+                yield digest, outcome
 
     def __contains__(self, fingerprint: object) -> bool:
         if not isinstance(fingerprint, (str, ScenarioFingerprint)):

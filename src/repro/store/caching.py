@@ -18,18 +18,32 @@ in :class:`CacheStats`, and the equality guarantee above deliberately no
 longer applies), and an optional
 :class:`~repro.store.progress.ProgressReporter` receives the live event
 stream, cache hits included.
+
+An optional campaign **journal**
+(:class:`~repro.provenance.journal.CampaignJournal`, or a path one is
+opened at) receives the full provenance record: campaign start/finish,
+one per-scenario ``ran``/``cached``/``skipped`` decision with its
+:class:`~repro.provenance.usage.ResourceUsage`, and the early-stop
+triggers.  Journal records for executed scenarios are appended from the
+same delivery path that persists outcomes — under the process backend
+that includes the parent's event-drain thread, which is exactly why the
+SQLite store is thread-safe.
 """
 
 from __future__ import annotations
 
 import os
+import uuid
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.campaign.grid import ScenarioGrid
 from repro.campaign.runner import CampaignResult, CampaignRunner, ScenarioEvent
 from repro.campaign.scenarios import get_kind
 from repro.campaign.spec import ScenarioOutcome, ScenarioSpec
+from repro.provenance.journal import CampaignJournal
+from repro.provenance.usage import ResourceUsage
 from repro.store.base import ResultStore
 from repro.store.fingerprint import fingerprint_spec
 from repro.store.policy import EarlyStopPolicy
@@ -44,6 +58,11 @@ class CacheStats:
 
     Counted per input position (duplicate specs in the input count once
     each), so ``cached + executed + skipped == total`` always holds.
+    Note the journal's ledger counts duplicate positions of an executed
+    fingerprint as ``cached`` replays (only the position that actually
+    ran is ``ran``), while ``executed`` here counts every position of an
+    executed fingerprint — validate journals against their own
+    ``total``, not against this dict.
     """
 
     total: int
@@ -82,9 +101,15 @@ class CachingRunner:
         Optional :class:`~repro.store.policy.EarlyStopPolicy`.
     progress:
         Optional :class:`~repro.store.progress.ProgressReporter`.
+    journal:
+        Optional provenance journal: a
+        :class:`~repro.provenance.journal.CampaignJournal` (caller keeps
+        ownership) or a path (the runner opens and owns one there).
 
     After each ``run``, :attr:`last_stats` holds the run's
-    :class:`CacheStats`.
+    :class:`CacheStats` and :attr:`last_campaign_id` the journal id of
+    the campaign.  The runner is a context manager: leaving the ``with``
+    block closes the store and any journal the runner opened itself.
     """
 
     def __init__(
@@ -94,12 +119,20 @@ class CachingRunner:
         *,
         policy: Optional[EarlyStopPolicy] = None,
         progress: Optional[ProgressReporter] = None,
+        journal: Optional[Union[str, Path, CampaignJournal]] = None,
     ):
         self.store = store
         self.runner = runner if runner is not None else CampaignRunner()
         self.policy = policy
         self.progress = progress
+        if journal is None or isinstance(journal, CampaignJournal):
+            self.journal = journal
+            self._owns_journal = False
+        else:
+            self.journal = CampaignJournal(journal)
+            self._owns_journal = True
         self.last_stats: Optional[CacheStats] = None
+        self.last_campaign_id: Optional[str] = None
 
     def run(
         self, scenarios: Union[ScenarioGrid, Iterable[ScenarioSpec]]
@@ -118,6 +151,26 @@ class CachingRunner:
         fingerprints = [fingerprint_spec(spec) for spec in specs]
         outcomes_by_fp: Dict[str, ScenarioOutcome] = self.store.get_many(fingerprints)
 
+        campaign = uuid.uuid4().hex[:12]
+        self.last_campaign_id = campaign
+        if self.journal is not None:
+            self.journal.campaign_started(
+                campaign, len(specs),
+                backend=self.runner.backend,
+                workers=self.runner.workers,
+            )
+
+        def emit(event: ScenarioEvent) -> None:
+            # Journal first (provenance is the record), reporter second.
+            # Under the process backend this runs on the parent's drain
+            # thread for executed scenarios.
+            if self.journal is not None:
+                self.journal.scenario_event(campaign, event)
+            if self.progress is not None:
+                self.progress(event)
+
+        inner_progress = emit if (self.journal or self.progress) is not None else None
+
         if self.progress is not None:
             self.progress.campaign_started(len(specs))
         # Cached outcomes are observed first (in spec order): a violation
@@ -129,10 +182,12 @@ class CachingRunner:
                 continue
             if self.policy is not None:
                 self.policy.observe(outcome)
-            if self.progress is not None:
-                self.progress(ScenarioEvent(
+            if inner_progress is not None:
+                emit(ScenarioEvent(
                     label=spec.label(), verdict=outcome.verdict,
                     seconds=0.0, worker_pid=os.getpid(), cached=True,
+                    fingerprint=fingerprint,
+                    usage=ResourceUsage.of_outcome(outcome),
                 ))
 
         cached_fps = frozenset(outcomes_by_fp)
@@ -163,19 +218,21 @@ class CachingRunner:
         inner = self.runner.run(
             pending,
             on_outcome=persist,
-            progress=self.progress,
+            progress=inner_progress,
             should_skip=self.policy.should_skip if self.policy is not None else None,
         )
 
-        if self.progress is not None:
+        if inner_progress is not None:
             # Deduplicated duplicate positions completed with their first
             # occurrence; report them so totals add up to the campaign size.
             for spec, fingerprint in duplicates:
                 outcome = outcomes_by_fp.get(fingerprint)
                 if outcome is not None:
-                    self.progress(ScenarioEvent(
+                    emit(ScenarioEvent(
                         label=spec.label(), verdict=outcome.verdict,
                         seconds=0.0, worker_pid=os.getpid(), cached=True,
+                        fingerprint=fingerprint,
+                        usage=ResourceUsage.of_outcome(outcome),
                     ))
 
         merged = tuple(
@@ -191,6 +248,20 @@ class CachingRunner:
             executed=executed_positions,
             skipped=len(specs) - cached_positions - executed_positions,
         )
+        if self.journal is not None:
+            # Positions without an outcome were dropped by the policy —
+            # record them so the per-scenario ledger sums to the size.
+            for spec, fingerprint in zip(specs, fingerprints):
+                if fingerprint not in outcomes_by_fp:
+                    self.journal.scenario(
+                        campaign, fingerprint, "skipped", label=spec.label(),
+                    )
+            if self.policy is not None:
+                for point, verdict in sorted(
+                    self.policy.certified_points().items(), key=repr
+                ):
+                    self.journal.early_stop(campaign, point, verdict)
+            self.journal.campaign_finished(campaign, self.last_stats.as_dict())
         if self.progress is not None:
             self.progress.campaign_finished()
 
@@ -201,3 +272,17 @@ class CachingRunner:
             elapsed_seconds=inner.elapsed_seconds,
             scenario_seconds=inner.scenario_seconds,
         )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the store (and the journal, when this runner opened it)."""
+        if self._owns_journal and self.journal is not None:
+            self.journal.close()
+        self.store.close()
+
+    def __enter__(self) -> "CachingRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

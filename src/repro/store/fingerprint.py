@@ -34,8 +34,11 @@ __all__ = ["SCHEMA_VERSION", "ScenarioFingerprint", "fingerprint_spec"]
 #: Bump on any change to ``ScenarioSpec``'s fields, their meaning, or the
 #: canonicalisation behind :meth:`ScenarioSpec.identity` — stored results
 #: keyed under the old version then become unreachable instead of wrong.
-#: Version history: 2 — ``ScenarioSpec.recording`` joined the identity.
-SCHEMA_VERSION = 2
+#: Version history: 2 — ``ScenarioSpec.recording`` joined the identity;
+#: 3 — outcomes gained the ``messages_sent``/``messages_delivered``
+#: counters (stored rows written before them must not be served as
+#: complete outcomes with zeroed cost).
+SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)

@@ -18,6 +18,20 @@ Crash-safety on open:
   kill artefact but real damage, and silently dropping stored evidence
   would make a resumed campaign silently recompute — or worse, a
   half-loaded index could shadow a later duplicate record.
+
+The classification is pinned by byte-level fixtures in the test suite:
+
+* torn final line, **no trailing newline** → truncated away (the only
+  artefact a killed single ``write(json + "\\n")`` can leave);
+* unreadable final line **with a trailing newline** → raise — a fully
+  written line of garbage cannot come from a torn append, so it is real
+  corruption even in tail position;
+* a torn line that happens to be a **valid JSON prefix** of a record
+  (e.g. a bare ``{"fp": ...}`` missing its outcome) → truncated away,
+  never half-loaded;
+* **empty file** → loads empty and is left untouched;
+* a file of only **other-schema rows** → loads empty (the rows are
+  unreadable through current-version lookups anyway), file untouched.
 """
 
 from __future__ import annotations
@@ -62,7 +76,14 @@ class JsonlResultStore(ResultStore):
                     if not isinstance(record, dict):
                         raise ConfigurationError(f"record is not an object: {record!r}")
                     if record.get("v") == SCHEMA_VERSION:
-                        self._index[record["fp"]] = outcome_from_dict(record["outcome"])
+                        digest = record["fp"]
+                        if not isinstance(digest, str) or not digest:
+                            # A record of the right version with a broken
+                            # key is corruption, not a schema mismatch.
+                            raise ConfigurationError(
+                                f"record has a non-string fingerprint: {digest!r}"
+                            )
+                        self._index[digest] = outcome_from_dict(record["outcome"])
                 except (ValueError, KeyError, TypeError, ConfigurationError) as exc:
                     if good_until + len(raw_line) + 1 <= len(data):
                         # The bad line is followed by more data: this is
@@ -99,4 +120,5 @@ class JsonlResultStore(ResultStore):
         return frozenset(self._index)
 
     def close(self) -> None:
-        self._file.close()
+        if not self._file.closed:
+            self._file.close()

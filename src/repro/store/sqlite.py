@@ -6,6 +6,21 @@ better trade.  One table, primary-keyed by fingerprint, one commit per
 ``put`` (that commit is the durability point a resumed campaign relies
 on), batched ``IN (...)`` lookups for ``get_many``.
 
+Thread-safety: the connection is opened with ``check_same_thread=False``
+and every operation runs under an internal lock.  This is load-bearing,
+not cosmetic — under the process campaign backend, ``put`` is called
+from the parent's event/result-delivery path while other threads (a
+progress drain, the caller) may read, and sqlite3's default thread
+affinity would raise ``ProgrammingError`` on the first cross-thread
+call.  The store is safe to share between threads of one process; it is
+*not* a multi-process store (each process opens its own).
+
+Durability: ``PRAGMA journal_mode=WAL`` + ``synchronous=NORMAL``.  WAL
+keeps readers unblocked during commits and survives process kills; with
+``NORMAL``, a commit is durable against the process dying (the resume
+guarantee) though the very last commits may roll back if the *host*
+dies — the same trade the JSONL backend's per-record flush makes.
+
 The schema version is stored per row: rows written under an older
 schema are invisible to lookups (their fingerprints would not match
 anyway — the version is hashed into the fingerprint) but are kept on
@@ -16,8 +31,9 @@ from __future__ import annotations
 
 import json
 import sqlite3
+import threading
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterable, Optional, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple, Union
 
 from repro.campaign.codec import outcome_from_dict, outcome_to_dict
 from repro.campaign.spec import ScenarioOutcome
@@ -32,37 +48,57 @@ _IN_BATCH = 500
 
 
 class SqliteResultStore(ResultStore):
-    """SQLite-backed store (one file, indexed lookups, per-put commits)."""
+    """SQLite-backed store (one file, indexed lookups, per-put commits).
+
+    Safe for concurrent use from multiple threads of one process; see
+    the module docstring for the thread-safety and WAL guarantees.
+    """
 
     def __init__(self, path: Union[str, Path]):
         self._path = Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._conn: Optional[sqlite3.Connection] = None
         try:
-            self._conn = sqlite3.connect(str(self._path))
-            self._conn.execute(
+            # check_same_thread=False + self._lock: the process campaign
+            # backend calls put from delivery/drain threads, which the
+            # default thread affinity would reject with ProgrammingError.
+            conn = sqlite3.connect(str(self._path), check_same_thread=False)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(
                 "CREATE TABLE IF NOT EXISTS results ("
                 "  fingerprint TEXT PRIMARY KEY,"
                 "  schema_version INTEGER NOT NULL,"
                 "  outcome TEXT NOT NULL"
                 ")"
             )
-            self._conn.commit()
+            conn.commit()
         except sqlite3.DatabaseError as exc:
             raise ConfigurationError(
                 f"cannot open result store {self._path}: {exc}"
             ) from exc
+        self._conn = conn
 
     @property
     def path(self) -> Path:
         return self._path
 
+    def _connection(self) -> sqlite3.Connection:
+        if self._conn is None:
+            raise ConfigurationError(
+                f"result store {self._path} is closed"
+            )
+        return self._conn
+
     # -- ResultStore -------------------------------------------------------
 
     def get(self, fingerprint: Fingerprintish) -> Optional[ScenarioOutcome]:
-        row = self._conn.execute(
-            "SELECT outcome FROM results WHERE fingerprint = ? AND schema_version = ?",
-            (_digest(fingerprint), SCHEMA_VERSION),
-        ).fetchone()
+        with self._lock:
+            row = self._connection().execute(
+                "SELECT outcome FROM results WHERE fingerprint = ? AND schema_version = ?",
+                (_digest(fingerprint), SCHEMA_VERSION),
+            ).fetchone()
         if row is None:
             return None
         return outcome_from_dict(json.loads(row[0]))
@@ -75,23 +111,26 @@ class SqliteResultStore(ResultStore):
         for start in range(0, len(digests), _IN_BATCH):
             batch = digests[start:start + _IN_BATCH]
             placeholders = ",".join("?" for _ in batch)
-            rows = self._conn.execute(
-                f"SELECT fingerprint, outcome FROM results "
-                f"WHERE schema_version = ? AND fingerprint IN ({placeholders})",
-                [SCHEMA_VERSION, *batch],
-            ).fetchall()
+            with self._lock:
+                rows = self._connection().execute(
+                    f"SELECT fingerprint, outcome FROM results "
+                    f"WHERE schema_version = ? AND fingerprint IN ({placeholders})",
+                    [SCHEMA_VERSION, *batch],
+                ).fetchall()
             for digest, payload in rows:
                 hits[digest] = outcome_from_dict(json.loads(payload))
         return hits
 
     def put(self, fingerprint: Fingerprintish, outcome: ScenarioOutcome) -> None:
         payload = json.dumps(outcome_to_dict(outcome), sort_keys=True)
-        self._conn.execute(
-            "INSERT OR REPLACE INTO results (fingerprint, schema_version, outcome) "
-            "VALUES (?, ?, ?)",
-            (_digest(fingerprint), SCHEMA_VERSION, payload),
-        )
-        self._conn.commit()
+        with self._lock:
+            conn = self._connection()
+            conn.execute(
+                "INSERT OR REPLACE INTO results (fingerprint, schema_version, outcome) "
+                "VALUES (?, ?, ?)",
+                (_digest(fingerprint), SCHEMA_VERSION, payload),
+            )
+            conn.commit()
 
     def put_many(
         self, items: Iterable[Tuple[Fingerprintish, ScenarioOutcome]]
@@ -100,19 +139,35 @@ class SqliteResultStore(ResultStore):
             (_digest(fp), SCHEMA_VERSION, json.dumps(outcome_to_dict(o), sort_keys=True))
             for fp, o in items
         ]
-        self._conn.executemany(
-            "INSERT OR REPLACE INTO results (fingerprint, schema_version, outcome) "
-            "VALUES (?, ?, ?)",
-            rows,
-        )
-        self._conn.commit()
+        with self._lock:
+            conn = self._connection()
+            conn.executemany(
+                "INSERT OR REPLACE INTO results (fingerprint, schema_version, outcome) "
+                "VALUES (?, ?, ?)",
+                rows,
+            )
+            conn.commit()
 
     def fingerprints(self) -> FrozenSet[str]:
-        rows = self._conn.execute(
-            "SELECT fingerprint FROM results WHERE schema_version = ?",
-            (SCHEMA_VERSION,),
-        ).fetchall()
+        with self._lock:
+            rows = self._connection().execute(
+                "SELECT fingerprint FROM results WHERE schema_version = ?",
+                (SCHEMA_VERSION,),
+            ).fetchall()
         return frozenset(row[0] for row in rows)
 
+    def items(self) -> Iterator[Tuple[str, ScenarioOutcome]]:
+        with self._lock:
+            rows = self._connection().execute(
+                "SELECT fingerprint, outcome FROM results WHERE schema_version = ? "
+                "ORDER BY fingerprint",
+                (SCHEMA_VERSION,),
+            ).fetchall()
+        for digest, payload in rows:
+            yield digest, outcome_from_dict(json.loads(payload))
+
     def close(self) -> None:
-        self._conn.close()
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None

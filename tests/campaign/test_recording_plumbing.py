@@ -169,6 +169,66 @@ class TestPinnedSweepAcceptance:
         ]
 
 
+class TestResourceUsagePlumbing:
+    """The cost counters are outcome, not measurement: bit-identical
+    across every recording policy and every campaign backend."""
+
+    @staticmethod
+    def _usage_triples(result):
+        return sorted(
+            (o.steps, o.messages_sent, o.messages_delivered) for o in result.outcomes
+        )
+
+    @pytest.fixture(scope="class")
+    def reference_triples(self):
+        specs = theorem8_specs(PINNED_GRID, **PINNED_KWARGS)
+        result = CampaignRunner().run(specs)
+        triples = self._usage_triples(result)
+        assert any(sent for _steps, sent, _delivered in triples)  # non-trivial
+        return triples
+
+    @pytest.mark.parametrize("recording", RECORDING_POLICY_NAMES)
+    def test_counters_identical_across_recording_policies(
+        self, reference_triples, recording
+    ):
+        specs = theorem8_specs(PINNED_GRID, recording=recording, **PINNED_KWARGS)
+        result = CampaignRunner().run(specs)
+        assert self._usage_triples(result) == reference_triples
+
+    @pytest.mark.parametrize("backend,workers", [
+        ("serial", None), ("chunked", None), ("process", 2),
+    ])
+    def test_counters_identical_across_backends(
+        self, reference_triples, backend, workers
+    ):
+        specs = theorem8_specs(PINNED_GRID, **PINNED_KWARGS)
+        result = CampaignRunner(backend=backend, workers=workers).run(specs)
+        assert self._usage_triples(result) == reference_triples
+
+    @pytest.mark.parametrize("backend,workers", [
+        ("serial", None), ("process", 2),
+    ])
+    def test_events_carry_usage_matching_the_outcomes(self, backend, workers):
+        """Every ScenarioEvent's ResourceUsage equals its outcome's
+        counters (equality ignores wall seconds), on every backend."""
+        from repro.store import CollectingProgressReporter, fingerprint_spec
+
+        specs = theorem8_specs([4], **PINNED_KWARGS)
+        reporter = CollectingProgressReporter()
+        result = CampaignRunner(backend=backend, workers=workers).run(
+            specs, progress=reporter)
+        by_fp = {fingerprint_spec(o.spec): o for o in result.outcomes}
+        events = reporter.events
+        assert len(events) == len(specs)
+        for event in events:
+            outcome = by_fp[event.fingerprint]
+            assert event.usage is not None
+            assert event.usage.steps == outcome.steps
+            assert event.usage.messages_sent == outcome.messages_sent
+            assert event.usage.messages_delivered == outcome.messages_delivered
+            assert not event.cached
+
+
 class TestStoreInteraction:
     def test_cached_sweep_respects_recording_fingerprints(self, tmp_path):
         """Different policies are distinct cache keys but equal verdicts."""

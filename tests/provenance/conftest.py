@@ -1,0 +1,15 @@
+"""Provenance suite fixtures.
+
+The kill/resume journal test reuses the slow scenario kind that the
+store suite registers (``tests/store/slow_kind.py``); make it importable
+from here too.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+STORE_TESTS = Path(__file__).resolve().parent.parent / "store"
+if str(STORE_TESTS) not in sys.path:
+    sys.path.insert(0, str(STORE_TESTS))

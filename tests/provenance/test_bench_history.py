@@ -1,0 +1,77 @@
+"""Bench-history ingestion of BENCH_*.json artifacts."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.provenance import bench_history, load_bench_dir, metric_trajectory
+
+
+def _write_artifacts(directory, records) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    for name, payload in records.items():
+        (directory / f"BENCH_{name}.json").write_text(json.dumps(payload))
+
+
+class TestLoadBenchDir:
+    def test_loads_every_artifact_with_the_run_label(self, tmp_path):
+        run = tmp_path / "run-1"
+        _write_artifacts(run, {
+            "sweep": {"name": "sweep", "seconds": 1.5, "scenarios": 100},
+            "border": {"name": "border", "seconds": 0.4},
+        })
+        records = load_bench_dir(run)
+        assert {record.experiment for record in records} == {"sweep", "border"}
+        assert all(record.run == "run-1" for record in records)
+        sweep = next(r for r in records if r.experiment == "sweep")
+        assert sweep.metric("seconds") == 1.5
+        assert sweep.metric("scenarios") == 100
+        assert sweep.metric("absent", default=-1) == -1
+
+    def test_experiment_falls_back_to_the_filename(self, tmp_path):
+        run = tmp_path / "run-1"
+        _write_artifacts(run, {"unnamed": {"seconds": 2.0}})
+        (record,) = load_bench_dir(run)
+        assert record.experiment == "unnamed"
+
+    def test_empty_directory_loads_empty(self, tmp_path):
+        run = tmp_path / "run-1"
+        run.mkdir()
+        assert load_bench_dir(run) == ()
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no benchmark artifact directory"):
+            load_bench_dir(tmp_path / "absent")
+
+    def test_malformed_json_raises(self, tmp_path):
+        run = tmp_path / "run-1"
+        run.mkdir()
+        (run / "BENCH_bad.json").write_text("{not json")
+        with pytest.raises(ConfigurationError, match="malformed benchmark artifact"):
+            load_bench_dir(run)
+
+    def test_non_object_payload_raises(self, tmp_path):
+        run = tmp_path / "run-1"
+        run.mkdir()
+        (run / "BENCH_list.json").write_text("[1, 2]")
+        with pytest.raises(ConfigurationError, match="expected an object"):
+            load_bench_dir(run)
+
+
+class TestTrajectory:
+    def test_metric_trajectory_across_runs(self, tmp_path):
+        _write_artifacts(tmp_path / "run-1", {"sweep": {"name": "sweep", "seconds": 2.0}})
+        _write_artifacts(tmp_path / "run-2", {"sweep": {"name": "sweep", "seconds": 1.5}})
+        _write_artifacts(tmp_path / "run-3", {"other": {"name": "other", "seconds": 9.0}})
+        history = bench_history([tmp_path / "run-1", tmp_path / "run-2", tmp_path / "run-3"])
+        trajectory = metric_trajectory(history, "sweep", "seconds")
+        assert trajectory == (("run-1", 2.0), ("run-2", 1.5))
+
+    def test_missing_metric_never_fabricates_points(self, tmp_path):
+        _write_artifacts(tmp_path / "run-1", {"sweep": {"name": "sweep", "seconds": 2.0}})
+        _write_artifacts(tmp_path / "run-2", {"sweep": {"name": "sweep", "steps": 10}})
+        history = bench_history([tmp_path / "run-1", tmp_path / "run-2"])
+        assert metric_trajectory(history, "sweep", "seconds") == (("run-1", 2.0),)

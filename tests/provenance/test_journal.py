@@ -1,0 +1,224 @@
+"""The campaign journal: writing, torn-tail reading, ledger replay."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.provenance import (
+    JOURNAL_SCHEMA_VERSION,
+    CampaignJournal,
+    ResourceUsage,
+    read_journal,
+    replay_ledger,
+)
+
+FP_A = "a" * 64
+FP_B = "b" * 64
+FP_C = "c" * 64
+
+
+def _write_campaign(journal: CampaignJournal, campaign: str, decisions) -> None:
+    journal.campaign_started(campaign, len(decisions), backend="serial")
+    for fingerprint, decision in decisions:
+        journal.scenario(
+            campaign, fingerprint, decision,
+            verdict="ok", usage=ResourceUsage(seconds=0.1, steps=5),
+        )
+    journal.campaign_finished(campaign, {"total": len(decisions)})
+
+
+class TestJournalRoundTrip:
+    def test_records_replay_to_a_summing_ledger(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with CampaignJournal(path) as journal:
+            _write_campaign(journal, "c1", [(FP_A, "ran"), (FP_B, "cached"), (FP_C, "skipped")])
+        replay = replay_ledger(read_journal(path))
+        ledger = replay.campaigns["c1"]
+        assert (ledger.ran, ledger.cached, ledger.skipped) == (1, 1, 1)
+        assert ledger.recorded == ledger.total == 3
+        assert ledger.finished
+        assert ledger.usage.steps == 15
+
+    def test_merged_decisions_prefer_ran_over_cached_over_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with CampaignJournal(path) as journal:
+            _write_campaign(journal, "c1", [(FP_A, "ran"), (FP_B, "skipped")])
+            _write_campaign(journal, "c2", [(FP_A, "cached"), (FP_B, "cached")])
+        replay = replay_ledger(read_journal(path))
+        assert replay.decisions == {FP_A: "ran", FP_B: "cached"}
+        assert replay.ran_fingerprints == {FP_A}
+        assert replay.ran_counts == {FP_A: 1}
+
+    def test_early_stop_records_land_on_their_ledger(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.campaign_started("c1", 1)
+            journal.scenario("c1", FP_A, "ran", verdict="violation")
+            journal.early_stop("c1", ("kind", 4, 1, 1), "violation")
+            journal.campaign_finished("c1")
+        ledger = replay_ledger(read_journal(path)).campaigns["c1"]
+        assert ledger.early_stops == ((["kind", 4, 1, 1], "violation"),)
+
+    def test_total_usage_counts_ran_only_by_default(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.campaign_started("c1", 2)
+            journal.scenario("c1", FP_A, "ran", usage=ResourceUsage(steps=10))
+            journal.scenario("c1", FP_B, "cached", usage=ResourceUsage(steps=7))
+            journal.campaign_finished("c1")
+        replay = replay_ledger(read_journal(path))
+        assert replay.total_usage().steps == 10
+        assert replay.total_usage(include_cached=True).steps == 17
+
+    def test_append_reopen_append(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with CampaignJournal(path) as journal:
+            _write_campaign(journal, "c1", [(FP_A, "ran")])
+        with CampaignJournal(path) as journal:
+            _write_campaign(journal, "c2", [(FP_A, "cached")])
+        replay = replay_ledger(read_journal(path))
+        assert set(replay.campaigns) == {"c1", "c2"}
+        assert all(ledger.finished for ledger in replay.campaigns.values())
+
+
+class TestJournalWriter:
+    def test_unknown_decision_is_rejected_at_write_time(self, tmp_path):
+        with CampaignJournal(tmp_path / "journal.jsonl") as journal:
+            journal.campaign_started("c1", 1)
+            with pytest.raises(ConfigurationError, match="unknown scenario decision"):
+                journal.scenario("c1", FP_A, "maybe")
+
+    def test_close_is_idempotent(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "journal.jsonl")
+        journal.close()
+        journal.close()  # must not raise
+
+    def test_concurrent_appends_never_interleave(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        per_thread = 50
+        with CampaignJournal(path) as journal:
+            journal.campaign_started("c1", 4 * per_thread)
+
+            def append_many(tag: int) -> None:
+                for index in range(per_thread):
+                    digest = f"{tag}{index:063d}"[:64].rjust(64, "0")
+                    journal.scenario(
+                        "c1", digest, "ran",
+                        usage=ResourceUsage(seconds=0.001, steps=1),
+                    )
+
+            threads = [threading.Thread(target=append_many, args=(t,)) for t in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            journal.campaign_finished("c1")
+        # Every line parses (no interleaved writes) and the ledger sums.
+        replay = replay_ledger(read_journal(path))
+        ledger = replay.campaigns["c1"]
+        assert ledger.ran == 4 * per_thread
+        assert ledger.usage.steps == 4 * per_thread
+
+
+class TestJournalTornTail:
+    def _valid_lines(self, tmp_path) -> tuple:
+        path = tmp_path / "journal.jsonl"
+        with CampaignJournal(path) as journal:
+            _write_campaign(journal, "c1", [(FP_A, "ran"), (FP_B, "ran")])
+        return path, path.read_bytes()
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path, data = self._valid_lines(tmp_path)
+        path.write_bytes(data + b'{"v": 1, "type": "scenario", "camp')
+        records = read_journal(path)
+        assert len(records) == 4  # start + 2 scenarios + finish
+        # ... and opening a writer on it heals the file.
+        CampaignJournal(path).close()
+        assert path.read_bytes() == data
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path, data = self._valid_lines(tmp_path)
+        lines = data.split(b"\n")
+        lines[1] = b"{torn garbage"
+        path.write_bytes(b"\n".join(lines))
+        with pytest.raises(ConfigurationError, match="corrupt campaign journal"):
+            read_journal(path)
+        with pytest.raises(ConfigurationError, match="corrupt campaign journal"):
+            CampaignJournal(path)
+
+    def test_fully_written_garbage_final_line_raises(self, tmp_path):
+        # A garbage line WITH its trailing newline cannot be a torn
+        # append — it was written whole, so it is real corruption.
+        path, data = self._valid_lines(tmp_path)
+        path.write_bytes(data + b"not json at all\n")
+        with pytest.raises(ConfigurationError, match="corrupt campaign journal"):
+            read_journal(path)
+
+    def test_other_version_rows_are_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        rows = [
+            {"v": JOURNAL_SCHEMA_VERSION + 1, "type": "campaign-start",
+             "campaign": "old", "total": 1},
+            {"v": JOURNAL_SCHEMA_VERSION, "type": "campaign-start",
+             "campaign": "new", "total": 0},
+            {"v": JOURNAL_SCHEMA_VERSION, "type": "campaign-finish",
+             "campaign": "new"},
+        ]
+        path.write_text("".join(json.dumps(row) + "\n" for row in rows))
+        replay = replay_ledger(read_journal(path))
+        assert set(replay.campaigns) == {"new"}
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no campaign journal"):
+            read_journal(tmp_path / "absent.jsonl")
+
+    def test_empty_file_loads_empty_and_is_untouched(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_bytes(b"")
+        assert read_journal(path) == ()
+        CampaignJournal(path).close()
+        assert path.read_bytes() == b""
+
+
+class TestLedgerValidation:
+    def test_scenario_before_campaign_start_raises(self):
+        with pytest.raises(ConfigurationError, match="before its campaign-start"):
+            replay_ledger([
+                {"v": 1, "type": "scenario", "campaign": "ghost",
+                 "fp": FP_A, "decision": "ran", "usage": {}},
+            ])
+
+    def test_unknown_record_type_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown journal record type"):
+            replay_ledger([{"v": 1, "type": "telemetry", "campaign": "c1"}])
+
+    def test_unknown_decision_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario decision"):
+            replay_ledger([
+                {"v": 1, "type": "campaign-start", "campaign": "c1", "total": 1},
+                {"v": 1, "type": "scenario", "campaign": "c1",
+                 "fp": FP_A, "decision": "perhaps", "usage": {}},
+            ])
+
+    def test_finished_campaign_must_sum_to_total(self):
+        with pytest.raises(ConfigurationError, match="journal is incomplete"):
+            replay_ledger([
+                {"v": 1, "type": "campaign-start", "campaign": "c1", "total": 2},
+                {"v": 1, "type": "scenario", "campaign": "c1",
+                 "fp": FP_A, "decision": "ran", "usage": {}},
+                {"v": 1, "type": "campaign-finish", "campaign": "c1"},
+            ])
+
+    def test_killed_campaign_is_exempt_from_the_sum_check(self):
+        replay = replay_ledger([
+            {"v": 1, "type": "campaign-start", "campaign": "c1", "total": 10},
+            {"v": 1, "type": "scenario", "campaign": "c1",
+             "fp": FP_A, "decision": "ran", "usage": {}},
+        ])
+        ledger = replay.campaigns["c1"]
+        assert not ledger.finished
+        assert ledger.recorded == 1 < ledger.total

@@ -1,0 +1,144 @@
+"""The query layer: cross-campaign aggregation over stores and journals.
+
+The headline scenario is the acceptance criterion: two campaigns merged
+into one SQLite store plus one journal, answered with a by-(kind, n,
+scheduler) cost aggregation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignRunner, theorem8_specs
+from repro.campaign.spec import ScenarioOutcome, ScenarioSpec
+from repro.exceptions import ConfigurationError
+from repro.provenance import (
+    ResourceUsage,
+    aggregate_cost,
+    aggregate_outcomes,
+    disagreement_report,
+    disagreements,
+    read_journal,
+    replay_ledger,
+)
+from repro.store import CachingRunner, MemoryResultStore, open_store
+
+PINNED_KWARGS = dict(seeds=(1,), max_steps=4_000)
+
+
+@pytest.fixture(scope="module")
+def merged(tmp_path_factory):
+    """Two campaigns (n=4, then n=5) merged into one store + journal."""
+    tmp = tmp_path_factory.mktemp("provenance-queries")
+    store_path = tmp / "merged.sqlite"
+    journal_path = tmp / "journal.jsonl"
+    with CachingRunner(open_store(store_path), journal=journal_path) as runner:
+        runner.run(theorem8_specs([4], **PINNED_KWARGS))
+        runner.run(theorem8_specs([5], **PINNED_KWARGS))
+    replay = replay_ledger(read_journal(journal_path))
+    return store_path, replay
+
+
+class TestAggregateOutcomes:
+    def test_by_kind_n_scheduler_covers_every_stored_outcome(self, merged):
+        store_path, _replay = merged
+        specs = theorem8_specs([4], **PINNED_KWARGS) + theorem8_specs([5], **PINNED_KWARGS)
+        with open_store(store_path) as store:
+            stored = len(store)
+            groups = aggregate_outcomes(store, ("kind", "n", "scheduler"))
+        assert sum(group.scenarios for group in groups.values()) == stored
+        # Both campaigns appear: n=4 and n=5 groups for each kind.
+        ns = {key[1] for key in groups}
+        assert ns == {4, 5}
+        kinds = {key[0] for key in groups}
+        assert kinds == {spec.kind for spec in specs}
+
+    def test_verdict_split_sums_to_scenarios(self, merged):
+        store_path, _replay = merged
+        with open_store(store_path) as store:
+            groups = aggregate_outcomes(store, ("kind",))
+        for group in groups.values():
+            assert group.ok + group.violation + group.error == group.scenarios
+
+    def test_unknown_dimension_is_rejected(self, merged):
+        store_path, _replay = merged
+        with open_store(store_path) as store:
+            with pytest.raises(ConfigurationError, match="cannot group by"):
+                aggregate_outcomes(store, ("kind", "colour"))
+
+
+class TestAggregateCost:
+    def test_two_merged_campaigns_by_kind_n_scheduler(self, merged):
+        """The acceptance criterion: cost aggregation over two campaigns."""
+        store_path, replay = merged
+        assert len(replay.campaigns) == 2
+        assert all(ledger.finished for ledger in replay.campaigns.values())
+        with open_store(store_path) as store:
+            cost, unresolved = aggregate_cost(store, replay, ("kind", "n", "scheduler"))
+        assert unresolved == ()
+        # Every executed scenario of both campaigns is attributed.
+        assert sum(group.scenarios for group in cost.values()) == len(replay.ran_fingerprints)
+        # Cost carries wall time (journal) joined to spec dims (store).
+        assert sum(group.usage.seconds for group in cost.values()) == pytest.approx(
+            replay.total_usage().seconds)
+        assert {key[1] for key in cost} == {4, 5}
+
+    def test_include_cached_adds_replays(self, merged):
+        store_path, replay = merged
+        with open_store(store_path) as store:
+            ran_only, _ = aggregate_cost(store, replay, ("kind",))
+            with_cached, _ = aggregate_cost(store, replay, ("kind",), include_cached=True)
+        assert sum(g.scenarios for g in with_cached.values()) >= sum(
+            g.scenarios for g in ran_only.values())
+
+    def test_unresolved_fingerprints_are_reported_not_dropped_silently(self, merged):
+        _store_path, replay = merged
+        empty = MemoryResultStore()
+        cost, unresolved = aggregate_cost(empty, replay, ("kind",))
+        assert cost == {}
+        assert len(unresolved) == len(
+            [r for r in replay.scenario_records if r["decision"] == "ran"])
+
+
+class TestDisagreements:
+    def _store_with(self, *verdicts):
+        store = MemoryResultStore()
+        for index, verdict in enumerate(verdicts):
+            spec = ScenarioSpec(kind="probe", n=4, f=1, k=1, seed=index)
+            store.put("%064x" % index, ScenarioOutcome(
+                spec=spec, verdict=verdict,
+                violations=("agreement",) if verdict == "violation" else (),
+                error="boom" if verdict == "error" else "",
+            ))
+        return store
+
+    def test_non_ok_outcomes_surface_worst_first(self):
+        store = self._store_with("ok", "error", "violation", "ok")
+        flagged = disagreements(store)
+        assert [outcome.verdict for outcome in flagged] == ["violation", "error"]
+
+    def test_report_drills_down_and_is_empty_safe(self):
+        assert "every stored outcome is ok" in disagreement_report(self._store_with("ok"))
+        report = disagreement_report(self._store_with("violation", "error"))
+        assert "2 non-ok outcome(s)" in report
+        assert "agreement" in report and "boom" in report
+
+
+class TestStoreItems:
+    def test_default_items_iterates_sorted_pairs(self):
+        store = MemoryResultStore()
+        spec = ScenarioSpec(kind="probe", n=4, f=1, k=1)
+        store.put("f" * 64, ScenarioOutcome(spec=spec, verdict="ok"))
+        store.put("0" * 64, ScenarioOutcome(spec=spec, verdict="ok"))
+        digests = [digest for digest, _outcome in store.items()]
+        assert digests == sorted(digests)
+        assert len(digests) == 2
+
+    def test_sqlite_items_matches_default(self, tmp_path):
+        specs = theorem8_specs([4], **PINNED_KWARGS)
+        with CachingRunner(open_store(tmp_path / "s.sqlite")) as runner:
+            runner.run(specs)
+        with open_store(tmp_path / "s.sqlite") as store:
+            via_items = dict(store.items())
+            via_get = {fp: store.get(fp) for fp in store.fingerprints()}
+        assert via_items == via_get

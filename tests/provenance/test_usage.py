@@ -1,0 +1,87 @@
+"""ResourceUsage: the per-scenario cost record."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.spec import ScenarioOutcome, ScenarioSpec
+from repro.provenance import ResourceUsage
+
+
+def _outcome(steps=7, sent=12, delivered=9) -> ScenarioOutcome:
+    return ScenarioOutcome(
+        spec=ScenarioSpec(kind="any", n=4, f=1, k=1),
+        verdict="ok",
+        steps=steps,
+        messages_sent=sent,
+        messages_delivered=delivered,
+    )
+
+
+class TestResourceUsage:
+    def test_of_outcome_lifts_the_counters(self):
+        usage = ResourceUsage.of_outcome(_outcome(), seconds=1.5)
+        assert usage.seconds == 1.5
+        assert usage.steps == 7
+        assert usage.messages_sent == 12
+        assert usage.messages_delivered == 9
+
+    def test_seconds_excluded_from_equality(self):
+        # Wall time is measurement, not outcome: usage records must
+        # compare equal across backends and cache replays.
+        assert ResourceUsage(seconds=1.0, steps=3) == ResourceUsage(seconds=9.0, steps=3)
+        assert ResourceUsage(steps=3) != ResourceUsage(steps=4)
+
+    def test_addition_sums_every_field(self):
+        total = ResourceUsage(seconds=1.0, steps=2, messages_sent=3, messages_delivered=4) \
+            + ResourceUsage(seconds=0.5, steps=10, messages_sent=20, messages_delivered=30)
+        assert total.seconds == pytest.approx(1.5)
+        assert (total.steps, total.messages_sent, total.messages_delivered) == (12, 23, 34)
+
+    def test_addition_rejects_foreign_types(self):
+        with pytest.raises(TypeError):
+            ResourceUsage() + 3  # type: ignore[operator]
+
+    def test_dict_round_trip(self):
+        usage = ResourceUsage(seconds=0.25, steps=5, messages_sent=6, messages_delivered=4)
+        restored = ResourceUsage.from_dict(usage.to_dict())
+        assert restored == usage
+        assert restored.seconds == usage.seconds
+
+    def test_from_dict_defaults_missing_fields_to_zero(self):
+        assert ResourceUsage.from_dict({}) == ResourceUsage()
+        assert ResourceUsage.from_dict({"steps": 3}).steps == 3
+
+    def test_zero_is_the_additive_identity(self):
+        usage = ResourceUsage(seconds=1.0, steps=2, messages_sent=3, messages_delivered=4)
+        assert usage + ResourceUsage() == usage
+
+
+class TestOutcomeCounters:
+    def test_outcome_carries_message_counters(self):
+        outcome = _outcome(sent=11, delivered=8)
+        assert outcome.messages_sent == 11
+        assert outcome.messages_delivered == 8
+
+    def test_counters_default_to_zero(self):
+        outcome = ScenarioOutcome(
+            spec=ScenarioSpec(kind="any", n=4, f=1, k=1), verdict="ok")
+        assert outcome.messages_sent == 0
+        assert outcome.messages_delivered == 0
+
+    def test_codec_round_trips_the_counters(self):
+        from repro.campaign.codec import outcome_from_dict, outcome_to_dict
+
+        outcome = _outcome(sent=13, delivered=10)
+        assert outcome_from_dict(outcome_to_dict(outcome)) == outcome
+
+    def test_codec_tolerates_archived_payloads_without_counters(self):
+        # CampaignResult.to_json payloads written before the counters
+        # existed must still decode (with zero cost), not KeyError.
+        from repro.campaign.codec import outcome_from_dict, outcome_to_dict
+
+        data = outcome_to_dict(_outcome())
+        del data["messages_sent"], data["messages_delivered"]
+        decoded = outcome_from_dict(data)
+        assert decoded.messages_sent == 0
+        assert decoded.messages_delivered == 0

@@ -148,6 +148,65 @@ class TestJsonlCrashRepair:
             assert len(store) == 3
             assert store.get("f" * 64) is None
 
+    # -- byte-level classification fixtures --------------------------------
+    # These pin exactly which shapes truncate (kill artefacts) and which
+    # raise (real corruption); see the module docstring of
+    # repro/store/jsonl.py for the rationale of each.
+
+    def test_corrupt_final_line_with_trailing_newline_raises(self, tmp_path):
+        # A garbage line WITH its newline was written whole — a torn
+        # single write(json + "\n") can never produce it, so it is real
+        # corruption even in final position, not a kill artefact.
+        path = tmp_path / "store.jsonl"
+        self._populate(path)
+        with path.open("a") as handle:
+            handle.write("totally not json\n")
+        with pytest.raises(ConfigurationError, match="corrupt result store"):
+            JsonlResultStore(path)
+
+    def test_torn_line_that_is_a_valid_json_prefix_is_truncated(self, tmp_path):
+        # A record torn at an object boundary parses as valid JSON but
+        # is not a loadable record; in tail position (no newline) it is
+        # a kill artefact and must be healed away, never half-loaded.
+        path = tmp_path / "store.jsonl"
+        self._populate(path)
+        intact = path.read_bytes()
+        from repro.store import SCHEMA_VERSION
+        path.write_bytes(intact + json.dumps({"fp": "a" * 64, "v": SCHEMA_VERSION}).encode())
+        with JsonlResultStore(path) as store:
+            assert len(store) == 3
+            assert store.get("a" * 64) is None
+        assert path.read_bytes() == intact  # healed back to the good prefix
+
+    def test_empty_file_loads_empty_and_is_untouched(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_bytes(b"")
+        with JsonlResultStore(path) as store:
+            assert len(store) == 0
+        assert path.read_bytes() == b""
+
+    def test_file_of_only_other_schema_rows_loads_empty_untouched(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        rows = [{"fp": format(i, "064x"), "v": 999, "outcome": {}} for i in range(3)]
+        original = "".join(json.dumps(row) + "\n" for row in rows).encode()
+        path.write_bytes(original)
+        with JsonlResultStore(path) as store:
+            assert len(store) == 0
+        assert path.read_bytes() == original  # foreign rows kept for forensics
+
+    def test_current_version_record_with_broken_fp_is_corruption(self, tmp_path):
+        # Right schema version but a non-string fingerprint: that is a
+        # damaged record, not a foreign schema — it must raise when
+        # followed by more data.
+        path = tmp_path / "store.jsonl"
+        self._populate(path)
+        from repro.store import SCHEMA_VERSION
+        lines = path.read_text().splitlines()
+        lines.insert(1, json.dumps({"fp": 42, "v": SCHEMA_VERSION, "outcome": {}}))
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ConfigurationError, match="corrupt result store"):
+            JsonlResultStore(path)
+
 
 class TestSqliteSpecifics:
     def test_get_many_batches_over_the_in_limit(self, tmp_path):

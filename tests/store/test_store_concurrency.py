@@ -1,0 +1,135 @@
+"""Thread-safety, WAL and lifecycle guarantees of the store backends.
+
+The SQLite regression here is the load-bearing one: under the process
+campaign backend, ``put`` is called off the main thread (delivery and
+drain paths), which the previous ``check_same_thread=True`` connection
+rejected with ``sqlite3.ProgrammingError``.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.campaign.spec import ScenarioOutcome, ScenarioSpec
+from repro.exceptions import ConfigurationError
+from repro.store import CachingRunner, MemoryResultStore, SqliteResultStore, open_store
+
+from conftest import BACKENDS, make_store
+
+
+def _outcome(index: int) -> ScenarioOutcome:
+    return ScenarioOutcome(
+        spec=ScenarioSpec(kind="concurrency-probe", n=4, f=1, k=1, seed=index),
+        verdict="ok",
+        steps=index,
+    )
+
+
+def _digest(index: int) -> str:
+    return "%064x" % index
+
+
+class TestSqliteThreadSafety:
+    def test_put_from_another_thread_does_not_raise(self, tmp_path):
+        """The exact failure mode of the process backend's drain thread."""
+        store = SqliteResultStore(tmp_path / "threaded.sqlite")
+        failures = []
+
+        def put_one():
+            try:
+                store.put(_digest(1), _outcome(1))
+            except sqlite3.ProgrammingError as exc:  # the old bug
+                failures.append(exc)
+
+        thread = threading.Thread(target=put_one)
+        thread.start()
+        thread.join()
+        assert failures == []
+        assert store.get(_digest(1)) == _outcome(1)
+        store.close()
+
+    def test_concurrent_puts_and_gets_from_many_threads(self, tmp_path):
+        store = SqliteResultStore(tmp_path / "threaded.sqlite")
+        per_thread, threads_count = 25, 4
+        errors = []
+
+        def worker(tag: int):
+            try:
+                for i in range(per_thread):
+                    index = tag * per_thread + i
+                    store.put(_digest(index), _outcome(index))
+                    assert store.get(_digest(index)) == _outcome(index)
+                    store.get_many([_digest(j) for j in range(index + 1)])
+            except Exception as exc:  # noqa: BLE001 - collected for the assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(threads_count)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(store) == per_thread * threads_count
+        store.close()
+
+    def test_wal_mode_is_enabled_on_the_file(self, tmp_path):
+        path = tmp_path / "wal.sqlite"
+        store = SqliteResultStore(path)
+        store.put(_digest(1), _outcome(1))
+        store.close()
+        # A fresh raw connection sees the persistent WAL journal mode.
+        conn = sqlite3.connect(str(path))
+        try:
+            (mode,) = conn.execute("PRAGMA journal_mode").fetchone()
+        finally:
+            conn.close()
+        assert mode.lower() == "wal"
+
+    def test_caching_runner_with_process_backend_persists_through_threads(self, tmp_path):
+        # End to end: a process-backend campaign with progress events
+        # (which activates the drain thread) against a SQLite store.
+        from repro.campaign import CampaignRunner, theorem8_specs
+        from repro.store import CollectingProgressReporter
+
+        specs = theorem8_specs([4], seeds=(1,), max_steps=4_000)
+        with CachingRunner(
+            open_store(tmp_path / "campaign.sqlite"),
+            CampaignRunner(backend="process", workers=2),
+            progress=CollectingProgressReporter(),
+        ) as runner:
+            runner.run(specs)
+            assert runner.last_stats.executed == len(specs)
+
+
+class TestLifecycle:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_close_is_idempotent(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        store.put(_digest(1), _outcome(1))
+        store.close()
+        store.close()  # must not raise
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_context_manager_closes(self, backend, tmp_path):
+        with make_store(backend, tmp_path) as store:
+            store.put(_digest(1), _outcome(1))
+        store.close()  # already closed by __exit__: still a no-op
+
+    def test_sqlite_rejects_use_after_close(self, tmp_path):
+        store = SqliteResultStore(tmp_path / "closed.sqlite")
+        store.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            store.put(_digest(1), _outcome(1))
+        with pytest.raises(ConfigurationError, match="closed"):
+            store.get(_digest(1))
+
+    def test_caching_runner_context_manager_closes_store_and_journal(self, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        with CachingRunner(MemoryResultStore(), journal=journal_path) as runner:
+            runner.run([])
+        # The runner owned the journal (opened from a path): closed now.
+        assert runner.journal is not None
+        runner.close()  # idempotent through both store and journal
