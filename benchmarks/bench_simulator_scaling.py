@@ -16,6 +16,17 @@ bit-identical run.  The headline numbers land in
 ``benchmarks/compare_bench.py`` diffs against the committed baseline in
 CI — a >25% regression of the speedup or of the volume counters fails the
 workflow.
+
+``test_telemetry_overhead`` guards both sides of the telemetry layer's
+hot-path promise.  *Telemetry off* costs one ``current_tracer()`` call
+per execution and a ``None`` check per step — any creep there erodes
+``speedup_verdict_only_n*`` against its committed baseline, so the
+disabled path is regression-guarded by the floor above without a
+separate metric.  *Telemetry on* (full phase capture, the worst case)
+is measured here as ``telemetry_enabled_overhead_x_n{n}`` — the traced
+/ untraced wall-clock ratio for the identical run — and baselined in
+``BENCH_E13_telemetry_overhead.json``, where ``compare_bench.py``
+classifies it lower-is-better.
 """
 
 from __future__ import annotations
@@ -29,6 +40,7 @@ from repro.analysis.reporting import format_table
 from repro.analysis.run_properties import run_statistics
 from repro.models.initial_crash import initial_crash_model
 from repro.simulation.executor import ExecutionSettings, RecordingPolicy, execute
+from repro.telemetry import Tracer, activated
 from benchmarks.conftest import emit, emit_json
 from benchmarks._legacy_executor import LegacyKSet, legacy_execute
 
@@ -36,6 +48,10 @@ SIZES = [8, 16, 24, 32, 48, 64]
 SPEEDUP_SIZES = [32, 48]
 #: The acceptance floor: current engine (verdict-only) vs the seed hot path.
 SPEEDUP_FLOOR = 3.0
+#: Hard ceiling for the traced/untraced ratio under full phase capture.
+#: Tracing laps a perf counter four times per step, so it cannot be free;
+#: it must stay within a small constant factor of the measured loop.
+TELEMETRY_OVERHEAD_CEILING = 4.0
 
 
 def run_once(n: int, recording: RecordingPolicy = RecordingPolicy.FULL):
@@ -134,4 +150,54 @@ def test_recording_policy_speedup(benchmark):
         assert speedup >= SPEEDUP_FLOOR, (
             f"expected >= {SPEEDUP_FLOOR}x over the seed hot path at n={n}, "
             f"measured {speedup:.2f}x"
+        )
+
+
+def run_once_traced(n: int):
+    """One verdict-only run under an active tracer with full phase capture."""
+    tracer = Tracer(trace_id="bench", capture_phases=True)
+    with activated(tracer):
+        run = run_once(n, RecordingPolicy.VERDICT_ONLY)
+    return run, tracer.drain()
+
+
+def test_telemetry_overhead(benchmark):
+    """Tracing-enabled cost stays a bounded factor of the measured loop."""
+
+    def measure():
+        rows = []
+        payload = {}
+        for n in SPEEDUP_SIZES:
+            verdict_seconds, verdict_run = _best_of(
+                run_once, n, RecordingPolicy.VERDICT_ONLY)
+            traced_seconds, (traced_run, spans) = _best_of(run_once_traced, n)
+            # Telemetry observes; it must never influence the schedule.
+            assert traced_run.decisions() == verdict_run.decisions()
+            assert traced_run.length == verdict_run.length
+            assert traced_run.messages_sent() == verdict_run.messages_sent()
+            # One execute span plus its four phase children were recorded.
+            names = [s.name for s in spans]
+            assert names.count("execute") == 1
+            assert sum(1 for name in names if name.startswith("phase:")) == 4
+            overhead = traced_seconds / verdict_seconds if verdict_seconds else 0.0
+            rows.append((n, round(verdict_seconds * 1e3, 2),
+                         round(traced_seconds * 1e3, 2), round(overhead, 2)))
+            payload.update({
+                f"verdict_seconds_n{n}": round(verdict_seconds, 6),
+                f"traced_seconds_n{n}": round(traced_seconds, 6),
+                f"telemetry_enabled_overhead_x_n{n}": round(overhead, 3),
+            })
+        return rows, payload
+
+    rows, payload = benchmark.pedantic(measure, iterations=1, rounds=1)
+    emit(
+        "E13 telemetry overhead (verdict-only, full phase capture)",
+        format_table(("n", "untraced ms", "traced ms", "overhead x"), rows),
+    )
+    benchmark.extra_info.update(payload)
+    emit_json("E13_telemetry_overhead", payload)
+    for n, _untraced_ms, _traced_ms, overhead in rows:
+        assert overhead <= TELEMETRY_OVERHEAD_CEILING, (
+            f"tracing-enabled run at n={n} cost {overhead:.2f}x the untraced "
+            f"run (ceiling {TELEMETRY_OVERHEAD_CEILING}x)"
         )

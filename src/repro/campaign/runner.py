@@ -64,6 +64,8 @@ from repro.campaign.scenarios import get_kind
 from repro.campaign.spec import ScenarioOutcome, ScenarioSpec
 from repro.exceptions import ConfigurationError
 from repro.provenance.usage import ResourceUsage
+from repro.telemetry.session import WorkerTelemetry
+from repro.telemetry.spans import SpanRecord, Tracer, activated
 
 __all__ = ["CampaignRunner", "CampaignResult", "ScenarioEvent", "run_scenario"]
 
@@ -88,7 +90,11 @@ class ScenarioEvent:
     :class:`repro.store.CachingRunner` for store hits, which never reach
     a worker.  ``fingerprint`` is the scenario's store digest and
     ``usage`` its :class:`~repro.provenance.usage.ResourceUsage` — both
-    are what the campaign journal persists per scenario.
+    are what the campaign journal persists per scenario.  ``spans`` are
+    the telemetry spans recorded while the scenario ran (empty unless a
+    :class:`~repro.telemetry.session.WorkerTelemetry` sampled it):
+    worker-side span buffers ship back on the event exactly like every
+    other worker-side fact, so pool-wide traces need no extra channel.
     """
 
     label: str
@@ -98,6 +104,7 @@ class ScenarioEvent:
     cached: bool = False
     fingerprint: str = ""
     usage: Optional[ResourceUsage] = None
+    spans: Tuple[SpanRecord, ...] = ()
 
 
 def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
@@ -119,15 +126,22 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
 #: streams one event per finished scenario back to the reporter.
 _WORKER_EVENT_SINK: Optional[ProgressHook] = None
 
+#: Worker-side telemetry slice (campaign id + sampling stride).  ``None``
+#: unless the campaign runs with telemetry; installed alongside the event
+#: sink, because spans travel back on the same events.
+_WORKER_TELEMETRY: Optional[WorkerTelemetry] = None
 
-def _init_worker_events(event_queue) -> None:
+
+def _init_worker_events(event_queue, telemetry: Optional[WorkerTelemetry] = None) -> None:
     """Pool initializer: route this worker's scenario events to the queue."""
-    global _WORKER_EVENT_SINK
+    global _WORKER_EVENT_SINK, _WORKER_TELEMETRY
     _WORKER_EVENT_SINK = event_queue.put
+    _WORKER_TELEMETRY = telemetry
 
 
 def _emit_event(sink: Optional[ProgressHook], spec: ScenarioSpec,
-                outcome: ScenarioOutcome, seconds: float) -> None:
+                outcome: ScenarioOutcome, seconds: float,
+                spans: Tuple[SpanRecord, ...] = ()) -> None:
     if sink is None:
         return
     # Function-level import: repro.store's caching layer imports this
@@ -142,6 +156,7 @@ def _emit_event(sink: Optional[ProgressHook], spec: ScenarioSpec,
             worker_pid=os.getpid(),
             fingerprint=fingerprint_spec(spec),
             usage=ResourceUsage.of_outcome(outcome, seconds=seconds),
+            spans=spans,
         ))
     except Exception:  # noqa: BLE001 - progress must never break a campaign
         pass
@@ -150,23 +165,45 @@ def _emit_event(sink: Optional[ProgressHook], spec: ScenarioSpec,
 def _run_batch(
     specs: Sequence[ScenarioSpec],
     event_sink: Optional[ProgressHook] = None,
+    telemetry: Optional[WorkerTelemetry] = None,
 ) -> Tuple[List[ScenarioOutcome], List[float]]:
     """Worker entry point: run a chunk of specs, timing each scenario.
 
-    ``event_sink`` is passed explicitly by the in-process backends; pool
-    workers leave it ``None`` and fall back to the queue sink installed
-    by :func:`_init_worker_events`.
+    ``event_sink`` and ``telemetry`` are passed explicitly by the
+    in-process backends; pool workers leave them ``None`` and fall back
+    to the queue sink / telemetry slice installed by
+    :func:`_init_worker_events`.
+
+    For each *sampled* scenario a fresh :class:`Tracer` is activated
+    around the execution — the scenario root span nests the executor's
+    ``execute`` span and any ``decision`` spans the scenario kind opens —
+    and the drained records ride back on the scenario's event.
+    Unsampled scenarios run with no ambient tracer at all, the same
+    zero-overhead path as telemetry-off campaigns.
     """
     sink = event_sink if event_sink is not None else _WORKER_EVENT_SINK
+    telem = telemetry if telemetry is not None else _WORKER_TELEMETRY
     outcomes: List[ScenarioOutcome] = []
     timings: List[float] = []
     for spec in specs:
+        spans: Tuple[SpanRecord, ...] = ()
         started = time.perf_counter()
-        outcome = run_scenario(spec)
+        if telem is not None and telem.samples(spec):
+            tracer = Tracer(
+                trace_id=telem.campaign, capture_phases=telem.capture_phases)
+            with activated(tracer):
+                with tracer.span(
+                    "scenario", label=spec.label(), kind=spec.kind,
+                    n=spec.n, f=spec.f, k=spec.k, seed=spec.seed,
+                ):
+                    outcome = run_scenario(spec)
+            spans = tracer.drain()
+        else:
+            outcome = run_scenario(spec)
         seconds = time.perf_counter() - started
         outcomes.append(outcome)
         timings.append(seconds)
-        _emit_event(sink, spec, outcome, seconds)
+        _emit_event(sink, spec, outcome, seconds, spans)
     return outcomes, timings
 
 
@@ -338,6 +375,7 @@ class CampaignRunner:
         on_outcome: Optional[OutcomeHook] = None,
         progress: Optional[ProgressHook] = None,
         should_skip: Optional[SkipHook] = None,
+        telemetry: Optional[WorkerTelemetry] = None,
     ) -> CampaignResult:
         """Compile (if needed) and execute a campaign.
 
@@ -347,6 +385,12 @@ class CampaignRunner:
         the process backend); ``should_skip(spec)`` is consulted once per
         scenario at dispatch time and drops the scenario when ``True``.
         Without hooks the behaviour is exactly the hook-free campaign.
+
+        ``telemetry`` (a :class:`~repro.telemetry.session.WorkerTelemetry`)
+        turns on span tracing for sampled scenarios.  Spans ride back on
+        :class:`ScenarioEvent`\\ s, so tracing requires a ``progress``
+        sink — with ``progress=None`` the spans would have nowhere to go
+        and ``telemetry`` is ignored.
         """
         if isinstance(scenarios, ScenarioGrid):
             specs: Tuple[ScenarioSpec, ...] = scenarios.compile()
@@ -354,20 +398,24 @@ class CampaignRunner:
             specs = tuple(scenarios)
         for spec in specs:
             get_kind(spec.kind)  # fail fast on unknown kinds, before executing
+        if progress is None:
+            telemetry = None
 
         started = time.perf_counter()
         if self.backend == "serial":
             outcomes, timings = self._run_inprocess(
-                [specs], on_outcome, progress, should_skip, per_scenario=True)
+                [specs], on_outcome, progress, should_skip, telemetry,
+                per_scenario=True)
             workers = 1
         elif self.backend == "chunked":
             chunks = _chunk(specs, self._effective_chunk_size(len(specs), 1))
             outcomes, timings = self._run_inprocess(
-                chunks, on_outcome, progress, should_skip, per_scenario=False)
+                chunks, on_outcome, progress, should_skip, telemetry,
+                per_scenario=False)
             workers = 1
         else:
             outcomes, timings, workers = self._run_process(
-                specs, on_outcome, progress, should_skip)
+                specs, on_outcome, progress, should_skip, telemetry)
         elapsed = time.perf_counter() - started
 
         return CampaignResult(
@@ -406,6 +454,7 @@ class CampaignRunner:
         on_outcome: Optional[OutcomeHook],
         progress: Optional[ProgressHook],
         should_skip: Optional[SkipHook],
+        telemetry: Optional[WorkerTelemetry] = None,
         *,
         per_scenario: bool,
     ) -> Tuple[List[ScenarioOutcome], List[float]]:
@@ -423,7 +472,8 @@ class CampaignRunner:
                 for spec in chunk:
                     if should_skip is not None and should_skip(spec):
                         continue
-                    batch_outcomes, batch_timings = _run_batch((spec,), progress)
+                    batch_outcomes, batch_timings = _run_batch(
+                        (spec,), progress, telemetry)
                     self._deliver(batch_outcomes, batch_timings, on_outcome)
                     outcomes.extend(batch_outcomes)
                     timings.extend(batch_timings)
@@ -431,7 +481,8 @@ class CampaignRunner:
                 live = self._filter_chunk(chunk, should_skip)
                 if not live:
                     continue
-                batch_outcomes, batch_timings = _run_batch(live, progress)
+                batch_outcomes, batch_timings = _run_batch(
+                    live, progress, telemetry)
                 self._deliver(batch_outcomes, batch_timings, on_outcome)
                 outcomes.extend(batch_outcomes)
                 timings.extend(batch_timings)
@@ -454,11 +505,13 @@ class CampaignRunner:
         on_outcome: Optional[OutcomeHook],
         progress: Optional[ProgressHook],
         should_skip: Optional[SkipHook],
+        telemetry: Optional[WorkerTelemetry] = None,
     ) -> Tuple[List[ScenarioOutcome], List[float], int]:
         workers = self._effective_workers()
         if not specs or workers == 1:
             outcomes, timings = self._run_inprocess(
-                [specs], on_outcome, progress, should_skip, per_scenario=True)
+                [specs], on_outcome, progress, should_skip, telemetry,
+                per_scenario=True)
             return outcomes, timings, 1
         chunks = _chunk(specs, self._effective_chunk_size(len(specs), workers))
         if "fork" in multiprocessing.get_all_start_methods():
@@ -472,7 +525,7 @@ class CampaignRunner:
             pool = context.Pool(
                 processes=min(workers, len(chunks)),
                 initializer=_init_worker_events if event_queue is not None else None,
-                initargs=(event_queue,) if event_queue is not None else (),
+                initargs=(event_queue, telemetry) if event_queue is not None else (),
             )
         except (OSError, PermissionError):  # pragma: no cover - locked-down hosts
             # Environments that forbid forking still get a correct (if
@@ -481,7 +534,8 @@ class CampaignRunner:
                 event_queue.close()
                 event_queue.join_thread()
             outcomes, timings = self._run_inprocess(
-                [specs], on_outcome, progress, should_skip, per_scenario=True)
+                [specs], on_outcome, progress, should_skip, telemetry,
+                per_scenario=True)
             return outcomes, timings, 1
 
         if event_queue is not None:

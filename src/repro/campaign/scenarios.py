@@ -48,6 +48,7 @@ from repro.simulation.adversary import PartitioningAdversary
 from repro.simulation.executor import ExecutionSettings, execute
 from repro.simulation.recording import RecordingPolicy
 from repro.simulation.scheduler import Adversary, RandomScheduler, RoundRobinScheduler
+from repro.telemetry.spans import span as _span
 
 __all__ = [
     "scenario_kind",
@@ -167,7 +168,9 @@ def execute_theorem8_solvable(spec: ScenarioSpec):
         failure_pattern=pattern,
         settings=build_settings(spec),
     )
-    return run, KSetAgreementProblem(spec.k).evaluate(run, proposals=proposals)
+    with _span("decision", k=spec.k):
+        report = KSetAgreementProblem(spec.k).evaluate(run, proposals=proposals)
+    return run, report
 
 
 def execute_theorem8_impossible(spec: ScenarioSpec):
@@ -203,7 +206,9 @@ def execute_theorem8_impossible(spec: ScenarioSpec):
         failure_pattern=pattern,
         settings=build_settings(spec),
     )
-    return run, KSetAgreementProblem(k).evaluate(run, proposals=proposals)
+    with _span("decision", k=k):
+        report = KSetAgreementProblem(k).evaluate(run, proposals=proposals)
+    return run, report
 
 
 @scenario_kind("theorem8-solvable")
@@ -314,9 +319,9 @@ def _run_corollary13_k1(spec: ScenarioSpec) -> ScenarioOutcome:
         failure_pattern=FailurePattern(model.processes, dict(spec.crashes)),
         settings=build_settings(spec),
     )
-    return ScenarioOutcome.from_report(
-        spec, KSetAgreementProblem(1).evaluate(run, proposals=proposals), run
-    )
+    with _span("decision", k=1):
+        report = KSetAgreementProblem(1).evaluate(run, proposals=proposals)
+    return ScenarioOutcome.from_report(spec, report, run)
 
 
 @scenario_kind("corollary13-kmax")
@@ -333,9 +338,9 @@ def _run_corollary13_kmax(spec: ScenarioSpec) -> ScenarioOutcome:
         failure_pattern=FailurePattern(model.processes, dict(spec.crashes)),
         settings=build_settings(spec),
     )
-    return ScenarioOutcome.from_report(
-        spec, KSetAgreementProblem(n - 1).evaluate(run, proposals=proposals), run
-    )
+    with _span("decision", k=n - 1):
+        report = KSetAgreementProblem(n - 1).evaluate(run, proposals=proposals)
+    return ScenarioOutcome.from_report(spec, report, run)
 
 
 @scenario_kind("corollary13-middle")
@@ -345,7 +350,8 @@ def _run_corollary13_middle(spec: ScenarioSpec) -> ScenarioOutcome:
         n=spec.n, k=spec.k, max_steps=spec.max_steps,
         recording=RecordingPolicy.coerce(spec.recording),
     )
-    run, report = scenario.violation_run(FlawedQuorumKSet(spec.n, spec.k))
+    with _span("decision", k=spec.k):
+        run, report = scenario.violation_run(FlawedQuorumKSet(spec.n, spec.k))
     return ScenarioOutcome.from_report(spec, report, run)
 
 

@@ -30,6 +30,7 @@ from repro.provenance.journal import (
     CampaignLedger,
     JournalReplay,
     read_journal,
+    record_elapsed,
     replay_ledger,
 )
 from repro.provenance.queries import (
@@ -51,6 +52,7 @@ __all__ = [
     "CampaignLedger",
     "JournalReplay",
     "read_journal",
+    "record_elapsed",
     "replay_ledger",
     "OutcomeAggregate",
     "aggregate_outcomes",

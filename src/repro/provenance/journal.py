@@ -47,6 +47,7 @@ __all__ = [
     "CampaignLedger",
     "JournalReplay",
     "read_journal",
+    "record_elapsed",
     "replay_ledger",
 ]
 
@@ -88,6 +89,12 @@ class CampaignJournal:
             _scan(self._path.read_bytes(), self._path, heal=True)
         self._lock = threading.Lock()
         self._file = self._path.open("a", encoding="utf-8")
+        # Monotonic origin for per-record ``elapsed`` stamps.  ``ts`` is
+        # wall-clock (time.time) — human-readable, joinable across hosts,
+        # but steppable by NTP; ``elapsed`` (perf_counter seconds since
+        # this journal handle opened) is what duration arithmetic between
+        # records of one session should use.
+        self._opened_perf = time.perf_counter()
 
     @property
     def path(self) -> Path:
@@ -172,7 +179,12 @@ class CampaignJournal:
     # -- plumbing ----------------------------------------------------------
 
     def _append(self, record: Dict[str, Any]) -> None:
-        record = {"v": JOURNAL_SCHEMA_VERSION, "ts": time.time(), **record}
+        record = {
+            "v": JOURNAL_SCHEMA_VERSION,
+            "ts": time.time(),
+            "elapsed": round(time.perf_counter() - self._opened_perf, 6),
+            **record,
+        }
         line = json.dumps(record, sort_keys=True) + "\n"
         with self._lock:
             # One write + flush per record, under the lock: lines never
@@ -239,6 +251,21 @@ def read_journal(path: Union[str, Path]) -> Tuple[Dict[str, Any], ...]:
     if not path.exists():
         raise ConfigurationError(f"no campaign journal at {path}")
     return tuple(_scan(path.read_bytes(), path, heal=False))
+
+
+def record_elapsed(record: Dict[str, Any]) -> Optional[float]:
+    """The record's monotonic ``elapsed`` stamp, or ``None``.
+
+    Journals written before the ``elapsed`` field existed (or records
+    with a mangled value) simply have no monotonic stamp — readers fall
+    back to the wall-clock ``ts`` for those, accepting its clock-step
+    hazard.  Use this instead of indexing the field so old journals keep
+    replaying.
+    """
+    value = record.get("elapsed")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    return None
 
 
 # -- replay ------------------------------------------------------------------

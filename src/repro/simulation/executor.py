@@ -38,6 +38,13 @@ The per-step hot path is zero-copy:
   failure-detector-history construction entirely.  The recording policy
   never influences the schedule — decisions, completed/truncated flags
   and volume counters are identical across policies.
+* telemetry is opt-in and ambient: the executor resolves
+  :func:`repro.telemetry.spans.current_tracer` once per execution.  With
+  no tracer active (the default) the per-step residue is a ``None``
+  check on a local; with one active, an ``execute`` span plus aggregate
+  per-phase children (scheduling / delivery / transition / recording)
+  are recorded via a :class:`~repro.telemetry.spans.PhaseAccumulator`
+  instead of per-step spans, so the measured loop stays the real loop.
 """
 
 from __future__ import annotations
@@ -59,6 +66,7 @@ from repro.simulation.message import Message, MessageBuffer
 from repro.simulation.recording import RecordingPolicy
 from repro.simulation.run import Run
 from repro.simulation.scheduler import Adversary, LazyAdversaryView, RoundRobinScheduler
+from repro.telemetry.spans import current_tracer
 from repro.types import ProcessId, Time, Value
 
 __all__ = [
@@ -255,6 +263,18 @@ def execute(
     undecided_alive: tuple = ()
     membership_dirty = True  # alive or decided changed since the last view
 
+    # Telemetry: resolved once per execution.  With no ambient tracer
+    # (the default) `phases` stays None and the per-step residue is four
+    # `is not None` checks on a local — no allocation, no call.
+    tracer = current_tracer()
+    exec_span = None
+    phases = None
+    if tracer is not None:
+        exec_span = tracer.start_span(
+            "execute", {"algorithm": algorithm.name, "model": model.name}
+        )
+        phases = tracer.phase_accumulator()
+
     time = 0
     max_steps = settings.max_steps
     while not completed and time < max_steps:
@@ -287,6 +307,8 @@ def execute(
                 f"adversary scheduled p{pid} at time {time}, but it crashes at "
                 f"time {pattern.crash_times.get(pid)}"
             )
+        if phases is not None:
+            phases.lap("scheduling")
 
         fd_output = None
         if detector is not None:
@@ -301,6 +323,8 @@ def execute(
                     f"message #{message.msg_id} addressed to p{message.receiver} "
                     f"was delivered to p{pid}"
                 )
+        if phases is not None:
+            phases.lap("delivery")
 
         old_state = states[pid]
         output = algorithm.step(old_state, delivered, fd_output)
@@ -328,6 +352,8 @@ def execute(
             membership_dirty = True
             if waiting is not None:
                 waiting.discard(pid)
+        if phases is not None:
+            phases.lap("transition")
         if record_events:
             events.append(
                 StepEvent(
@@ -345,8 +371,20 @@ def execute(
                 completed = not waiting
         else:
             completed = stop_condition(states, decided, correct)
+        if phases is not None:
+            phases.lap("recording")
 
     truncated = not completed and time >= max_steps
+    if tracer is not None:
+        tracer.finish_with_phases(
+            exec_span,
+            phases,
+            steps=time,
+            messages_sent=buffer.sent_count,
+            messages_delivered=buffer.delivered_count,
+            completed=completed,
+            truncated=truncated,
+        )
     run = Run(
         algorithm_name=algorithm.name,
         model_name=model.name,

@@ -48,6 +48,7 @@ from repro.store.base import ResultStore
 from repro.store.fingerprint import fingerprint_spec
 from repro.store.policy import EarlyStopPolicy
 from repro.store.progress import ProgressReporter
+from repro.telemetry.session import TelemetrySession
 
 __all__ = ["CacheStats", "CachingRunner"]
 
@@ -105,6 +106,13 @@ class CachingRunner:
         Optional provenance journal: a
         :class:`~repro.provenance.journal.CampaignJournal` (caller keeps
         ownership) or a path (the runner opens and owns one there).
+    telemetry:
+        Optional :class:`~repro.telemetry.session.TelemetrySession`.
+        Each ``run`` begins a campaign on it (same correlation id as the
+        journal's), feeds it the live event stream — metrics parent-side,
+        spans collected from sampled workers — and finishes it, writing
+        any configured trace/metrics exports.  The caller keeps ownership
+        of the session and can inspect or re-export it afterwards.
 
     After each ``run``, :attr:`last_stats` holds the run's
     :class:`CacheStats` and :attr:`last_campaign_id` the journal id of
@@ -120,11 +128,13 @@ class CachingRunner:
         policy: Optional[EarlyStopPolicy] = None,
         progress: Optional[ProgressReporter] = None,
         journal: Optional[Union[str, Path, CampaignJournal]] = None,
+        telemetry: Optional[TelemetrySession] = None,
     ):
         self.store = store
         self.runner = runner if runner is not None else CampaignRunner()
         self.policy = policy
         self.progress = progress
+        self.telemetry = telemetry
         if journal is None or isinstance(journal, CampaignJournal):
             self.journal = journal
             self._owns_journal = False
@@ -159,17 +169,28 @@ class CachingRunner:
                 backend=self.runner.backend,
                 workers=self.runner.workers,
             )
+        if self.telemetry is not None:
+            # The telemetry campaign shares the journal's correlation id,
+            # which is what makes traces joinable against the ledger.
+            self.telemetry.begin(campaign, len(specs))
 
         def emit(event: ScenarioEvent) -> None:
-            # Journal first (provenance is the record), reporter second.
-            # Under the process backend this runs on the parent's drain
-            # thread for executed scenarios.
+            # Journal first (provenance is the record), then telemetry
+            # (metrics + span collection), reporter last.  Under the
+            # process backend this runs on the parent's drain thread for
+            # executed scenarios.
             if self.journal is not None:
                 self.journal.scenario_event(campaign, event)
+            if self.telemetry is not None:
+                self.telemetry.on_event(event)
             if self.progress is not None:
                 self.progress(event)
 
-        inner_progress = emit if (self.journal or self.progress) is not None else None
+        inner_progress = (
+            emit
+            if (self.journal or self.telemetry or self.progress) is not None
+            else None
+        )
 
         if self.progress is not None:
             self.progress.campaign_started(len(specs))
@@ -220,6 +241,11 @@ class CachingRunner:
             on_outcome=persist,
             progress=inner_progress,
             should_skip=self.policy.should_skip if self.policy is not None else None,
+            telemetry=(
+                self.telemetry.worker_telemetry()
+                if self.telemetry is not None
+                else None
+            ),
         )
 
         if inner_progress is not None:
@@ -262,6 +288,8 @@ class CachingRunner:
                 ):
                     self.journal.early_stop(campaign, point, verdict)
             self.journal.campaign_finished(campaign, self.last_stats.as_dict())
+        if self.telemetry is not None:
+            self.telemetry.finish(stats=self.last_stats.as_dict())
         if self.progress is not None:
             self.progress.campaign_finished()
 

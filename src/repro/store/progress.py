@@ -14,16 +14,24 @@ stream with :meth:`campaign_started` / :meth:`campaign_finished` and
 synthesises ``cached=True`` events for store hits, so the reporter's
 totals always add up to the campaign size regardless of how much came
 from cache.
+
+:class:`LogProgressReporter` reports through the structured logging
+facade (:mod:`repro.telemetry.logs`): by default it logs to the shared
+``repro`` logger hierarchy (configuring the stderr handler on first
+use), while the ``stream=`` escape hatch binds a private plain-format
+logger to an explicit stream — same lines, no global logging state,
+which is what tests and CLIs capture.
 """
 
 from __future__ import annotations
 
-import sys
 import threading
 import time
-from typing import Dict, Optional, Set, TextIO
+from collections import deque
+from typing import Deque, Dict, Optional, Set, TextIO, Tuple
 
 from repro.campaign.runner import ScenarioEvent
+from repro.telemetry.logs import configure, get_logger, stream_logger
 
 __all__ = ["ProgressReporter", "CollectingProgressReporter", "LogProgressReporter"]
 
@@ -104,36 +112,90 @@ class CollectingProgressReporter(ProgressReporter):
 
 
 class LogProgressReporter(ProgressReporter):
-    """Prints one line every ``every`` scenarios, plus every failure.
+    """Logs one line every ``every`` scenarios, plus every failure.
 
     The campaign-visibility default for long sweeps::
 
-        [campaign] 120/4096 (2 cached) ok=116 violation=4 error=0 workers=8
+        [campaign] 120/4096 (2 cached) ok=116 violation=4 error=0 workers=8 rate=41.2/s eta=96s
+
+    Lines go through the structured logging facade.  With no ``stream``
+    the reporter logs to ``repro.campaign`` (attaching the facade's
+    stderr handler on first use — call
+    :func:`repro.telemetry.logs.configure` yourself first to choose
+    level or format); passing ``stream=`` keeps the historical
+    plain-lines-to-this-stream behaviour via a private logger.
+
+    ``rate`` and ``eta`` are smoothed over a sliding window of the last
+    ``smoothing`` samples rather than computed since campaign start, so
+    a sweep that begins with a burst of free cache hits converges to the
+    true execution rate instead of advertising the burst forever.
     """
 
-    def __init__(self, *, every: int = 50, stream: Optional[TextIO] = None):
+    def __init__(
+        self,
+        *,
+        every: int = 50,
+        stream: Optional[TextIO] = None,
+        smoothing: int = 32,
+    ):
         super().__init__()
         self._every = max(1, every)
-        self._stream = stream if stream is not None else sys.stderr
+        if stream is not None:
+            self._log = stream_logger(stream)
+        else:
+            configure()
+            self._log = get_logger("campaign")
+        self._samples_lock = threading.Lock()
+        self._samples: Deque[Tuple[float, int]] = deque(maxlen=max(2, smoothing))
+
+    # -- rate/ETA smoothing ------------------------------------------------
+
+    def _observe_sample(self) -> None:
+        with self._samples_lock:
+            self._samples.append((time.perf_counter(), self.completed))
+
+    def _rate_eta(self) -> Tuple[float, Optional[float]]:
+        """Smoothed scenarios/second and seconds remaining (or ``None``)."""
+        with self._samples_lock:
+            if len(self._samples) < 2:
+                return 0.0, None
+            (t0, c0), (t1, c1) = self._samples[0], self._samples[-1]
+        span = t1 - t0
+        if span <= 0.0 or c1 <= c0:
+            return 0.0, None
+        rate = (c1 - c0) / span
+        remaining = self.total - c1
+        if self.total <= 0 or remaining < 0:
+            return rate, None
+        return rate, remaining / rate
+
+    # -- line output -------------------------------------------------------
 
     def _emit_line(self) -> None:
         snap = self.snapshot()
-        print(
-            f"[campaign] {snap['completed']}/{snap['total'] or '?'} "
-            f"({snap['cached']} cached) ok={snap['ok']} "
-            f"violation={snap['violation']} error={snap['error']} "
-            f"workers={snap['workers_seen']}",
-            file=self._stream,
-            flush=True,
+        rate, eta = self._rate_eta()
+        suffix = ""
+        if rate > 0.0:
+            suffix = f" rate={rate:.1f}/s"
+            if eta is not None:
+                suffix += f" eta={eta:.0f}s"
+        self._log.info(
+            "[campaign] %s/%s (%s cached) ok=%s violation=%s error=%s workers=%s%s",
+            snap["completed"], snap["total"] or "?", snap["cached"],
+            snap["ok"], snap["violation"], snap["error"],
+            snap["workers_seen"], suffix,
         )
 
     def campaign_started(self, total: int) -> None:
         super().campaign_started(total)
-        print(f"[campaign] started: {total} scenarios", file=self._stream, flush=True)
+        with self._samples_lock:
+            self._samples.clear()
+        self._log.info("[campaign] started: %s scenarios", total)
 
     def on_event(self, event: ScenarioEvent) -> None:
+        self._observe_sample()
         if event.verdict == "error":
-            print(f"[campaign] ERROR {event.label}", file=self._stream, flush=True)
+            self._log.warning("[campaign] ERROR %s", event.label)
         if self.completed % self._every == 0:
             self._emit_line()
 

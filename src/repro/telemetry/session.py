@@ -1,0 +1,228 @@
+"""One campaign's telemetry, tied together: config, session, worker half.
+
+:class:`TelemetryConfig` is what a caller decides (capture phases?
+sample how aggressively? export where?); :class:`TelemetrySession` is
+the parent-process object that lives through one or more campaign runs,
+owning the :class:`~repro.telemetry.metrics.MetricsRegistry`, the
+collected :class:`~repro.telemetry.spans.SpanRecord`\\ s and the
+exporters; :class:`WorkerTelemetry` is the small frozen picklable slice
+of it that crosses into worker processes — campaign correlation id,
+sampling stride, phase-capture flag — mirroring how
+:class:`~repro.campaign.runner.ScenarioEvent`\\ s already carry
+worker-side facts back.
+
+**Sampling.**  Tracing every scenario of a 100k-scenario sweep would
+produce a trace nobody can open; the session derives a stride from
+``sample_threshold`` (``stride = ceil(total / threshold)``) and a
+scenario is traced iff ``spec.derived_seed() % stride == 0``.  Because
+the derived seed is a pure function of the scenario's identity, the
+*same* scenarios are sampled whatever the backend, chunking or worker
+placement — sampled traces are reproducible, not lucky.
+
+Metrics are fed parent-side from the event stream, so their
+deterministic fields (counts, integer sums, histogram bins over steps
+and message volumes) are bit-identical across recording policies and
+backends; wall-clock metrics are flagged ``timing`` and excluded from
+:meth:`TelemetrySession.deterministic_snapshot`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.telemetry.export import ChromeTraceWriter, append_metrics
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
+    MetricsRegistry,
+)
+from repro.telemetry.spans import SpanRecord, Tracer
+
+__all__ = ["TelemetryConfig", "WorkerTelemetry", "TelemetrySession"]
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """What to capture and where to ship it.
+
+    Attributes
+    ----------
+    capture_phases:
+        Record per-phase executor breakdowns inside sampled scenarios
+        (scheduling / delivery / transition / recording).
+    sample_threshold:
+        Target number of traced scenarios per campaign; campaigns larger
+        than this are sampled down by a deterministic stride.  ``0``
+        disables sampling (trace everything).
+    trace_path:
+        Chrome trace-event file to write on :meth:`TelemetrySession.finish`
+        (``None``: keep spans in memory only).
+    metrics_path:
+        Metrics JSONL dump to append on finish (``None``: in-memory only).
+    """
+
+    capture_phases: bool = True
+    sample_threshold: int = 128
+    trace_path: Optional[Union[str, Path]] = None
+    metrics_path: Optional[Union[str, Path]] = None
+
+
+@dataclass(frozen=True)
+class WorkerTelemetry:
+    """The picklable worker-side slice: who am I tracing for, how much.
+
+    ``samples(spec)`` is the *only* sampling decision in the system —
+    evaluated where the scenario runs, deterministic in the scenario's
+    identity, so serial, chunked and process backends trace the same
+    scenarios.
+    """
+
+    campaign: str
+    stride: int = 1
+    capture_phases: bool = True
+
+    def samples(self, spec) -> bool:
+        if self.stride <= 1:
+            return True
+        return spec.derived_seed() % self.stride == 0
+
+
+class TelemetrySession:
+    """Parent-side telemetry for campaign runs (thread-safe).
+
+    Wire it into a :class:`~repro.store.caching.CachingRunner` via its
+    ``telemetry=`` parameter; standalone use follows the same protocol:
+    ``begin(campaign_id, total)`` → feed events to :meth:`on_event` →
+    ``finish()``.  Events arrive concurrently (the process backend's
+    drain thread plus the caller's thread); all mutation is locked.
+    """
+
+    def __init__(self, config: Optional[TelemetryConfig] = None):
+        self.config = config or TelemetryConfig()
+        self.metrics = MetricsRegistry()
+        self.campaign: Optional[str] = None
+        self._lock = threading.Lock()
+        self._spans: List[SpanRecord] = []
+        self._worker: Optional[WorkerTelemetry] = None
+        self._tracer: Optional[Tracer] = None
+        self._campaign_span = None
+        self._total = 0
+        self._summary: Optional[Dict[str, Any]] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin(self, campaign: str, total: int) -> None:
+        """Start one campaign: fix the correlation id and sampling stride."""
+        threshold = self.config.sample_threshold
+        stride = 1 if threshold <= 0 or total <= threshold else -(-total // threshold)
+        with self._lock:
+            self.campaign = campaign
+            self._total = total
+            self._worker = WorkerTelemetry(
+                campaign=campaign,
+                stride=stride,
+                capture_phases=self.config.capture_phases,
+            )
+            self._tracer = Tracer(trace_id=campaign, capture_phases=False)
+            self._campaign_span = self._tracer.start_span(
+                "campaign", {"total": total, "stride": stride})
+            self._summary = None
+
+    def worker_telemetry(self) -> Optional[WorkerTelemetry]:
+        """The slice to hand to :meth:`CampaignRunner.run(telemetry=...)`."""
+        return self._worker
+
+    # -- the event stream --------------------------------------------------
+
+    def on_event(self, event) -> None:
+        """Ingest one :class:`~repro.campaign.runner.ScenarioEvent`.
+
+        Deterministic fields feed deterministic metrics; wall-clock
+        fields feed ``timing`` metrics; any spans the worker attached
+        are collected for export.
+        """
+        m = self.metrics
+        m.counter("scenarios_completed").inc()
+        if event.cached:
+            m.counter("scenarios_cached").inc()
+        m.counter(f"verdict_{event.verdict}").inc()
+        usage = event.usage
+        if usage is not None:
+            m.counter("steps_total").inc(usage.steps)
+            m.counter("messages_sent_total").inc(usage.messages_sent)
+            m.counter("messages_delivered_total").inc(usage.messages_delivered)
+            m.histogram("scenario_steps").observe(usage.steps)
+            m.histogram("scenario_messages_sent").observe(usage.messages_sent)
+            if usage.steps:
+                m.histogram("messages_per_step").observe(
+                    usage.messages_sent // usage.steps)
+        m.histogram(
+            "scenario_seconds", bounds=DEFAULT_LATENCY_BOUNDS, timing=True,
+        ).observe(event.seconds)
+        with self._lock:
+            depth = self._total - self.metrics.counter("scenarios_completed").value
+        m.gauge("queue_depth", timing=True).set(max(0, depth))
+        spans: Tuple[SpanRecord, ...] = getattr(event, "spans", ())
+        if spans:
+            with self._lock:
+                self._spans.extend(spans)
+
+    # -- inspection --------------------------------------------------------
+
+    def spans(self) -> Tuple[SpanRecord, ...]:
+        with self._lock:
+            return tuple(self._spans)
+
+    def cache_hit_rate(self) -> float:
+        completed = self.metrics.counter("scenarios_completed").value
+        if not completed:
+            return 0.0
+        return self.metrics.counter("scenarios_cached").value / completed
+
+    def deterministic_snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Counts/sums only — bit-identical across policies and backends."""
+        return self.metrics.deterministic_snapshot()
+
+    # -- export ------------------------------------------------------------
+
+    def finish(self, stats: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Close the campaign span and write the configured exporters.
+
+        Returns a summary dict (span/metric counts, export paths).
+        Idempotent per ``begin``: :class:`~repro.store.caching.CachingRunner`
+        finishes the session at the end of each ``run``, so a caller
+        asking for the summary afterwards gets the cached one instead of
+        a duplicate export.
+        """
+        if self._summary is not None:
+            return self._summary
+        if self._tracer is not None and self._campaign_span is not None:
+            if stats:
+                self._campaign_span.attrs.update(
+                    {k: v for k, v in stats.items()
+                     if isinstance(v, (int, float, str, bool))})
+            self._tracer.end_span(self._campaign_span)
+            self._campaign_span = None
+            with self._lock:
+                self._spans.extend(self._tracer.drain())
+
+        summary: Dict[str, Any] = {
+            "campaign": self.campaign,
+            "spans": len(self.spans()),
+            "metrics": len(self.metrics.names()),
+            "cache_hit_rate": round(self.cache_hit_rate(), 4),
+        }
+        if self.config.trace_path is not None:
+            with ChromeTraceWriter(self.config.trace_path) as writer:
+                writer.write_all(self.spans())
+            summary["trace_path"] = str(writer.path)
+        if self.config.metrics_path is not None and self.campaign is not None:
+            path = append_metrics(
+                self.config.metrics_path, self.campaign, self.metrics.snapshot(),
+                extra={"stats": dict(stats) if stats else {}},
+            )
+            summary["metrics_path"] = str(path)
+        self._summary = summary
+        return summary

@@ -1,0 +1,98 @@
+"""The journal's monotonic ``elapsed`` stamp and its tolerant decoder.
+
+Journal records carry two timestamps: wall-clock ``ts`` (``time.time``,
+human-joinable but steppable by NTP) and monotonic ``elapsed``
+(``time.perf_counter`` seconds since the journal handle opened, safe
+for duration arithmetic).  Old journals predate ``elapsed`` entirely;
+:func:`repro.provenance.record_elapsed` is the decoder that keeps them
+replaying.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.provenance import (
+    CampaignJournal,
+    read_journal,
+    record_elapsed,
+    replay_ledger,
+)
+
+
+def _write_journal(path, campaign="cafe00000001", scenarios=3):
+    with CampaignJournal(path) as journal:
+        journal.campaign_started(campaign, scenarios)
+        for i in range(scenarios):
+            journal.scenario(campaign, f"fp{i}", "ran", verdict="ok")
+        journal.campaign_finished(campaign)
+    return path
+
+
+class TestElapsedStamps:
+    def test_every_record_carries_a_monotonic_elapsed(self, tmp_path):
+        path = _write_journal(tmp_path / "journal.jsonl")
+        records = read_journal(path)
+        assert records  # sanity
+        for record in records:
+            elapsed = record_elapsed(record)
+            assert isinstance(elapsed, float)
+            assert elapsed >= 0.0
+
+    def test_elapsed_is_monotone_in_append_order(self, tmp_path):
+        path = _write_journal(tmp_path / "journal.jsonl", scenarios=10)
+        stamps = [record_elapsed(r) for r in read_journal(path)]
+        assert stamps == sorted(stamps)
+
+    def test_elapsed_and_ts_coexist(self, tmp_path):
+        # ``elapsed`` is an addition, not a replacement: wall-clock ``ts``
+        # stays for cross-host joins.
+        path = _write_journal(tmp_path / "journal.jsonl")
+        for record in read_journal(path):
+            assert "ts" in record
+            assert "elapsed" in record
+
+    def test_reopened_journal_restarts_its_elapsed_origin(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _write_journal(path, campaign="cafe00000001")
+        with CampaignJournal(path) as journal:
+            journal.campaign_started("cafe00000002", 0)
+            journal.campaign_finished("cafe00000002")
+        records = read_journal(path)
+        second_session = [r for r in records if r["campaign"] == "cafe00000002"]
+        # The second handle's stamps restart near zero; they are session-
+        # relative, not file-relative.
+        assert record_elapsed(second_session[0]) < record_elapsed(records[3])
+
+
+class TestTolerantDecode:
+    def test_missing_elapsed_decodes_to_none(self):
+        assert record_elapsed({"v": 1, "ts": 123.0, "type": "scenario"}) is None
+
+    def test_malformed_elapsed_decodes_to_none(self):
+        assert record_elapsed({"elapsed": "soon"}) is None
+        assert record_elapsed({"elapsed": None}) is None
+        assert record_elapsed({"elapsed": True}) is None
+
+    def test_numeric_elapsed_decodes_to_float(self):
+        assert record_elapsed({"elapsed": 3}) == 3.0
+        assert record_elapsed({"elapsed": 0.25}) == 0.25
+
+    def test_old_journal_without_elapsed_still_replays(self, tmp_path):
+        # Simulate a journal written before the field existed by
+        # stripping ``elapsed`` from every record on disk.
+        path = _write_journal(tmp_path / "journal.jsonl")
+        stripped = []
+        for record in read_journal(path):
+            record = dict(record)
+            record.pop("elapsed", None)
+            stripped.append(json.dumps(record, sort_keys=True))
+        old = tmp_path / "old.jsonl"
+        old.write_text("\n".join(stripped) + "\n", encoding="utf-8")
+
+        records = read_journal(old)
+        assert all(record_elapsed(r) is None for r in records)
+        replay = replay_ledger(records)
+        ledger = replay.campaigns["cafe00000001"]
+        assert ledger.finished
+        assert ledger.ran == 3

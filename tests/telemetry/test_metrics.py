@@ -1,0 +1,153 @@
+"""Metrics registry semantics: types, bounds, determinism, concurrency."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.metrics import DEFAULT_LATENCY_BOUNDS
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = MetricsRegistry().counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+
+    def test_integer_increments_stay_integers(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc(2)
+        counter.inc(3)
+        assert counter.value == 5
+        assert isinstance(counter.value, int)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.add(-3)
+        assert gauge.value == 7
+
+
+class TestHistogram:
+    def test_bins_partition_by_inclusive_upper_edges(self):
+        hist = MetricsRegistry().histogram("h", bounds=(10, 100))
+        for value in (1, 10, 11, 100, 101, 5000):
+            hist.observe(value)
+        # bucket 0: <= 10 -> {1, 10}; bucket 1: <= 100 -> {11, 100};
+        # overflow: {101, 5000}
+        assert hist.bins == [2, 2, 2]
+        assert hist.count == 6
+        assert hist.sum == 1 + 10 + 11 + 100 + 101 + 5000
+        assert hist.min == 1
+        assert hist.max == 5000
+
+    def test_rejects_unsorted_or_empty_bounds(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.histogram("bad", bounds=(5, 1))
+        with pytest.raises(ConfigurationError):
+            registry.histogram("empty", bounds=())
+
+    def test_snapshot_shape(self):
+        hist = MetricsRegistry().histogram("h", bounds=(1, 2))
+        hist.observe(1)
+        snap = hist.snapshot()
+        assert snap["type"] == "histogram"
+        assert snap["bounds"] == [1, 2]
+        assert snap["bins"] == [1, 0, 0]
+        assert snap["count"] == 1
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_type_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("name")
+        with pytest.raises(ConfigurationError):
+            registry.histogram("name")
+
+    def test_names_are_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zebra")
+        registry.counter("alpha")
+        assert registry.names() == ("alpha", "zebra")
+
+    def test_full_snapshot_includes_timing_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("det").inc()
+        registry.histogram(
+            "lat", bounds=DEFAULT_LATENCY_BOUNDS, timing=True).observe(0.02)
+        snap = registry.snapshot()
+        assert set(snap) == {"det", "lat"}
+        assert snap["lat"]["timing"] is True
+
+    def test_deterministic_snapshot_excludes_timing_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("det").inc()
+        registry.gauge("depth", timing=True).set(7)
+        registry.histogram(
+            "lat", bounds=DEFAULT_LATENCY_BOUNDS, timing=True).observe(0.02)
+        assert set(registry.deterministic_snapshot()) == {"det"}
+
+    def test_deterministic_snapshots_are_order_independent(self):
+        # The property the campaign plumbing relies on: the same event
+        # multiset in any delivery order yields equal snapshots.
+        observations = [(3, 17), (1, 5), (2, 200), (4, 40)]
+        snapshots = []
+        for ordering in (observations, list(reversed(observations))):
+            registry = MetricsRegistry()
+            for steps, messages in ordering:
+                registry.counter("steps_total").inc(steps)
+                registry.histogram("messages").observe(messages)
+            snapshots.append(registry.deterministic_snapshot())
+        assert snapshots[0] == snapshots[1]
+
+    def test_concurrent_updates_are_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        hist = registry.histogram("h", bounds=(10, 100))
+        barrier = threading.Barrier(8)
+
+        def worker() -> None:
+            barrier.wait()
+            for i in range(500):
+                counter.inc()
+                hist.observe(i % 150)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8 * 500
+        assert hist.count == 8 * 500
+        assert sum(hist.bins) == 8 * 500
+
+
+class TestExports:
+    def test_metric_classes_are_exported(self):
+        # The registry hands these out; the package exports them for
+        # isinstance checks and typing.
+        registry = MetricsRegistry()
+        assert isinstance(registry.counter("c"), Counter)
+        assert isinstance(registry.gauge("g"), Gauge)
+        assert isinstance(registry.histogram("h"), Histogram)
