@@ -17,6 +17,16 @@ bit-identical run.  The headline numbers land in
 CI — a >25% regression of the speedup or of the volume counters fails the
 workflow.
 
+``test_batch_kernel_speedup`` (E14) measures the next tier up: the
+struct-of-arrays wave kernel of :mod:`repro.simulation.batch_kernel`
+against the scalar executor it treats as its oracle.  A VERDICT_ONLY
+wave of same-``(n, f)`` scenarios must run at least 3x faster than the
+same scenarios through the scalar campaign path at every ``n >= 32``,
+while producing bit-identical outcomes (asserted inline — the benchmark
+doubles as an equivalence check at sizes the pinned-grid test does not
+reach).  Headlines land in ``BENCH_E14_batch_kernel.json``, gated by
+``compare_bench.py`` exactly like E13.
+
 ``test_telemetry_overhead`` guards both sides of the telemetry layer's
 hot-path promise.  *Telemetry off* costs one ``current_tracer()`` call
 per execution and a ``None`` check per step — any creep there erodes
@@ -150,6 +160,77 @@ def test_recording_policy_speedup(benchmark):
         assert speedup >= SPEEDUP_FLOOR, (
             f"expected >= {SPEEDUP_FLOOR}x over the seed hot path at n={n}, "
             f"measured {speedup:.2f}x"
+        )
+
+
+#: Scenarios per benchmark wave: enough to amortise wave setup, small
+#: enough that the scalar reference stays a few hundred milliseconds.
+BATCH_WAVE_SEEDS = 8
+#: The acceptance floor: batched kernel vs the scalar campaign path.
+BATCH_SPEEDUP_FLOOR = 3.0
+
+
+def batch_wave_specs(n: int):
+    """One VERDICT_ONLY wave: both schedulers x BATCH_WAVE_SEEDS seeds."""
+    from repro.campaign.spec import ScenarioSpec
+
+    f = n // 2
+    k = n // (n - f)
+    return [
+        ScenarioSpec(
+            kind="theorem8-solvable", n=n, f=f, k=k, scheduler=scheduler,
+            seed=seed, max_steps=20_000, recording="verdict-only",
+        )
+        for seed in range(1, BATCH_WAVE_SEEDS + 1)
+        for scheduler in ("round-robin", "random")
+    ]
+
+
+def test_batch_kernel_speedup(benchmark):
+    """Batched SoA wave kernel vs the scalar path: >= 3x at n >= 32."""
+    from repro.campaign.runner import run_scenario
+    from repro.simulation.batch_kernel import execute_wave
+
+    def measure():
+        rows = []
+        payload = {}
+        for n in SPEEDUP_SIZES:
+            specs = batch_wave_specs(n)
+            scalar_seconds, scalar_outcomes = _best_of(
+                lambda s=specs: [run_scenario(spec) for spec in s])
+            batch_seconds, batch_outcomes = _best_of(
+                lambda s=specs: execute_wave(s))
+            # The scalar executor is the oracle: bit-identical outcomes,
+            # not merely equal verdicts.
+            assert batch_outcomes == scalar_outcomes
+            assert all(outcome.verdict == "ok" for outcome in batch_outcomes)
+            speedup = scalar_seconds / batch_seconds if batch_seconds else 0.0
+            rows.append((n, len(specs), round(scalar_seconds * 1e3, 2),
+                         round(batch_seconds * 1e3, 2), round(speedup, 2)))
+            payload.update({
+                f"wave_size_n{n}": len(specs),
+                f"wave_steps_total_n{n}": sum(o.steps for o in batch_outcomes),
+                f"wave_messages_sent_total_n{n}": sum(
+                    o.messages_sent for o in batch_outcomes),
+                f"scalar_seconds_n{n}": round(scalar_seconds, 6),
+                f"batch_seconds_n{n}": round(batch_seconds, 6),
+                f"batch_speedup_n{n}": round(speedup, 3),
+            })
+        return rows, payload
+
+    rows, payload = benchmark.pedantic(measure, iterations=1, rounds=1)
+    emit(
+        "E14 batched verdict kernel vs scalar path (VERDICT_ONLY waves)",
+        format_table(
+            ("n", "wave size", "scalar ms", "batched ms", "speedup"), rows
+        ),
+    )
+    benchmark.extra_info.update(payload)
+    emit_json("E14_batch_kernel", payload)
+    for n, _size, _scalar_ms, _batch_ms, speedup in rows:
+        assert speedup >= BATCH_SPEEDUP_FLOOR, (
+            f"expected >= {BATCH_SPEEDUP_FLOOR}x over the scalar path at "
+            f"n={n}, measured {speedup:.2f}x"
         )
 
 

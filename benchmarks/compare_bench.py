@@ -18,7 +18,11 @@ must be within the regression threshold (default 25%):
   **lower-is-better** — the run fails when the current value grows more
   than the threshold above baseline.  The executor is deterministic, so
   these normally match exactly; the tolerance only absorbs deliberate
-  workload changes small enough not to matter.
+  workload changes small enough not to matter;
+* a gated (non-``_seconds``) numeric metric present in the **current**
+  artifact but absent from the baseline also fails the run: a benchmark
+  that grows a new metric must commit its baseline in the same change,
+  so new kernel metrics can never silently go ungated.
 
 Exit status 0 when everything holds, 1 on any regression or missing
 artifact — wired as a failing step into the GitHub Actions workflow.
@@ -86,6 +90,17 @@ def compare_payloads(
                 f"beyond {threshold:.0%} of baseline "
                 f"(baseline {base_value!r}, current {now!r})"
             )
+    for key in sorted(current):
+        if key in baseline or not is_number(current[key]):
+            continue
+        if classify(key) == "skip":
+            continue
+        lines.append(f"  {key:<32} baseline=<absent>    "
+                     f"current={current[key]:<12g} UNGATED")
+        regressions.append(
+            f"{name}: metric {key!r} present in current artifact but missing "
+            f"from the baseline; commit it to benchmarks/baselines/{name}"
+        )
     return lines, regressions
 
 

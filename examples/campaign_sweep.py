@@ -53,7 +53,26 @@ def main() -> None:
     print(f"\nserial == process backend: {identical}")
     assert identical, "campaign backends must produce identical results"
 
-    # 3. The analysis layer turns the campaign into the reproduced figure.
+    # 3. The batched verdict kernel: VERDICT_ONLY specs run as SoA waves,
+    #    everything else (here: the impossible side's partitioning
+    #    constructions) falls back to the scalar path — and the whole
+    #    batched campaign is bit-identical to the scalar one.
+    import time
+
+    trimmed = theorem8_specs(
+        n_values, seeds=seeds, max_steps=max_steps, recording="verdict-only")
+    started = time.perf_counter()
+    scalar = CampaignRunner(backend="serial").run(trimmed)
+    scalar_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    batched = CampaignRunner(backend="serial", batch=True).run(trimmed)
+    batch_seconds = time.perf_counter() - started
+    print(f"\nbatched == scalar campaign: {batched == scalar} "
+          f"(scalar {scalar_seconds * 1e3:.0f} ms, "
+          f"batched {batch_seconds * 1e3:.0f} ms)")
+    assert batched == scalar, "the scalar executor is the oracle"
+
+    # 4. The analysis layer turns the campaign into the reproduced figure.
     points = sweep_theorem8(n_values, seeds=seeds, max_steps=max_steps)
     print("\n=== Theorem 8 border sweep (solvable iff k*n > (k+1)*f) ===")
     print(format_sweep(points, include_details=True))

@@ -207,6 +207,44 @@ def _run_batch(
     return outcomes, timings
 
 
+def _run_wave(
+    specs: Sequence[ScenarioSpec],
+    event_sink: Optional[ProgressHook] = None,
+    telemetry: Optional[WorkerTelemetry] = None,
+) -> Tuple[List[ScenarioOutcome], List[float]]:
+    """Worker entry point for one batched wave (the sibling of
+    :func:`_run_batch`).
+
+    The whole wave runs in one call to
+    :func:`repro.simulation.batch_kernel.execute_wave`, so per-scenario
+    wall-clock cannot be observed individually: every scenario is billed
+    the wave mean.  When telemetry samples at least one wave member, the
+    kernel's ``kernel:wave`` span (wave key, size, fallback count) is
+    recorded and rides back on the first sampled scenario's event.
+    """
+    # Function-level import: the kernel's scalar fallback imports
+    # run_scenario from this module, so the top level would be circular.
+    from repro.simulation.batch_kernel import execute_wave
+
+    sink = event_sink if event_sink is not None else _WORKER_EVENT_SINK
+    telem = telemetry if telemetry is not None else _WORKER_TELEMETRY
+    sampled = [telem is not None and telem.samples(spec) for spec in specs]
+    tracer: Optional[Tracer] = None
+    if any(sampled):
+        tracer = Tracer(
+            trace_id=telem.campaign, capture_phases=telem.capture_phases)
+    started = time.perf_counter()
+    outcomes = execute_wave(specs, tracer=tracer)
+    seconds = (time.perf_counter() - started) / len(specs) if specs else 0.0
+    spans = tracer.drain() if tracer is not None else ()
+    first_sampled = sampled.index(True) if tracer is not None else -1
+    timings = [seconds] * len(specs)
+    for position, (spec, outcome) in enumerate(zip(specs, outcomes)):
+        _emit_event(sink, spec, outcome, seconds,
+                    spans if position == first_sampled else ())
+    return list(outcomes), timings
+
+
 def _chunk(specs: Sequence[ScenarioSpec], size: int) -> List[Tuple[ScenarioSpec, ...]]:
     return [tuple(specs[i:i + size]) for i in range(0, len(specs), size)]
 
@@ -350,11 +388,24 @@ class CampaignRunner:
     chunk_size:
         Scenarios per chunk for the chunked/process backends (default:
         an even split into roughly ``4 * workers`` chunks).
+    batch:
+        When ``True``, specs the batched kernel can execute
+        (:func:`repro.simulation.batch_kernel.is_batchable`) are grouped
+        into same-``(kind, n, f)`` waves and run through
+        :func:`_run_wave`; everything else — FULL/DECISIONS_ONLY
+        recording, kinds without a batched step function, unknown
+        schedulers — takes the scalar path unchanged.  Outcomes are
+        reassembled in spec order, so a batched campaign compares equal
+        to the same campaign without batching on every backend.
+        ``should_skip`` is consulted once per scenario *before* waves
+        form (this is where :class:`repro.store.CachingRunner` skims
+        cached fingerprints off), not re-evaluated at submission time.
     """
 
     backend: str = "serial"
     workers: Optional[int] = None
     chunk_size: Optional[int] = None
+    batch: bool = False
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -400,9 +451,17 @@ class CampaignRunner:
             get_kind(spec.kind)  # fail fast on unknown kinds, before executing
         if progress is None:
             telemetry = None
+        if telemetry is not None and specs:
+            # A stride filter over few specs can sample nothing at all;
+            # force at least one traced scenario so the campaign's trace
+            # (and the report CLI reading it) is never silently empty.
+            telemetry = telemetry.ensure_samples(specs)
 
         started = time.perf_counter()
-        if self.backend == "serial":
+        if self.batch:
+            outcomes, timings, workers = self._run_batched(
+                specs, on_outcome, progress, should_skip, telemetry)
+        elif self.backend == "serial":
             outcomes, timings = self._run_inprocess(
                 [specs], on_outcome, progress, should_skip, telemetry,
                 per_scenario=True)
@@ -498,6 +557,164 @@ class CampaignRunner:
             return
         for outcome, seconds in zip(outcomes, timings):
             on_outcome(outcome, seconds)
+
+    def _run_batched(
+        self,
+        specs: Sequence[ScenarioSpec],
+        on_outcome: Optional[OutcomeHook],
+        progress: Optional[ProgressHook],
+        should_skip: Optional[SkipHook],
+        telemetry: Optional[WorkerTelemetry] = None,
+    ) -> Tuple[List[ScenarioOutcome], List[float], int]:
+        """Partition specs into kernel waves plus a scalar remainder.
+
+        Skips are applied first, so cached fingerprints never inflate a
+        wave.  Waves keep their first-occurrence order; the scalar
+        leftovers follow in spec order.  For the parallel backends both
+        waves and scalar leftovers are split at the usual chunk size so
+        a single large wave cannot serialise the pool.  Results are
+        reassembled by original spec position.
+        """
+        # Function-level import: the kernel's scalar fallback imports
+        # run_scenario from this module.
+        from repro.simulation.batch_kernel import partition_waves
+
+        live = [
+            (index, spec) for index, spec in enumerate(specs)
+            if should_skip is None or not should_skip(spec)
+        ]
+        live_specs = [spec for _, spec in live]
+        waves, scalar = partition_waves(live_specs)
+
+        workers = self._effective_workers() if self.backend == "process" else 1
+        if self.backend == "serial":
+            piece_size = len(live_specs) or 1  # whole waves: max amortisation
+        else:
+            piece_size = self._effective_chunk_size(len(live_specs), workers)
+
+        tasks: List[Tuple[Callable, Tuple[ScenarioSpec, ...], Tuple[int, ...]]] = []
+        for positions in waves:
+            for start in range(0, len(positions), piece_size):
+                piece = positions[start:start + piece_size]
+                tasks.append((
+                    _run_wave,
+                    tuple(live_specs[p] for p in piece),
+                    tuple(live[p][0] for p in piece),
+                ))
+        for start in range(0, len(scalar), piece_size):
+            piece = scalar[start:start + piece_size]
+            tasks.append((
+                _run_batch,
+                tuple(live_specs[p] for p in piece),
+                tuple(live[p][0] for p in piece),
+            ))
+
+        results: Dict[int, Tuple[ScenarioOutcome, float]] = {}
+
+        def record(indices: Sequence[int],
+                   outcomes: Sequence[ScenarioOutcome],
+                   timings: Sequence[float]) -> None:
+            for index, outcome, seconds in zip(indices, outcomes, timings):
+                results[index] = (outcome, seconds)
+            self._deliver(outcomes, timings, on_outcome)
+
+        if self.backend == "process":
+            workers = self._run_tasks_process(tasks, progress, telemetry, record)
+        else:
+            for fn, task_specs, indices in tasks:
+                task_outcomes, task_timings = fn(task_specs, progress, telemetry)
+                record(indices, task_outcomes, task_timings)
+            workers = 1
+        ordered = sorted(results)
+        return ([results[i][0] for i in ordered],
+                [results[i][1] for i in ordered], workers)
+
+    def _run_tasks_process(
+        self,
+        tasks: Sequence[Tuple[Callable, Tuple[ScenarioSpec, ...], Tuple[int, ...]]],
+        progress: Optional[ProgressHook],
+        telemetry: Optional[WorkerTelemetry],
+        record: Callable[[Sequence[int], Sequence[ScenarioOutcome], Sequence[float]], None],
+    ) -> int:
+        """Run pre-partitioned batch tasks on a pool (or inline).
+
+        The pool plumbing mirrors :meth:`_run_process` — fork context,
+        worker-side event queue, serial fallback on locked-down hosts —
+        but dispatches heterogeneous ``(fn, specs)`` tasks (kernel waves
+        and scalar chunks) instead of uniform chunks.
+        """
+        workers = self._effective_workers()
+        if not tasks or workers == 1:
+            for fn, task_specs, indices in tasks:
+                outcomes, timings = fn(task_specs, progress, telemetry)
+                record(indices, outcomes, timings)
+            return 1
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+
+        event_queue = context.Queue() if progress is not None else None
+        drain: Optional[threading.Thread] = None
+        try:
+            pool = context.Pool(
+                processes=min(workers, len(tasks)),
+                initializer=_init_worker_events if event_queue is not None else None,
+                initargs=(event_queue, telemetry) if event_queue is not None else (),
+            )
+        except (OSError, PermissionError):  # pragma: no cover - locked-down hosts
+            if event_queue is not None:
+                event_queue.close()
+                event_queue.join_thread()
+            for fn, task_specs, indices in tasks:
+                outcomes, timings = fn(task_specs, progress, telemetry)
+                record(indices, outcomes, timings)
+            return 1
+
+        if event_queue is not None:
+            drain = threading.Thread(
+                target=_drain_events, args=(event_queue, progress), daemon=True)
+            drain.start()
+
+        try:
+            done: "queue_module.SimpleQueue" = queue_module.SimpleQueue()
+            pending = iter(enumerate(tasks))
+            outstanding = 0
+            max_outstanding = max(2, workers * 2)
+
+            def submit_one() -> bool:
+                nonlocal outstanding
+                for task_no, (fn, task_specs, _indices) in pending:
+                    pool.apply_async(
+                        fn, (task_specs,),
+                        callback=lambda result, t=task_no: done.put((t, result, None)),
+                        error_callback=lambda exc, t=task_no: done.put((t, None, exc)),
+                    )
+                    outstanding += 1
+                    return True
+                return False
+
+            while outstanding < max_outstanding and submit_one():
+                pass
+            while outstanding:
+                task_no, result, exc = done.get()
+                outstanding -= 1
+                if exc is not None:
+                    raise exc
+                outcomes, timings = result
+                record(tasks[task_no][2], list(outcomes), list(timings))
+                while outstanding < max_outstanding and submit_one():
+                    pass
+            pool.close()
+            pool.join()
+        finally:
+            pool.terminate()
+            if event_queue is not None:
+                event_queue.put(None)
+                if drain is not None:
+                    drain.join(timeout=10)
+                event_queue.close()
+        return workers
 
     def _run_process(
         self,

@@ -1,0 +1,471 @@
+"""The batched verdict kernel: whole waves of scenarios per interpreter loop.
+
+ROADMAP open item 3, cashed in.  The zero-copy scalar executor
+(:func:`repro.simulation.executor.execute`) pays full Python interpreter
+overhead per step — a :class:`LazyAdversaryView`, a
+:class:`StepDirective`, a frozen dataclass state replace and a handful of
+frozenset copies per scheduled process.  For ``VERDICT_ONLY`` campaign
+sweeps nothing of that per-step structure survives into the result: the
+outcome consumes only the final decision map, the completed/truncated
+flags and the volume counters.  This module executes a whole *wave* of
+same-``(kind, n, f)`` scenarios against the struct-of-arrays state of
+:mod:`repro.simulation.soa` instead — per-process knowledge as int
+bitmasks, pending messages as plain ``(sent_at, is_report, sender)``
+triples, one decision attempt as a bitmask closure walk.
+
+**The scalar executor is the oracle.**  The kernel re-implements the
+executor loop, the two schedulers and the two-stage protocol *exactly*:
+
+* per-scenario RNG streams are seeded from
+  :meth:`~repro.campaign.spec.ScenarioSpec.derived_seed` and consumed in
+  the same order as :class:`~repro.simulation.scheduler.RandomScheduler`
+  (one ``choice`` per step, then one ``random()`` per pending message
+  that is not overdue — short-circuited exactly like the scalar code),
+  so batching order cannot change outcomes;
+* stage-2 reports are write-once, so the decision value at closure
+  completion is computed by the *same*
+  :func:`repro.graphs.knowledge_graph.decide_from_reports` the scalar
+  protocol calls — the kernel only replaces the per-step "closure still
+  incomplete" answers with a bitmask walk;
+* the finished scenario is materialised as a genuine verdict-only
+  :class:`~repro.simulation.run.Run` and evaluated by the same
+  :class:`~repro.core.ksetagreement.KSetAgreementProblem` machinery, so
+  outcomes are bit-identical by construction, not by coincidence.
+
+Anything the kernel cannot replay faithfully falls back to the scalar
+path per scenario: non-``VERDICT_ONLY`` recording, kinds without a
+batched step function (the partitioning/isolation constructions, the
+failure-detector protocols), unknown schedulers, and any scenario whose
+wave setup raises (the scalar rerun then reproduces the identical error
+outcome).  :func:`is_batchable` is the single predicate the campaign
+layer consults.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms.kset_initial_crash import KSetInitialCrash
+from repro.campaign.spec import ScenarioOutcome, ScenarioSpec
+from repro.core.ksetagreement import KSetAgreementProblem
+from repro.exceptions import ConfigurationError
+from repro.failure_detectors.base import FailurePattern, RecordedHistory
+from repro.graphs.knowledge_graph import decide_from_reports
+from repro.models.initial_crash import initial_crash_model
+from repro.simulation.executor import _validate_pattern
+from repro.simulation.recording import RecordingPolicy
+from repro.simulation.run import Run
+from repro.simulation.soa import WaveState, bits_to_pids, iter_bits
+
+__all__ = [
+    "BATCHABLE_SCHEDULERS",
+    "batchable_kinds",
+    "is_batchable",
+    "wave_key",
+    "partition_waves",
+    "wave_runs",
+    "execute_wave",
+]
+
+#: Schedulers the kernel replays with the exact scalar RNG stream.
+BATCHABLE_SCHEDULERS = frozenset({"round-robin", "random"})
+
+#: Kinds with a batched step function.  The two-stage Section VI protocol
+#: is the only one so far; FD-querying kinds and the partitioning
+#: constructions take the scalar path.
+_BATCHABLE_KINDS = frozenset({"theorem8-solvable"})
+
+
+def batchable_kinds() -> Tuple[str, ...]:
+    """The scenario kinds the kernel can execute, sorted."""
+    return tuple(sorted(_BATCHABLE_KINDS))
+
+
+def is_batchable(spec: ScenarioSpec) -> bool:
+    """``True`` when ``spec`` can run on the batched kernel.
+
+    Everything else — FULL/DECISIONS_ONLY recording, kinds without a
+    batched step function, schedulers the kernel cannot replay — takes
+    the scalar path, which remains the oracle either way.
+    """
+    return (
+        spec.kind in _BATCHABLE_KINDS
+        and spec.recording == RecordingPolicy.VERDICT_ONLY.value
+        and spec.scheduler in BATCHABLE_SCHEDULERS
+    )
+
+
+def wave_key(spec: ScenarioSpec) -> Tuple[str, int, int]:
+    """The grouping key: same kind, system size and failure bound."""
+    return (spec.kind, spec.n, spec.f)
+
+
+def partition_waves(
+    specs: Sequence[ScenarioSpec],
+) -> Tuple[List[List[int]], List[int]]:
+    """Group spec positions into waves, splitting off the scalar rest.
+
+    Returns ``(waves, scalar)`` where each wave is a list of positions
+    into ``specs`` sharing one :func:`wave_key` (in first-occurrence
+    order, positions ascending) and ``scalar`` lists the positions of
+    non-batchable specs in input order.  Every position appears exactly
+    once, so callers can reassemble outcomes in input order.
+    """
+    waves: Dict[Tuple[str, int, int], List[int]] = {}
+    order: List[Tuple[str, int, int]] = []
+    scalar: List[int] = []
+    for position, spec in enumerate(specs):
+        if not is_batchable(spec):
+            scalar.append(position)
+            continue
+        key = wave_key(spec)
+        if key not in waves:
+            waves[key] = []
+            order.append(key)
+        waves[key].append(position)
+    return [waves[key] for key in order], scalar
+
+
+# -- wave setup --------------------------------------------------------------
+
+
+def _setup_slot(ws: WaveState, slot: int, spec: ScenarioSpec, model) -> FailurePattern:
+    """Fill one scenario slot, running the scalar path's validations.
+
+    Raises exactly where the scalar construction would (inadmissible
+    crash schedules, bad scheduler parameters); the caller turns any
+    raise into a per-scenario scalar fallback, which reproduces the
+    identical error outcome.
+    """
+    pattern = FailurePattern(model.processes, dict(spec.crashes))
+    _validate_pattern(pattern, model)
+    if spec.scheduler == "random":
+        bias = float(spec.param("delivery_bias", 0.5))
+        delay = int(spec.param("max_delay", 20))
+        if not 0.0 <= bias <= 1.0:
+            raise ConfigurationError("delivery_bias must be within [0, 1]")
+        if delay < 0:
+            raise ConfigurationError("max_delay must be >= 0")
+        ws.rng[slot] = random.Random(spec.derived_seed())
+        ws.delivery_bias[slot] = bias
+        ws.max_delay[slot] = delay
+    elif spec.scheduler != "round-robin":
+        raise ConfigurationError(
+            f"batched kernel cannot replay scheduler {spec.scheduler!r}"
+        )
+    ws.max_steps[slot] = spec.max_steps
+    ws.crash_schedule[slot] = tuple(
+        sorted((t, pid) for pid, t in pattern.crash_times.items())
+    )
+    correct_mask = 0
+    for pid in pattern.correct:
+        correct_mask |= 1 << (pid - 1)
+    ws.correct[slot] = correct_mask
+    return pattern
+
+
+# -- the tight loop ----------------------------------------------------------
+
+
+def _run_slot(ws: WaveState, slot: int) -> None:
+    """Run one scenario of the wave to completion over its SoA rows.
+
+    A line-for-line replay of the scalar executor loop specialised to
+    the two-stage protocol: crash application, membership refresh,
+    scheduler pick, delivery, absorption, stage transitions, decision.
+    """
+    n = ws.n
+    threshold_m1 = ws.threshold - 1
+    heard = ws.heard[slot]
+    known = ws.known[slot]
+    preds = ws.report_preds[slot]
+    values = ws.report_value[slot]
+    queues = ws.queues[slot]
+    decision_value = ws.decision_value[slot]
+    crash_schedule = ws.crash_schedule[slot]
+    crash_count = len(crash_schedule)
+    crash_index = 0
+    alive = ws.alive[slot]
+    decided = 0
+    correct = ws.correct[slot]
+    sent_s1 = 0
+    stage2 = 0
+    sent = 0
+    delivered_count = 0
+    rng = ws.rng[slot]
+    rng_random = rng.random if rng is not None else None
+    rng_choice = rng.choice if rng is not None else None
+    rr_last: Optional[int] = None
+    bias = ws.delivery_bias[slot]
+    max_delay = ws.max_delay[slot]
+    max_steps = ws.max_steps[slot]
+    candidates: Tuple[int, ...] = ()
+    dirty = True
+    time = 0
+    completed = (correct & ~decided) == 0
+    # Reports are write-once and shared by the whole scenario, so the
+    # decision reached from a given complete closure mask is the same for
+    # every owner inside it: decide_from_reports takes the minimum over
+    # the source components of the closure's induced graph, which does
+    # not depend on the owner.  Memoising per closure mask turns the
+    # n-fold repeated graph analysis into one call per distinct closure.
+    decision_cache: Dict[int, Optional[int]] = {}
+
+    while not completed and time < max_steps:
+        time += 1
+        if crash_index < crash_count and crash_schedule[crash_index][0] <= time:
+            while crash_index < crash_count and crash_schedule[crash_index][0] <= time:
+                alive &= ~(1 << (crash_schedule[crash_index][1] - 1))
+                crash_index += 1
+            dirty = True
+        if dirty:
+            candidates = bits_to_pids(alive & ~decided)
+            dirty = False
+        if not candidates:
+            # the scalar adversary-halt rewind: the aborted step never ran
+            time -= 1
+            break
+
+        # -- scheduling (exact scalar RNG order) --------------------------
+        if rng is None:
+            pid = candidates[0]
+            if rr_last is not None:
+                for candidate in candidates:
+                    if candidate > rr_last:
+                        pid = candidate
+                        break
+            rr_last = pid
+            i = pid - 1
+            delivered = queues[i]
+            if delivered:
+                queues[i] = []
+        else:
+            pid = rng_choice(candidates)
+            i = pid - 1
+            queue = queues[i]
+            if queue:
+                delivered = []
+                kept = []
+                for entry in queue:
+                    # overdue messages never consume the RNG (short-circuit)
+                    if (time - entry[0]) >= max_delay or rng_random() < bias:
+                        delivered.append(entry)
+                    else:
+                        kept.append(entry)
+                queues[i] = kept
+            else:
+                delivered = ()
+
+        # -- absorption ---------------------------------------------------
+        heard_i = heard[i]
+        known_i = known[i]
+        for entry in delivered:
+            if entry[1]:
+                known_i |= 1 << (entry[2] - 1)
+            else:
+                heard_i |= 1 << (entry[2] - 1)
+        delivered_count += len(delivered)
+        new_reports = known_i != known[i]
+        heard[i] = heard_i
+
+        # -- stage-1 broadcast --------------------------------------------
+        if not (sent_s1 >> i) & 1:
+            sent_s1 |= 1 << i
+            entry = (time, False, pid)
+            for j in range(n):
+                if j != i:
+                    queues[j].append(entry)
+            sent += n - 1
+
+        # -- stage-2 entry (threshold reached) ----------------------------
+        if not (stage2 >> i) & 1 and heard_i.bit_count() >= threshold_m1:
+            stage2 |= 1 << i
+            preds[i] = heard_i  # the frozen predecessor set
+            values[i] = pid  # theorem8 proposals are {p: p}
+            known_i |= 1 << i
+            entry = (time, True, pid)
+            for j in range(n):
+                if j != i:
+                    queues[j].append(entry)
+            sent += n - 1
+            new_reports = True
+        known[i] = known_i
+
+        # -- decision attempt ---------------------------------------------
+        if new_reports and (stage2 >> i) & 1 and (known_i >> i) & 1:
+            required = 0
+            frontier = 1 << i
+            complete = True
+            while frontier:
+                bit = frontier & -frontier
+                frontier ^= bit
+                j = bit.bit_length() - 1
+                if not (known_i >> j) & 1:
+                    complete = False
+                    break
+                required |= bit
+                frontier |= preds[j] & ~required & ~frontier
+            if complete:
+                if required in decision_cache:
+                    decision = decision_cache[required]
+                else:
+                    heard_from = {}
+                    report_values = {}
+                    for j in iter_bits(required):
+                        heard_from[j + 1] = bits_to_pids(preds[j])
+                        report_values[j + 1] = values[j]
+                    decision = decide_from_reports(pid, heard_from, report_values)
+                    decision_cache[required] = decision
+                if decision is not None:
+                    decision_value[i] = decision
+                    decided |= 1 << i
+                    dirty = True
+                    completed = (correct & ~decided) == 0
+
+    # -- write back ------------------------------------------------------
+    ws.alive[slot] = alive
+    ws.decided[slot] = decided
+    ws.sent_stage1[slot] = sent_s1
+    ws.stage2[slot] = stage2
+    ws.sent[slot] = sent
+    ws.delivered[slot] = delivered_count
+    ws.time[slot] = time
+    ws.completed[slot] = completed
+
+
+# -- runs and outcomes -------------------------------------------------------
+
+
+def _build_run(
+    ws: WaveState, slot: int, algorithm_name: str, model, pattern, proposals
+) -> Run:
+    """Materialise one finished slot as a genuine verdict-only run."""
+    time = ws.time[slot]
+    completed = ws.completed[slot]
+    return Run(
+        algorithm_name=algorithm_name,
+        model_name=model.name,
+        processes=model.processes,
+        proposals=dict(proposals),
+        events=(),
+        failure_pattern=pattern,
+        fd_history=RecordedHistory(),
+        completed=completed,
+        truncated=not completed and time >= ws.max_steps[slot],
+        undelivered=(),
+        recording=RecordingPolicy.VERDICT_ONLY,
+        final_decisions=ws.decisions_of(slot),
+        final_decision_times=None,
+        step_count=time,
+        sent_total=ws.sent[slot],
+        delivered_total=ws.delivered[slot],
+    )
+
+
+def _check_wave(specs: Sequence[ScenarioSpec]) -> Tuple[str, int, int]:
+    if not specs:
+        raise ConfigurationError("a wave needs at least one scenario")
+    key = wave_key(specs[0])
+    for spec in specs[1:]:
+        if wave_key(spec) != key:
+            raise ConfigurationError(
+                f"wave mixes keys {key} and {wave_key(spec)}; group specs "
+                "with partition_waves first"
+            )
+    return key
+
+
+def wave_runs(
+    specs: Sequence[ScenarioSpec],
+) -> List[Optional[Run]]:
+    """Execute a wave and return the per-scenario runs (oracle hook).
+
+    Slots the kernel could not set up or run return ``None`` instead of
+    a run (callers fall back to the scalar path for those).  The
+    equivalence tests compare these runs field-for-field — decisions,
+    flags, step and message counters — against the scalar executor.
+    """
+    _, runs, _ = _execute(specs)
+    return runs
+
+
+def execute_wave(
+    specs: Sequence[ScenarioSpec], *, tracer=None
+) -> List[ScenarioOutcome]:
+    """Execute one wave, returning outcomes in input order.
+
+    ``tracer`` (a :class:`repro.telemetry.spans.Tracer`, optional)
+    receives one ``kernel:wave`` span carrying the wave key, wave size
+    and the number of scenarios that fell back to the scalar path.
+    """
+    span = None
+    if tracer is not None:
+        kind, n, f = _check_wave(specs)
+        span = tracer.start_span(
+            "kernel:wave", {"kind": kind, "n": n, "f": f, "size": len(specs)}
+        )
+    try:
+        outcomes, _, fallbacks = _execute(specs)
+        if span is not None:
+            span.attrs["fallbacks"] = fallbacks
+        return outcomes
+    finally:
+        if span is not None:
+            tracer.end_span(span)
+
+
+def _execute(
+    specs: Sequence[ScenarioSpec],
+) -> Tuple[List[ScenarioOutcome], List[Optional[Run]], int]:
+    """The shared wave engine: outcomes, runs and the fallback count."""
+    _check_wave(specs)
+    size = len(specs)
+    n, f = specs[0].n, specs[0].f
+    outcomes: List[Optional[ScenarioOutcome]] = [None] * size
+    runs: List[Optional[Run]] = [None] * size
+    fallback: List[int] = []
+
+    try:
+        model = initial_crash_model(n, f)
+        algorithm_name = KSetInitialCrash(n, f).name
+        proposals = {pid: pid for pid in model.processes}
+        ws: Optional[WaveState] = WaveState(n, f, size)
+    except Exception:  # noqa: BLE001 - whole-wave setup failure
+        ws = None
+        fallback.extend(range(size))
+
+    if ws is not None:
+        patterns: List[Optional[FailurePattern]] = [None] * size
+        ready: List[int] = []
+        for slot, spec in enumerate(specs):
+            try:
+                patterns[slot] = _setup_slot(ws, slot, spec, model)
+                ready.append(slot)
+            except Exception:  # noqa: BLE001 - scalar rerun reproduces it
+                fallback.append(slot)
+        for slot in ready:
+            try:
+                _run_slot(ws, slot)
+                run = _build_run(
+                    ws, slot, algorithm_name, model, patterns[slot], proposals
+                )
+                spec = specs[slot]
+                report = KSetAgreementProblem(spec.k).evaluate(
+                    run, proposals=proposals
+                )
+                runs[slot] = run
+                outcomes[slot] = ScenarioOutcome.from_report(spec, report, run)
+            except Exception:  # noqa: BLE001 - scalar rerun reproduces it
+                runs[slot] = None
+                fallback.append(slot)
+
+    if fallback:
+        # Function-level import: the campaign runner imports this module's
+        # consumers; pulling run_scenario at the top would be circular.
+        from repro.campaign.runner import run_scenario
+
+        for slot in fallback:
+            outcomes[slot] = run_scenario(specs[slot])
+
+    return list(outcomes), runs, len(fallback)

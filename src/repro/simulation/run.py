@@ -214,10 +214,19 @@ class Run:
 
     @property
     def length(self) -> int:
-        """Number of recorded steps."""
+        """The run's final time — the timestamp of its last step.
+
+        Prefer the executor's explicit step counter; without one, fall
+        back to the last event's timestamp rather than the event *count*:
+        the two disagree as soon as event times are non-contiguous, and
+        the count can undershoot recorded decision times, breaking the
+        invariant that the final time bounds every recorded timestamp.
+        """
         if self.step_count is not None:
             return self.step_count
-        return len(self.events)
+        if not self.events:
+            return 0
+        return self.events[-1].time
 
     def messages_sent(self) -> int:
         """Total number of messages sent during the run."""

@@ -1,0 +1,118 @@
+"""Struct-of-arrays state for the batched verdict kernel.
+
+One :class:`WaveState` holds the *entire* mutable execution state of a
+wave of same-``(kind, n, f)`` scenarios as parallel arrays indexed by the
+scenario's slot in the wave.  Per-process facts are packed into int
+bitmasks (bit ``p - 1`` stands for process ``p``), so the kernel's inner
+loop works on machine integers instead of frozensets and dataclasses:
+
+* ``alive`` / ``decided`` / ``correct`` — one bitmask row per scenario,
+* ``heard`` / ``known`` — ``size x n`` matrices of bitmasks: which
+  stage-1 identifiers respectively stage-2 reports each process holds,
+* ``report_preds`` / ``report_value`` — the write-once stage-2 report of
+  every process (its frozen predecessor bitmask and its proposal); the
+  two-stage protocol broadcasts exactly one report per process, so the
+  wave can store it once globally instead of once per receiver,
+* ``queues`` — per-receiver pending-message lists of
+  ``(sent_at, is_report, sender)`` triples in send order, mirroring the
+  id-ordered deques of :class:`~repro.simulation.message.MessageBuffer`,
+* ``sent`` / ``delivered`` — the dense per-wave message-count matrix,
+* ``decision_value`` — flat decision arrays (``None`` = undecided).
+
+Scenario-level control state (step clocks, budgets, crash schedules, the
+per-scenario RNG stream) lives in flat arrays as well.  The container is
+deliberately dumb: all semantics — and the bit-identity contract with
+the scalar executor — live in :mod:`repro.simulation.batch_kernel`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+__all__ = ["WaveState", "bits_to_pids", "iter_bits"]
+
+
+def iter_bits(mask: int):
+    """Yield the 0-based indices of the set bits of ``mask``, ascending."""
+    while mask:
+        bit = mask & -mask
+        yield bit.bit_length() - 1
+        mask ^= bit
+
+
+def bits_to_pids(mask: int) -> Tuple[int, ...]:
+    """The 1-based process ids of a bitmask, in ascending (sorted) order."""
+    return tuple(index + 1 for index in iter_bits(mask))
+
+
+class WaveState:
+    """Mutable struct-of-arrays state of one wave (see module docstring).
+
+    The constructor only allocates; the kernel fills the per-scenario
+    rows (crash schedules, RNG streams, budgets) during wave setup.
+    """
+
+    __slots__ = (
+        "n", "f", "threshold", "size", "full_mask",
+        # bitmask rows (one int per scenario)
+        "alive", "decided", "correct", "sent_stage1", "stage2",
+        # size x n matrices
+        "heard", "known", "report_preds", "report_value",
+        "queues", "decision_value",
+        # dense per-wave counters and control arrays
+        "sent", "delivered", "time", "max_steps", "completed", "halted",
+        "crash_schedule", "crash_index",
+        "rng", "rr_last", "delivery_bias", "max_delay",
+        "candidates", "dirty",
+    )
+
+    def __init__(self, n: int, f: int, size: int):
+        self.n = n
+        self.f = f
+        self.threshold = n - f
+        self.size = size
+        full = (1 << n) - 1
+        self.full_mask = full
+
+        self.alive: List[int] = [full] * size
+        self.decided: List[int] = [0] * size
+        self.correct: List[int] = [full] * size
+        self.sent_stage1: List[int] = [0] * size
+        self.stage2: List[int] = [0] * size
+
+        self.heard: List[List[int]] = [[0] * n for _ in range(size)]
+        self.known: List[List[int]] = [[0] * n for _ in range(size)]
+        self.report_preds: List[List[int]] = [[0] * n for _ in range(size)]
+        self.report_value: List[list] = [[None] * n for _ in range(size)]
+        self.queues: List[List[list]] = [
+            [[] for _ in range(n)] for _ in range(size)
+        ]
+        self.decision_value: List[list] = [[None] * n for _ in range(size)]
+
+        self.sent: List[int] = [0] * size
+        self.delivered: List[int] = [0] * size
+        self.time: List[int] = [0] * size
+        self.max_steps: List[int] = [0] * size
+        self.completed: List[bool] = [False] * size
+        self.halted: List[bool] = [False] * size
+
+        self.crash_schedule: List[Tuple[Tuple[int, int], ...]] = [()] * size
+        self.crash_index: List[int] = [0] * size
+
+        self.rng: List[Optional[random.Random]] = [None] * size
+        self.rr_last: List[Optional[int]] = [None] * size
+        self.delivery_bias: List[float] = [0.5] * size
+        self.max_delay: List[int] = [20] * size
+
+        # cached sorted undecided-alive tuples, mirroring the executor's
+        # incremental membership tracking
+        self.candidates: List[Tuple[int, ...]] = [()] * size
+        self.dirty: List[bool] = [True] * size
+
+    def decisions_of(self, slot: int) -> dict:
+        """The final decision map of one scenario (1-based pids)."""
+        values = self.decision_value[slot]
+        return {
+            index + 1: values[index] for index in iter_bits(self.decided[slot])
+        }

@@ -35,6 +35,11 @@ from repro.telemetry.logs import configure, get_logger, stream_logger
 
 __all__ = ["ProgressReporter", "CollectingProgressReporter", "LogProgressReporter"]
 
+#: Narrowest sample window (seconds) the rate/ETA smoother trusts.  Two
+#: samples closer than one microsecond are indistinguishable from clock
+#: jitter; dividing by such a span manufactures absurd rates.
+_MIN_RATE_WINDOW = 1e-6
+
 
 class ProgressReporter:
     """Thread-safe counters over a campaign's scenario-event stream.
@@ -161,7 +166,10 @@ class LogProgressReporter(ProgressReporter):
                 return 0.0, None
             (t0, c0), (t1, c1) = self._samples[0], self._samples[-1]
         span = t1 - t0
-        if span <= 0.0 or c1 <= c0:
+        # Same-tick samples give a zero-width window; near-same-tick ones
+        # give a positive but meaningless width whose quotient is an
+        # absurd rate (and ETA).  Both degrade to "no estimate yet".
+        if span < _MIN_RATE_WINDOW or c1 <= c0:
             return 0.0, None
         rate = (c1 - c0) / span
         remaining = self.total - c1

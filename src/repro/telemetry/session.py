@@ -29,7 +29,7 @@ backends; wall-clock metrics are flagged ``timing`` and excluded from
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -77,16 +77,35 @@ class WorkerTelemetry:
     evaluated where the scenario runs, deterministic in the scenario's
     identity, so serial, chunked and process backends trace the same
     scenarios.
+
+    The stride filter keeps a scenario iff its derived seed is divisible
+    by the stride — nothing guarantees any seed of a *small* campaign
+    is, and an all-misses campaign would ship an empty trace that the
+    report CLI then summarises as if tracing had been off.
+    ``ensure_samples`` closes that hole: when no spec passes the stride
+    filter it pins ``force_seed`` to the first spec's derived seed, so
+    every campaign traces at least one scenario — still deterministic
+    in the spec list, so all backends agree on the forced choice.
     """
 
     campaign: str
     stride: int = 1
     capture_phases: bool = True
+    force_seed: Optional[int] = None
 
     def samples(self, spec) -> bool:
         if self.stride <= 1:
             return True
-        return spec.derived_seed() % self.stride == 0
+        seed = spec.derived_seed()
+        return seed % self.stride == 0 or seed == self.force_seed
+
+    def ensure_samples(self, specs) -> "WorkerTelemetry":
+        """A telemetry slice guaranteed to sample at least one of ``specs``."""
+        if self.stride <= 1 or not specs:
+            return self
+        if any(self.samples(spec) for spec in specs):
+            return self
+        return replace(self, force_seed=specs[0].derived_seed())
 
 
 class TelemetrySession:

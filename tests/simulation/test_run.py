@@ -102,3 +102,102 @@ class TestBookkeeping:
         assert summary["completed"] is True
         assert summary["decided"] == 4
         assert summary["steps"] == completed_run.length
+
+
+class HaltAfterFirstDecision:
+    """Adversary that abandons the run as soon as anybody decides."""
+
+    def __init__(self):
+        from repro.simulation.scheduler import RoundRobinScheduler
+
+        self._inner = RoundRobinScheduler()
+
+    def next_step(self, view):
+        if view.decided:
+            return None
+        return self._inner.next_step(view)
+
+
+class TestFinalTimeInvariant:
+    """The run's final time bounds every recorded timestamp.
+
+    The adversary-halt rewind (``time -= 1`` when ``next_step`` returns
+    ``None``) is correct — the aborted step records nothing — but the
+    invariant deserves pinning across all recording policies, and the
+    event-count fallback of :attr:`Run.length` used to violate it for
+    runs whose event times are non-contiguous.
+    """
+
+    @pytest.mark.parametrize(
+        "recording", ["full", "decisions-only", "verdict-only"])
+    def test_halted_run_final_time_bounds_decision_times(self, recording):
+        from repro.simulation.executor import ExecutionSettings
+        from repro.simulation.recording import RecordingPolicy
+
+        model = initial_crash_model(4, 1)
+        algorithm = KSetInitialCrash(4, 1)
+        run = execute(
+            algorithm, model, {p: p for p in model.processes},
+            adversary=HaltAfterFirstDecision(),
+            settings=ExecutionSettings(
+                recording=RecordingPolicy.coerce(recording)),
+        )
+        assert not run.completed
+        if run.recording.records_decision_times:
+            times = run.decision_times()
+            assert times  # somebody decided before the halt
+            assert all(t <= run.length for t in times.values())
+        if run.recording.records_events:
+            assert all(e.time <= run.length for e in run.events)
+
+    def test_halted_run_length_identical_across_policies(self):
+        from repro.simulation.executor import ExecutionSettings
+        from repro.simulation.recording import RecordingPolicy
+
+        lengths = set()
+        for name in ("full", "decisions-only", "verdict-only"):
+            model = initial_crash_model(4, 1)
+            run = execute(
+                KSetInitialCrash(4, 1), model,
+                {p: p for p in model.processes},
+                adversary=HaltAfterFirstDecision(),
+                settings=ExecutionSettings(
+                    recording=RecordingPolicy.coerce(name)),
+            )
+            lengths.add(run.length)
+        assert len(lengths) == 1
+
+    def test_length_fallback_uses_last_event_time_not_event_count(self):
+        """Regression: gapped event times used to make ``length`` undershoot
+        recorded decision times (final time < a decision's timestamp)."""
+        from repro.simulation.events import StepEvent
+        from repro.simulation.run import Run
+
+        class _State:
+            has_decided = True
+            decision = 7
+
+        events = (
+            StepEvent(time=2, pid=1, delivered=(), fd_output=None,
+                      sent=(), state_after=_State(), newly_decided=False),
+            StepEvent(time=5, pid=1, delivered=(), fd_output=None,
+                      sent=(), state_after=_State(), newly_decided=True),
+        )
+        run = Run(
+            algorithm_name="x", model_name="m", processes=(1,),
+            proposals={1: 7}, events=events,
+            failure_pattern=FailurePattern.all_correct((1,)),
+        )
+        assert run.decision_times() == {1: 5}
+        assert run.length == 5  # the last step's time, not len(events) == 2
+        assert all(t <= run.length for t in run.decision_times().values())
+
+    def test_length_fallback_empty_events_is_zero(self):
+        from repro.simulation.run import Run
+
+        empty = Run(
+            algorithm_name="x", model_name="m", processes=(1,),
+            proposals={1: 0}, events=(),
+            failure_pattern=FailurePattern.all_correct((1,)),
+        )
+        assert empty.length == 0

@@ -1,0 +1,149 @@
+"""Mixed-schema store reads: v2 rows alongside v3 rows, byte-for-byte.
+
+Stores outlive schema bumps: a long-running sweep directory can hold
+rows written before :data:`repro.store.SCHEMA_VERSION` was raised to 3.
+Reading such a store must be *tolerant* — old rows are skipped (their
+fingerprints can never match a current-version lookup anyway, since the
+schema version is hashed into the fingerprint), never decoded with the
+current codec, and never allowed to crash iteration.  These fixtures
+pin that contract at the byte level for both backends, alongside the
+torn-tail fixtures in ``test_backends.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+from repro.campaign import CampaignRunner, theorem8_specs
+from repro.store import JsonlResultStore, SqliteResultStore, fingerprint_spec
+
+SPECS = theorem8_specs([4], seeds=(1,), max_steps=4_000)
+OUTCOMES = CampaignRunner().run(SPECS).outcomes[:3]
+
+
+def _v2_rows():
+    """Plausible SCHEMA_VERSION=2 records, in the pre-``recording`` shape.
+
+    The payloads are deliberately *not* decodable by the current codec
+    (missing fields, renamed keys): a tolerant reader must skip them on
+    the version tag alone, before ever looking inside.
+    """
+    return [
+        {
+            "fp": format(0xA0 + i, "064x"),
+            "v": 2,
+            "outcome": {
+                "spec": {"kind": "theorem8-solvable", "n": 4, "f": 1, "k": 1},
+                "verdict": "ok",
+                "props": {"agreement": True},  # v2 key layout, not v3's
+            },
+        }
+        for i in range(3)
+    ]
+
+
+class TestJsonlMixedSchema:
+    def _write_mixed(self, path):
+        """v2 and v3 rows interleaved, exactly as appends would land."""
+        with JsonlResultStore(path) as store:
+            for outcome in OUTCOMES:
+                store.put(fingerprint_spec(outcome.spec), outcome)
+        v3_lines = path.read_text().splitlines()
+        v2_lines = [json.dumps(row, sort_keys=True) for row in _v2_rows()]
+        mixed = [
+            v2_lines[0], v3_lines[0], v2_lines[1],
+            v3_lines[1], v3_lines[2], v2_lines[2],
+        ]
+        content = ("\n".join(mixed) + "\n").encode()
+        path.write_bytes(content)
+        return content
+
+    def test_v2_rows_are_skipped_v3_rows_decode(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        self._write_mixed(path)
+        with JsonlResultStore(path) as store:
+            assert len(store) == len(OUTCOMES)
+            for outcome in OUTCOMES:
+                assert store.get(fingerprint_spec(outcome.spec)) == outcome
+            for row in _v2_rows():
+                assert store.get(row["fp"]) is None
+            assert len(store.fingerprints()) == len(OUTCOMES)
+
+    def test_mixed_file_bytes_are_preserved(self, tmp_path):
+        # Skipping is read-only: old rows stay on disk for forensics (or
+        # a future migration); opening the store never rewrites them.
+        path = tmp_path / "mixed.jsonl"
+        content = self._write_mixed(path)
+        with JsonlResultStore(path):
+            pass
+        assert path.read_bytes() == content
+
+    def test_mixed_store_accepts_new_appends(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        self._write_mixed(path)
+        extra = CampaignRunner().run(SPECS).outcomes[3]
+        with JsonlResultStore(path) as store:
+            store.put(fingerprint_spec(extra.spec), extra)
+        with JsonlResultStore(path) as reopened:
+            assert len(reopened) == len(OUTCOMES) + 1
+            assert reopened.get(fingerprint_spec(extra.spec)) == extra
+
+    def test_v2_tail_row_with_undecodable_payload_is_not_corruption(self, tmp_path):
+        # A v2 row in final position, complete with newline: schema skip
+        # must win over the torn-tail and corruption classifications.
+        path = tmp_path / "mixed.jsonl"
+        with JsonlResultStore(path) as store:
+            store.put(fingerprint_spec(OUTCOMES[0].spec), OUTCOMES[0])
+        before = path.read_bytes()
+        tail = (json.dumps(_v2_rows()[0], sort_keys=True) + "\n").encode()
+        path.write_bytes(before + tail)
+        with JsonlResultStore(path) as store:
+            assert len(store) == 1
+        assert path.read_bytes() == before + tail
+
+
+class TestSqliteMixedSchema:
+    def _write_mixed(self, path):
+        with SqliteResultStore(path) as store:
+            for outcome in OUTCOMES:
+                store.put(fingerprint_spec(outcome.spec), outcome)
+        conn = sqlite3.connect(path)
+        with conn:
+            for row in _v2_rows():
+                conn.execute(
+                    "INSERT OR REPLACE INTO results "
+                    "(fingerprint, schema_version, outcome) VALUES (?, ?, ?)",
+                    (row["fp"], 2, json.dumps(row["outcome"])),
+                )
+        conn.close()
+
+    def test_v2_rows_invisible_to_reads_and_iteration(self, tmp_path):
+        path = tmp_path / "mixed.sqlite"
+        self._write_mixed(path)
+        with SqliteResultStore(path) as store:
+            assert len(store) == len(OUTCOMES)
+            for outcome in OUTCOMES:
+                assert store.get(fingerprint_spec(outcome.spec)) == outcome
+            for row in _v2_rows():
+                assert store.get(row["fp"]) is None
+            wanted = [fingerprint_spec(o.spec) for o in OUTCOMES]
+            wanted += [row["fp"] for row in _v2_rows()]
+            hits = store.get_many(wanted)
+            assert set(hits) == set(wanted[:len(OUTCOMES)])
+            # items() decodes lazily: exhausting it must never touch the
+            # undecodable v2 payloads.
+            decoded = dict(store.items())
+            assert len(decoded) == len(OUTCOMES)
+
+    def test_v2_rows_survive_in_the_table(self, tmp_path):
+        path = tmp_path / "mixed.sqlite"
+        self._write_mixed(path)
+        with SqliteResultStore(path):
+            pass
+        conn = sqlite3.connect(path)
+        count = conn.execute(
+            "SELECT COUNT(*) FROM results WHERE schema_version = 2"
+        ).fetchone()[0]
+        conn.close()
+        assert count == len(_v2_rows())

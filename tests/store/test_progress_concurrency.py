@@ -163,3 +163,47 @@ class TestZeroState:
         text = stream.getvalue()
         assert "rate=" in text
         assert "eta=" in text
+
+
+class TestRateWindowGuards:
+    """Degenerate sample windows must never produce a rate or an ETA."""
+
+    @staticmethod
+    def _reporter_with_samples(samples):
+        reporter = LogProgressReporter(every=1, stream=io.StringIO())
+        reporter.campaign_started(100)
+        reporter.completed = samples[-1][1]
+        reporter._samples.clear()
+        reporter._samples.extend(samples)
+        return reporter
+
+    def test_same_tick_samples_yield_no_estimate(self):
+        # Two samples in the same clock tick: zero-width window.  Must
+        # degrade to "no estimate", never raise ZeroDivisionError.
+        reporter = self._reporter_with_samples([(10.0, 0), (10.0, 5)])
+        rate, eta = reporter._rate_eta()
+        assert (rate, eta) == (0.0, None)
+
+    def test_near_same_tick_samples_yield_no_estimate(self):
+        # Regression: a positive-but-negligible span used to pass the
+        # exact-zero guard and manufacture an absurd rate (here 5e9/s)
+        # and a nonsense ETA.
+        reporter = self._reporter_with_samples([(10.0, 0), (10.0 + 1e-9, 5)])
+        rate, eta = reporter._rate_eta()
+        assert (rate, eta) == (0.0, None)
+
+    def test_real_window_still_estimates(self):
+        reporter = self._reporter_with_samples([(10.0, 0), (12.0, 10)])
+        rate, eta = reporter._rate_eta()
+        assert rate == 5.0
+        assert eta == (100 - 10) / 5.0
+
+    def test_same_tick_line_emission_is_safe(self):
+        stream = io.StringIO()
+        reporter = LogProgressReporter(every=1, stream=stream)
+        reporter.campaign_started(10)
+        reporter.completed = 2
+        reporter._samples.clear()
+        reporter._samples.extend([(10.0, 0), (10.0, 2)])
+        reporter._emit_line()  # must not raise, must not print a rate
+        assert "rate=" not in stream.getvalue()
