@@ -40,7 +40,15 @@ The process backend dispatches chunks in waves (at most ``2 × workers``
 outstanding) instead of one bulk ``pool.map``: results arrive as they
 complete, which keeps ``on_outcome`` persistence incremental and lets
 ``should_skip`` see the outcomes observed so far when deciding whether a
-later chunk still needs to run.
+later chunk still needs to run.  Dispatch runs under the
+:class:`repro.faults.supervisor.Supervisor`: every wait is bounded,
+in-flight chunks carry deadlines, dead or hung workers get their work
+re-queued under the runner's :class:`~repro.faults.plan.RetryPolicy`,
+persistently failing chunks are bisected down to the guilty spec (which
+is quarantined into an ``"error"`` outcome), and a broken pool degrades
+to in-process execution instead of aborting.  The optional
+``CampaignRunner(faults=FaultPlan(...))`` injects deterministic chaos
+through the same machinery — see :mod:`repro.faults`.
 
 The executor is CPU-bound pure Python, so the process backend is the one
 that scales with cores; there is deliberately no thread backend (the GIL
@@ -52,7 +60,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
-import queue as queue_module
+import signal
 import threading
 import time
 from dataclasses import dataclass, field
@@ -63,7 +71,10 @@ from repro.campaign.grid import ScenarioGrid
 from repro.campaign.scenarios import get_kind
 from repro.campaign.spec import ScenarioOutcome, ScenarioSpec
 from repro.exceptions import ConfigurationError
+from repro.faults.plan import FaultPlan, FaultStats, RetryPolicy
+from repro.faults.supervisor import Supervisor
 from repro.provenance.usage import ResourceUsage
+from repro.telemetry.logs import get_logger
 from repro.telemetry.session import WorkerTelemetry
 from repro.telemetry.spans import SpanRecord, Tracer, activated
 
@@ -121,22 +132,62 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
         return ScenarioOutcome.from_error(spec, exc)
 
 
+_log = get_logger("campaign.runner")
+
 #: Worker-side event sink.  ``None`` in the parent; pool workers set it to
-#: ``queue.put`` via :func:`_init_worker_events` so that ``_run_batch``
-#: streams one event per finished scenario back to the reporter.
+#: ``queue.put`` via :func:`_init_worker` so that ``_run_batch`` streams
+#: one event per finished scenario back to the reporter.
 _WORKER_EVENT_SINK: Optional[ProgressHook] = None
+
+#: The raw worker-side event queue (kept so an injected crash can flush
+#: its feeder thread before SIGKILLing the worker — a kill mid-write
+#: would wedge the queue for every other worker).
+_WORKER_EVENT_QUEUE = None
 
 #: Worker-side telemetry slice (campaign id + sampling stride).  ``None``
 #: unless the campaign runs with telemetry; installed alongside the event
 #: sink, because spans travel back on the same events.
 _WORKER_TELEMETRY: Optional[WorkerTelemetry] = None
 
+#: Worker-side fault plan.  ``None`` in the parent and on fault-free
+#: campaigns; pool workers receive the campaign's plan at fork time.
+_WORKER_FAULTS: Optional[FaultPlan] = None
 
-def _init_worker_events(event_queue, telemetry: Optional[WorkerTelemetry] = None) -> None:
-    """Pool initializer: route this worker's scenario events to the queue."""
-    global _WORKER_EVENT_SINK, _WORKER_TELEMETRY
-    _WORKER_EVENT_SINK = event_queue.put
+#: ``True`` only inside pool worker processes.  Gates the worker-level
+#: fault kinds (crash/hang): injecting them into the calling process
+#: would take the campaign down instead of exercising the supervisor.
+_IN_POOL_WORKER = False
+
+
+def _init_worker(event_queue, telemetry: Optional[WorkerTelemetry] = None,
+                 faults: Optional[FaultPlan] = None) -> None:
+    """Pool initializer: install this worker's sinks, slice and chaos."""
+    global _WORKER_EVENT_SINK, _WORKER_EVENT_QUEUE, _WORKER_TELEMETRY
+    global _WORKER_FAULTS, _IN_POOL_WORKER
+    _WORKER_EVENT_QUEUE = event_queue
+    _WORKER_EVENT_SINK = event_queue.put if event_queue is not None else None
     _WORKER_TELEMETRY = telemetry
+    _WORKER_FAULTS = faults
+    _IN_POOL_WORKER = True
+
+
+def _flush_worker_queue() -> None:
+    """Drain this worker's event-queue feeder (pre-crash hygiene).
+
+    An injected crash SIGKILLs the worker; if its queue feeder thread
+    were mid-write, the kill could leave the shared pipe's write lock
+    held and stall every other worker's events.  Closing and joining the
+    feeder first makes the injected death clean from the queue's point
+    of view while staying a real SIGKILL for the pool and supervisor.
+    """
+    queue = _WORKER_EVENT_QUEUE
+    if queue is None:
+        return
+    try:
+        queue.close()
+        queue.join_thread()
+    except Exception:  # noqa: BLE001 - about to die anyway
+        pass
 
 
 def _emit_event(sink: Optional[ProgressHook], spec: ScenarioSpec,
@@ -166,13 +217,19 @@ def _run_batch(
     specs: Sequence[ScenarioSpec],
     event_sink: Optional[ProgressHook] = None,
     telemetry: Optional[WorkerTelemetry] = None,
+    attempt: int = 1,
+    faults: Optional[FaultPlan] = None,
 ) -> Tuple[List[ScenarioOutcome], List[float]]:
     """Worker entry point: run a chunk of specs, timing each scenario.
 
     ``event_sink`` and ``telemetry`` are passed explicitly by the
     in-process backends; pool workers leave them ``None`` and fall back
     to the queue sink / telemetry slice installed by
-    :func:`_init_worker_events`.
+    :func:`_init_worker`.  ``attempt`` is the supervisor's retry count
+    for this submission and ``faults`` the injected chaos plan (pool
+    workers inherit it from the initializer): planned faults fire
+    *before* a scenario executes, so a crashed or raising task never
+    produced a partial outcome for the scenario that triggered it.
 
     For each *sampled* scenario a fresh :class:`Tracer` is activated
     around the execution — the scenario root span nests the executor's
@@ -183,9 +240,13 @@ def _run_batch(
     """
     sink = event_sink if event_sink is not None else _WORKER_EVENT_SINK
     telem = telemetry if telemetry is not None else _WORKER_TELEMETRY
+    plan = faults if faults is not None else _WORKER_FAULTS
     outcomes: List[ScenarioOutcome] = []
     timings: List[float] = []
     for spec in specs:
+        if plan is not None:
+            plan.perform(spec, attempt, in_worker=_IN_POOL_WORKER,
+                         before_crash=_flush_worker_queue)
         spans: Tuple[SpanRecord, ...] = ()
         started = time.perf_counter()
         if telem is not None and telem.samples(spec):
@@ -211,6 +272,8 @@ def _run_wave(
     specs: Sequence[ScenarioSpec],
     event_sink: Optional[ProgressHook] = None,
     telemetry: Optional[WorkerTelemetry] = None,
+    attempt: int = 1,
+    faults: Optional[FaultPlan] = None,
 ) -> Tuple[List[ScenarioOutcome], List[float]]:
     """Worker entry point for one batched wave (the sibling of
     :func:`_run_batch`).
@@ -228,6 +291,14 @@ def _run_wave(
 
     sink = event_sink if event_sink is not None else _WORKER_EVENT_SINK
     telem = telemetry if telemetry is not None else _WORKER_TELEMETRY
+    plan = faults if faults is not None else _WORKER_FAULTS
+    if plan is not None:
+        # Wave-granular chaos: any planned fault fails (or kills) the
+        # whole wave task before the kernel runs, and the supervisor's
+        # bisection narrows it down exactly as for scalar chunks.
+        for spec in specs:
+            plan.perform(spec, attempt, in_worker=_IN_POOL_WORKER,
+                         before_crash=_flush_worker_queue)
     sampled = [telem is not None and telem.samples(spec) for spec in specs]
     tracer: Optional[Tracer] = None
     if any(sampled):
@@ -263,6 +334,10 @@ class CampaignResult:
     workers: int = field(default=1, compare=False)
     elapsed_seconds: float = field(default=0.0, compare=False)
     scenario_seconds: Tuple[float, ...] = field(default=(), compare=False)
+    #: What the supervisor survived (worker deaths, retries, quarantines).
+    #: Infrastructure history, not a result property — excluded from
+    #: equality so a chaos run can compare equal to a fault-free one.
+    fault_stats: FaultStats = field(default_factory=FaultStats, compare=False)
 
     # -- rollups -----------------------------------------------------------
 
@@ -352,6 +427,7 @@ class CampaignResult:
             "workers": self.workers,
             "elapsed_seconds": self.elapsed_seconds,
             "scenario_seconds": list(self.scenario_seconds),
+            "fault_stats": self.fault_stats.as_dict(),
             "outcomes": [codec.outcome_to_dict(o) for o in self.outcomes],
         }
         return json.dumps(payload, sort_keys=True, indent=indent)
@@ -371,6 +447,8 @@ class CampaignResult:
             workers=int(payload["workers"]),
             elapsed_seconds=float(payload["elapsed_seconds"]),
             scenario_seconds=tuple(float(s) for s in payload["scenario_seconds"]),
+            # Absent in payloads written before the faults subsystem.
+            fault_stats=FaultStats.from_dict(payload.get("fault_stats") or {}),
         )
 
 
@@ -400,12 +478,29 @@ class CampaignRunner:
         ``should_skip`` is consulted once per scenario *before* waves
         form (this is where :class:`repro.store.CachingRunner` skims
         cached fingerprints off), not re-evaluated at submission time.
+    faults:
+        An optional :class:`~repro.faults.plan.FaultPlan` injecting
+        deterministic chaos (worker crashes, hangs, task exceptions,
+        delays) at planned points.  Worker-level faults (crash/hang)
+        only fire under the process backend; the others fire everywhere,
+        so a quarantine-free plan yields the *same* ``CampaignResult``
+        on every backend — the fault-tolerance equality invariant.
+    retry:
+        The :class:`~repro.faults.plan.RetryPolicy` governing the
+        supervised dispatch loop (attempts, backoff, per-task deadlines,
+        worker-death grace).  Defaults to ``RetryPolicy()``.  The
+        process backend is *always* supervised — real worker deaths are
+        survived whether or not chaos is injected; the in-process
+        backends route through the supervisor only when ``faults`` is
+        set, keeping the fault-free fast path untouched.
     """
 
     backend: str = "serial"
     workers: Optional[int] = None
     chunk_size: Optional[int] = None
     batch: bool = False
+    faults: Optional[FaultPlan] = None
+    retry: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -457,24 +552,37 @@ class CampaignRunner:
             # (and the report CLI reading it) is never silently empty.
             telemetry = telemetry.ensure_samples(specs)
 
+        stats = FaultStats()
         started = time.perf_counter()
         if self.batch:
             outcomes, timings, workers = self._run_batched(
-                specs, on_outcome, progress, should_skip, telemetry)
+                specs, on_outcome, progress, should_skip, telemetry, stats)
         elif self.backend == "serial":
-            outcomes, timings = self._run_inprocess(
-                [specs], on_outcome, progress, should_skip, telemetry,
-                per_scenario=True)
+            if self.faults is None:
+                outcomes, timings = self._run_inprocess(
+                    [specs], on_outcome, progress, should_skip, telemetry,
+                    per_scenario=True)
+            else:
+                outcomes, timings = self._run_supervised_inline(
+                    self._spec_tasks(specs, should_skip),
+                    on_outcome, progress, telemetry, stats)
             workers = 1
         elif self.backend == "chunked":
-            chunks = _chunk(specs, self._effective_chunk_size(len(specs), 1))
-            outcomes, timings = self._run_inprocess(
-                chunks, on_outcome, progress, should_skip, telemetry,
-                per_scenario=False)
+            if self.faults is None:
+                chunks = _chunk(specs, self._effective_chunk_size(len(specs), 1))
+                outcomes, timings = self._run_inprocess(
+                    chunks, on_outcome, progress, should_skip, telemetry,
+                    per_scenario=False)
+            else:
+                outcomes, timings = self._run_supervised_inline(
+                    self._chunk_tasks(
+                        specs, self._effective_chunk_size(len(specs), 1),
+                        should_skip),
+                    on_outcome, progress, telemetry, stats)
             workers = 1
         else:
             outcomes, timings, workers = self._run_process(
-                specs, on_outcome, progress, should_skip, telemetry)
+                specs, on_outcome, progress, should_skip, telemetry, stats)
         elapsed = time.perf_counter() - started
 
         return CampaignResult(
@@ -483,6 +591,7 @@ class CampaignRunner:
             workers=workers,
             elapsed_seconds=elapsed,
             scenario_seconds=tuple(timings),
+            fault_stats=stats,
         )
 
     # -- internals ---------------------------------------------------------
@@ -506,6 +615,73 @@ class CampaignRunner:
         if should_skip is None:
             return tuple(chunk)
         return tuple(spec for spec in chunk if not should_skip(spec))
+
+    def _retry_policy(self) -> RetryPolicy:
+        return self.retry if self.retry is not None else RetryPolicy()
+
+    @staticmethod
+    def _spec_tasks(specs: Sequence[ScenarioSpec],
+                    should_skip: Optional[SkipHook]):
+        """Lazy per-scenario tasks (serial-backend granularity)."""
+        for position, spec in enumerate(specs):
+            if should_skip is not None and should_skip(spec):
+                continue
+            yield (_run_batch, (spec,), (position,))
+
+    @staticmethod
+    def _chunk_tasks(specs: Sequence[ScenarioSpec], size: int,
+                     should_skip: Optional[SkipHook]):
+        """Lazy chunk tasks; ``should_skip`` is consulted at submission
+        time, after earlier completions were delivered — the semantics
+        adaptive budgets rely on."""
+        for start in range(0, len(specs), size):
+            live_specs: List[ScenarioSpec] = []
+            live_positions: List[int] = []
+            for offset, spec in enumerate(specs[start:start + size]):
+                if should_skip is not None and should_skip(spec):
+                    continue
+                live_specs.append(spec)
+                live_positions.append(start + offset)
+            if live_specs:
+                yield (_run_batch, tuple(live_specs), tuple(live_positions))
+
+    def _collect_recorder(self, results: Dict[int, Tuple[ScenarioOutcome, float]],
+                          on_outcome: Optional[OutcomeHook]):
+        """A supervisor ``record`` hook writing slots + delivering hooks."""
+        def record(indices: Sequence[int],
+                   outcomes: Sequence[ScenarioOutcome],
+                   timings: Sequence[float]) -> None:
+            for index, outcome, seconds in zip(indices, outcomes, timings):
+                results[index] = (outcome, seconds)
+            self._deliver(outcomes, timings, on_outcome)
+        return record
+
+    def _make_supervisor(self, record, progress: Optional[ProgressHook],
+                         telemetry: Optional[WorkerTelemetry],
+                         stats: FaultStats,
+                         max_outstanding: int = 1) -> Supervisor:
+        return Supervisor(
+            retry=self._retry_policy(), faults=self.faults, stats=stats,
+            record=record, progress=progress, telemetry=telemetry,
+            max_outstanding=max_outstanding)
+
+    def _run_supervised_inline(
+        self,
+        tasks,
+        on_outcome: Optional[OutcomeHook],
+        progress: Optional[ProgressHook],
+        telemetry: Optional[WorkerTelemetry],
+        stats: FaultStats,
+    ) -> Tuple[List[ScenarioOutcome], List[float]]:
+        """In-process supervised execution (faulty serial/chunked runs)."""
+        results: Dict[int, Tuple[ScenarioOutcome, float]] = {}
+        supervisor = self._make_supervisor(
+            self._collect_recorder(results, on_outcome), progress, telemetry,
+            stats)
+        supervisor.run_inline(tasks)
+        ordered = sorted(results)
+        return ([results[i][0] for i in ordered],
+                [results[i][1] for i in ordered])
 
     def _run_inprocess(
         self,
@@ -564,7 +740,8 @@ class CampaignRunner:
         on_outcome: Optional[OutcomeHook],
         progress: Optional[ProgressHook],
         should_skip: Optional[SkipHook],
-        telemetry: Optional[WorkerTelemetry] = None,
+        telemetry: Optional[WorkerTelemetry],
+        stats: FaultStats,
     ) -> Tuple[List[ScenarioOutcome], List[float], int]:
         """Partition specs into kernel waves plus a scalar remainder.
 
@@ -618,103 +795,22 @@ class CampaignRunner:
                 results[index] = (outcome, seconds)
             self._deliver(outcomes, timings, on_outcome)
 
-        if self.backend == "process":
-            workers = self._run_tasks_process(tasks, progress, telemetry, record)
-        else:
+        if self.backend == "process" and tasks and workers > 1:
+            workers = self._run_on_pool(
+                iter(tasks), min(workers, len(tasks)),
+                progress, telemetry, record, stats)
+        elif self.faults is None:
             for fn, task_specs, indices in tasks:
                 task_outcomes, task_timings = fn(task_specs, progress, telemetry)
                 record(indices, task_outcomes, task_timings)
             workers = 1
+        else:
+            self._make_supervisor(
+                record, progress, telemetry, stats).run_inline(tasks)
+            workers = 1
         ordered = sorted(results)
         return ([results[i][0] for i in ordered],
                 [results[i][1] for i in ordered], workers)
-
-    def _run_tasks_process(
-        self,
-        tasks: Sequence[Tuple[Callable, Tuple[ScenarioSpec, ...], Tuple[int, ...]]],
-        progress: Optional[ProgressHook],
-        telemetry: Optional[WorkerTelemetry],
-        record: Callable[[Sequence[int], Sequence[ScenarioOutcome], Sequence[float]], None],
-    ) -> int:
-        """Run pre-partitioned batch tasks on a pool (or inline).
-
-        The pool plumbing mirrors :meth:`_run_process` — fork context,
-        worker-side event queue, serial fallback on locked-down hosts —
-        but dispatches heterogeneous ``(fn, specs)`` tasks (kernel waves
-        and scalar chunks) instead of uniform chunks.
-        """
-        workers = self._effective_workers()
-        if not tasks or workers == 1:
-            for fn, task_specs, indices in tasks:
-                outcomes, timings = fn(task_specs, progress, telemetry)
-                record(indices, outcomes, timings)
-            return 1
-        if "fork" in multiprocessing.get_all_start_methods():
-            context = multiprocessing.get_context("fork")
-        else:  # pragma: no cover - non-POSIX platforms
-            context = multiprocessing.get_context()
-
-        event_queue = context.Queue() if progress is not None else None
-        drain: Optional[threading.Thread] = None
-        try:
-            pool = context.Pool(
-                processes=min(workers, len(tasks)),
-                initializer=_init_worker_events if event_queue is not None else None,
-                initargs=(event_queue, telemetry) if event_queue is not None else (),
-            )
-        except (OSError, PermissionError):  # pragma: no cover - locked-down hosts
-            if event_queue is not None:
-                event_queue.close()
-                event_queue.join_thread()
-            for fn, task_specs, indices in tasks:
-                outcomes, timings = fn(task_specs, progress, telemetry)
-                record(indices, outcomes, timings)
-            return 1
-
-        if event_queue is not None:
-            drain = threading.Thread(
-                target=_drain_events, args=(event_queue, progress), daemon=True)
-            drain.start()
-
-        try:
-            done: "queue_module.SimpleQueue" = queue_module.SimpleQueue()
-            pending = iter(enumerate(tasks))
-            outstanding = 0
-            max_outstanding = max(2, workers * 2)
-
-            def submit_one() -> bool:
-                nonlocal outstanding
-                for task_no, (fn, task_specs, _indices) in pending:
-                    pool.apply_async(
-                        fn, (task_specs,),
-                        callback=lambda result, t=task_no: done.put((t, result, None)),
-                        error_callback=lambda exc, t=task_no: done.put((t, None, exc)),
-                    )
-                    outstanding += 1
-                    return True
-                return False
-
-            while outstanding < max_outstanding and submit_one():
-                pass
-            while outstanding:
-                task_no, result, exc = done.get()
-                outstanding -= 1
-                if exc is not None:
-                    raise exc
-                outcomes, timings = result
-                record(tasks[task_no][2], list(outcomes), list(timings))
-                while outstanding < max_outstanding and submit_one():
-                    pass
-            pool.close()
-            pool.join()
-        finally:
-            pool.terminate()
-            if event_queue is not None:
-                event_queue.put(None)
-                if drain is not None:
-                    drain.join(timeout=10)
-                event_queue.close()
-        return workers
 
     def _run_process(
         self,
@@ -722,27 +818,67 @@ class CampaignRunner:
         on_outcome: Optional[OutcomeHook],
         progress: Optional[ProgressHook],
         should_skip: Optional[SkipHook],
-        telemetry: Optional[WorkerTelemetry] = None,
+        telemetry: Optional[WorkerTelemetry],
+        stats: FaultStats,
     ) -> Tuple[List[ScenarioOutcome], List[float], int]:
         workers = self._effective_workers()
         if not specs or workers == 1:
-            outcomes, timings = self._run_inprocess(
-                [specs], on_outcome, progress, should_skip, telemetry,
-                per_scenario=True)
+            if self.faults is None:
+                outcomes, timings = self._run_inprocess(
+                    [specs], on_outcome, progress, should_skip, telemetry,
+                    per_scenario=True)
+            else:
+                outcomes, timings = self._run_supervised_inline(
+                    self._spec_tasks(specs, should_skip),
+                    on_outcome, progress, telemetry, stats)
             return outcomes, timings, 1
-        chunks = _chunk(specs, self._effective_chunk_size(len(specs), workers))
+        chunk_size = self._effective_chunk_size(len(specs), workers)
+        chunk_count = -(-len(specs) // chunk_size)
+        results: Dict[int, Tuple[ScenarioOutcome, float]] = {}
+        workers = self._run_on_pool(
+            self._chunk_tasks(specs, chunk_size, should_skip),
+            min(workers, chunk_count), progress, telemetry,
+            self._collect_recorder(results, on_outcome), stats)
+        ordered = sorted(results)
+        return ([results[i][0] for i in ordered],
+                [results[i][1] for i in ordered], workers)
+
+    def _run_on_pool(
+        self,
+        tasks,
+        pool_processes: int,
+        progress: Optional[ProgressHook],
+        telemetry: Optional[WorkerTelemetry],
+        record,
+        stats: FaultStats,
+    ) -> int:
+        """Shared pool plumbing for both process backends.
+
+        ``tasks`` (an iterable of ``(fn, specs, slot indices)``) is
+        consumed lazily by the supervisor at submission time.  The
+        supervisor owns the dispatch loop — bounded waits, per-task
+        deadlines, retry/bisection/quarantine, worker-death re-queueing,
+        in-process degradation when the pool breaks — while this method
+        owns the pool's lifecycle: fork context, worker initializer
+        (event queue + telemetry slice + fault plan), the drain thread,
+        and uniform, deadlock-free teardown.
+        """
+        workers = self._effective_workers()
         if "fork" in multiprocessing.get_all_start_methods():
             context = multiprocessing.get_context("fork")
         else:  # pragma: no cover - non-POSIX platforms
             context = multiprocessing.get_context()
 
+        supervisor = self._make_supervisor(
+            record, progress, telemetry, stats,
+            max_outstanding=max(2, workers * 2))
         event_queue = context.Queue() if progress is not None else None
         drain: Optional[threading.Thread] = None
         try:
             pool = context.Pool(
-                processes=min(workers, len(chunks)),
-                initializer=_init_worker_events if event_queue is not None else None,
-                initargs=(event_queue, telemetry) if event_queue is not None else (),
+                processes=max(1, pool_processes),
+                initializer=_init_worker,
+                initargs=(event_queue, telemetry, self.faults),
             )
         except (OSError, PermissionError):  # pragma: no cover - locked-down hosts
             # Environments that forbid forking still get a correct (if
@@ -750,10 +886,8 @@ class CampaignRunner:
             if event_queue is not None:
                 event_queue.close()
                 event_queue.join_thread()
-            outcomes, timings = self._run_inprocess(
-                [specs], on_outcome, progress, should_skip, telemetry,
-                per_scenario=True)
-            return outcomes, timings, 1
+            supervisor.run_inline(tasks)
+            return 1
 
         if event_queue is not None:
             drain = threading.Thread(
@@ -761,74 +895,79 @@ class CampaignRunner:
             drain.start()
 
         try:
-            by_index = self._dispatch_waves(pool, chunks, workers, on_outcome, should_skip)
-            pool.close()
-            pool.join()
+            supervisor.run_pool(pool, tasks)
         finally:
-            pool.terminate()
-            if event_queue is not None:
-                # The pool is joined: every worker has exited and flushed
-                # its queue feeder, so the sentinel lands after the last
-                # real event and the drain thread sees everything.
-                event_queue.put(None)
-                if drain is not None:
-                    drain.join(timeout=10)
-                event_queue.close()
+            self._teardown_pool(pool, event_queue, drain)
+        return workers
 
-        outcomes = [o for i in range(len(chunks)) for o in by_index[i][0]]
-        timings = [t for i in range(len(chunks)) for t in by_index[i][1]]
-        return outcomes, timings, workers
+    def _teardown_pool(self, pool, event_queue,
+                       drain: Optional[threading.Thread]) -> None:
+        """Uniform pool/queue teardown, safe on every exit path.
 
-    def _dispatch_waves(
-        self,
-        pool,
-        chunks: Sequence[Tuple[ScenarioSpec, ...]],
-        workers: int,
-        on_outcome: Optional[OutcomeHook],
-        should_skip: Optional[SkipHook],
-    ) -> Dict[int, Tuple[List[ScenarioOutcome], List[float]]]:
-        """Submit chunks in waves, delivering results as they complete.
+        Order matters: the sentinel goes onto the event queue *before*
+        ``terminate()`` (killing a worker mid-write used to be able to
+        wedge or truncate the drain), the drain gets a bounded join with
+        a logged warning instead of silent event loss, and the queue is
+        always ``close()``d *and* ``join_thread()``ed — unless the drain
+        timed out, where ``cancel_join_thread()`` avoids blocking on a
+        pipe nobody will ever read.
 
-        At most ``2 × workers`` chunks are outstanding: enough to keep
-        the pool saturated, few enough that ``should_skip`` (evaluated at
-        submission time, after earlier results were delivered) can still
-        drop most of a point once its outcome is certified.
+        Even ``terminate()`` gets a bounded wait: a worker SIGKILLed
+        while blocked in the shared task queue's ``get()`` dies *holding*
+        the queue's reader lock, and ``Pool._terminate_pool`` then
+        deadlocks trying to acquire it.  The terminate runs on a daemon
+        thread; if it wedges, the remaining workers are SIGKILLed
+        directly and the wedged thread is abandoned (every handler
+        thread it could be waiting on is a daemon too).
         """
-        done: "queue_module.SimpleQueue" = queue_module.SimpleQueue()
-        by_index: Dict[int, Tuple[List[ScenarioOutcome], List[float]]] = {}
-        pending_chunks = iter(enumerate(chunks))
-        outstanding = 0
-        max_outstanding = max(2, workers * 2)
-
-        def submit_one() -> bool:
-            nonlocal outstanding
-            for index, chunk in pending_chunks:
-                live = self._filter_chunk(chunk, should_skip)
-                if not live:
-                    by_index[index] = ([], [])
-                    continue
-                pool.apply_async(
-                    _run_batch, (live,),
-                    callback=lambda result, i=index: done.put((i, result, None)),
-                    error_callback=lambda exc, i=index: done.put((i, None, exc)),
-                )
-                outstanding += 1
-                return True
-            return False
-
-        while outstanding < max_outstanding and submit_one():
-            pass
-        while outstanding:
-            index, result, exc = done.get()
-            outstanding -= 1
-            if exc is not None:
-                raise exc
-            batch_outcomes, batch_timings = result
-            by_index[index] = (list(batch_outcomes), list(batch_timings))
-            self._deliver(batch_outcomes, batch_timings, on_outcome)
-            while outstanding < max_outstanding and submit_one():
-                pass
-        return by_index
+        grace = self._retry_policy().teardown_grace_seconds
+        pool.close()
+        joiner = threading.Thread(target=pool.join, daemon=True)
+        joiner.start()
+        joiner.join(timeout=grace)
+        if joiner.is_alive():
+            _log.warning(
+                "pool workers still running %.1fs after close (hung or "
+                "saturated); terminating them", grace)
+        drained = True
+        if event_queue is not None:
+            try:
+                event_queue.put(None)
+            except Exception:  # noqa: BLE001 - queue already broken
+                drained = False
+            if drain is not None:
+                # The pool is closed and joined (or being given up on),
+                # so a healthy drain only has buffered events left and
+                # finishes almost instantly; a worker killed holding the
+                # queue's write lock silences it forever, so don't wait
+                # long — lost "ran" events are reconciled by the caller.
+                drain_grace = max(2 * grace, 2.0)
+                drain.join(timeout=drain_grace)
+                if drain.is_alive():
+                    drained = False
+                    _log.warning(
+                        "event drain did not finish within %.1fs; some "
+                        "progress events were lost", drain_grace)
+        terminator = threading.Thread(target=pool.terminate, daemon=True)
+        terminator.start()
+        terminator.join(timeout=max(grace, 1.0))
+        if terminator.is_alive():  # pragma: no cover - needs a wedged queue lock
+            _log.error(
+                "pool terminate wedged — a killed worker can die holding "
+                "the shared task-queue lock; force-killing remaining "
+                "workers")
+            for proc in list(getattr(pool, "_pool", None) or []):
+                try:
+                    os.kill(proc.pid, signal.SIGKILL)
+                except (ProcessLookupError, PermissionError, TypeError):
+                    pass
+            terminator.join(timeout=max(grace, 1.0))
+        if event_queue is not None:
+            event_queue.close()
+            if drained:
+                event_queue.join_thread()
+            else:  # pragma: no cover - only on drain timeout
+                event_queue.cancel_join_thread()
 
 
 def _drain_events(event_queue, progress: ProgressHook) -> None:
@@ -838,6 +977,8 @@ def _drain_events(event_queue, progress: ProgressHook) -> None:
             event = event_queue.get()
         except (EOFError, OSError):  # pragma: no cover - queue torn down
             return
+        except Exception:  # noqa: BLE001 - a dying worker can tear an event
+            continue
         if event is None:
             return
         try:

@@ -1,0 +1,394 @@
+"""The supervised dispatch loop shared by the campaign backends.
+
+:class:`Supervisor` owns the part of campaign execution that has to stay
+correct when infrastructure misbehaves: it submits tasks (``(fn, specs,
+slot indices)`` triples) to a ``multiprocessing`` pool — or runs them
+inline — and guarantees that **every slot settles exactly once**, no
+matter how many times its task crashes, hangs, raises or is re-queued:
+
+* every wait on the completion queue is bounded by
+  :attr:`~repro.faults.plan.RetryPolicy.wake_seconds`, so a SIGKILLed
+  worker (whose ``apply_async`` callbacks never fire) can never park the
+  campaign in an indefinite ``get()``;
+* every in-flight task carries a deadline; a task with no result by its
+  deadline is presumed lost and re-queued, while the original stays
+  known as a *zombie* so a late result is still accepted — first
+  completion wins, the settled-slot set makes the loser a no-op;
+* worker deaths are detected by polling the pool's worker pids; a death
+  tightens all in-flight deadlines to a short grace, so lost chunks are
+  re-queued promptly instead of after a full timeout;
+* failures are retried under the :class:`~repro.faults.plan.RetryPolicy`
+  with exponential backoff; a task that exhausts its attempts is
+  **bisected**, and a single spec that still fails is **quarantined**
+  into an ``"error"`` outcome (plus a synthetic progress event so the
+  journal ledger stays exact) instead of aborting the campaign;
+* if the pool itself breaks (``apply_async`` starts raising), the
+  supervisor degrades to in-process execution and finishes the campaign.
+
+The module deliberately imports nothing from :mod:`repro.campaign` at
+the top level — the campaign runner imports *it* — so the campaign
+types it needs (outcomes, events, fingerprints) are imported inside the
+functions that build them.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_module
+import time
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.faults.plan import FaultPlan, FaultStats, RetryPolicy
+from repro.telemetry.logs import get_logger
+
+__all__ = ["QuarantineError", "SupervisedTask", "Supervisor"]
+
+#: A unit of supervised work: ``fn(specs, ...)`` filling ``indices``.
+TaskSpec = Tuple[Callable, Tuple, Tuple[int, ...]]
+
+#: ``record(indices, outcomes, timings)`` — the runner's slot writer.
+RecordHook = Callable[[Sequence[int], Sequence, Sequence[float]], None]
+
+
+class QuarantineError(RuntimeError):
+    """A spec failed persistently and was quarantined by the supervisor."""
+
+
+class _PoolBroken(RuntimeError):
+    """Internal: the pool rejected a submission; degrade to in-process."""
+
+
+class SupervisedTask:
+    """One submission-unit tracked by the supervisor."""
+
+    __slots__ = ("task_id", "fn", "specs", "indices", "attempt",
+                 "eligible_at", "deadline")
+
+    def __init__(self, task_id: int, fn: Callable, specs: Tuple,
+                 indices: Tuple[int, ...], attempt: int = 1,
+                 eligible_at: float = 0.0) -> None:
+        self.task_id = task_id
+        self.fn = fn
+        self.specs = specs
+        self.indices = indices
+        self.attempt = attempt
+        self.eligible_at = eligible_at
+        self.deadline = float("inf")
+
+
+class Supervisor:
+    """Fault-tolerant executor of ``(fn, specs, indices)`` tasks.
+
+    One instance supervises one campaign run: it accumulates the
+    :class:`~repro.faults.plan.FaultStats` for the run and remembers
+    which slots already settled (so retries, zombies and the in-process
+    fallback can never double-deliver an outcome).
+    """
+
+    def __init__(
+        self,
+        *,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
+        stats: Optional[FaultStats] = None,
+        record: RecordHook,
+        progress: Optional[Callable] = None,
+        telemetry=None,
+        max_outstanding: int = 4,
+    ) -> None:
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.faults = faults
+        self.stats = stats if stats is not None else FaultStats()
+        self._record = record
+        self._progress = progress
+        self._telemetry = telemetry
+        self._max_outstanding = max(1, max_outstanding)
+        self._log = get_logger("faults.supervisor")
+        self._settled: Set[int] = set()
+        self._next_id = 0
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _new_task(self, fn: Callable, specs: Tuple,
+                  indices: Tuple[int, ...], attempt: int = 1) -> SupervisedTask:
+        self._next_id += 1
+        return SupervisedTask(self._next_id, fn, specs, indices, attempt)
+
+    def _settle(self, indices: Sequence[int], outcomes: Sequence,
+                timings: Sequence[float]) -> None:
+        """Record outcomes for slots not yet settled (first result wins)."""
+        fresh = [
+            (index, outcome, seconds)
+            for index, outcome, seconds in zip(indices, outcomes, timings)
+            if index not in self._settled
+        ]
+        if not fresh:
+            return
+        self._settled.update(index for index, _, _ in fresh)
+        self._record(
+            [index for index, _, _ in fresh],
+            [outcome for _, outcome, _ in fresh],
+            [seconds for _, _, seconds in fresh],
+        )
+
+    def _emit_synthetic(self, spec, outcome) -> None:
+        """Ship a parent-side event for a scenario no worker reported.
+
+        Quarantined specs never reach a worker's event emitter (the
+        injected fault fires first), but the journal ledger still needs
+        exactly one scenario record for them.
+        """
+        if self._progress is None:
+            return
+        from repro.campaign.runner import ScenarioEvent
+        from repro.provenance.usage import ResourceUsage
+        from repro.store.fingerprint import fingerprint_spec
+
+        try:
+            self._progress(ScenarioEvent(
+                label=spec.label(),
+                verdict=outcome.verdict,
+                seconds=0.0,
+                worker_pid=os.getpid(),
+                fingerprint=fingerprint_spec(spec),
+                usage=ResourceUsage.of_outcome(outcome, seconds=0.0),
+            ))
+        except Exception:  # noqa: BLE001 - progress must never break a campaign
+            pass
+
+    def _quarantine(self, task: SupervisedTask, exc: BaseException) -> None:
+        from repro.campaign.spec import ScenarioOutcome
+
+        spec = task.specs[0]
+        self.stats.quarantined += 1
+        self._log.warning(
+            "quarantining %s after %d attempt(s): %s: %s",
+            spec.label(), task.attempt, type(exc).__name__, exc)
+        outcome = ScenarioOutcome.from_error(spec, QuarantineError(
+            f"quarantined after {task.attempt} attempt(s); "
+            f"last failure: {type(exc).__name__}: {exc}"
+        ))
+        self._settle(task.indices, [outcome], [0.0])
+        self._emit_synthetic(spec, outcome)
+
+    def _after_failure(self, task: SupervisedTask,
+                       exc: BaseException) -> List[SupervisedTask]:
+        """Retry, bisect or quarantine a failed task.
+
+        Returns the replacement tasks to queue (empty on quarantine).
+        Bisected halves restart at attempt 1: the failure is re-attributed
+        at the finer granularity, which is what drills a poisoned chunk
+        down to the single guilty spec.
+        """
+        if task.attempt < self.retry.max_attempts:
+            self.stats.task_retries += 1
+            task.attempt += 1
+            task.eligible_at = time.monotonic() + self.retry.backoff_for(task.attempt - 1)
+            return [task]
+        if len(task.specs) > 1:
+            self.stats.bisections += 1
+            middle = len(task.specs) // 2
+            self._log.warning(
+                "bisecting task of %d specs after %d failed attempts (%s)",
+                len(task.specs), task.attempt, type(exc).__name__)
+            return [
+                self._new_task(task.fn, task.specs[:middle], task.indices[:middle]),
+                self._new_task(task.fn, task.specs[middle:], task.indices[middle:]),
+            ]
+        self._quarantine(task, exc)
+        return []
+
+    # -- in-process execution ----------------------------------------------
+
+    def run_inline(self, tasks: Iterable[TaskSpec]) -> None:
+        """Execute tasks in the calling process, one at a time.
+
+        ``tasks`` is consumed lazily, so a generator that consults
+        ``should_skip`` sees all previously delivered outcomes before
+        producing the next task — the same submission-time semantics as
+        the pool path.
+        """
+        for fn, specs, indices in tasks:
+            if not specs:
+                continue
+            self._run_inline_one(self._new_task(fn, tuple(specs), tuple(indices)))
+
+    def _run_inline_one(self, task: SupervisedTask) -> None:
+        stack = [task]
+        while stack:
+            current = stack.pop(0)
+            try:
+                outcomes, timings = current.fn(
+                    current.specs, self._progress, self._telemetry,
+                    attempt=current.attempt, faults=self.faults)
+            except Exception as exc:  # noqa: BLE001 - that's the job
+                # No backoff sleeps inline: injected faults are
+                # deterministic per attempt, waiting buys nothing.
+                stack[:0] = self._after_failure(current, exc)
+            else:
+                self._settle(current.indices, list(outcomes), list(timings))
+
+    # -- pool execution ----------------------------------------------------
+
+    def run_pool(self, pool, tasks: Iterable[TaskSpec]) -> None:
+        """Supervised dispatch of ``tasks`` onto a multiprocessing pool.
+
+        Never blocks unboundedly: the completion wait is capped at
+        ``wake_seconds``, after which worker liveness and task deadlines
+        are re-checked.  On pool breakage the remaining work is finished
+        in-process (:attr:`FaultStats.pool_failures` counts it).
+        """
+        done: "queue_module.SimpleQueue" = queue_module.SimpleQueue()
+        inflight: Dict[int, SupervisedTask] = {}
+        zombies: Dict[int, Tuple[int, ...]] = {}
+        waiting: List[SupervisedTask] = []
+        pending: Iterator[TaskSpec] = iter(tasks)
+        exhausted = False
+        known_pids = self._pool_pids(pool) or set()
+        # Wedge detection: a worker killed while *idle* in the shared
+        # task queue's ``get()`` dies holding the queue's reader lock,
+        # starving every other worker forever — no callback will ever
+        # arrive again.  Track when the pool last showed signs of life
+        # (a submission or a completed callback) and degrade to inline
+        # execution once the silence outlasts any legitimate task.
+        last_callback = time.monotonic()
+
+        def submit(task: SupervisedTask) -> None:
+            nonlocal last_callback
+            task.deadline = time.monotonic() + self.retry.task_timeout_seconds
+            task_id = task.task_id
+            try:
+                pool.apply_async(
+                    task.fn, (task.specs,), {"attempt": task.attempt},
+                    callback=lambda result, t=task_id: done.put((t, result, None)),
+                    error_callback=lambda exc, t=task_id: done.put((t, None, exc)),
+                )
+            except Exception as exc:  # pool closed/broken
+                waiting.append(task)
+                raise _PoolBroken from exc
+            inflight[task_id] = task
+            last_callback = time.monotonic()
+
+        def next_ready() -> Optional[SupervisedTask]:
+            nonlocal exhausted
+            now = time.monotonic()
+            for position, candidate in enumerate(waiting):
+                if candidate.eligible_at <= now:
+                    return waiting.pop(position)
+            if not exhausted:
+                for fn, specs, indices in pending:
+                    if not specs:
+                        continue
+                    return self._new_task(fn, tuple(specs), tuple(indices))
+                exhausted = True
+            return None
+
+        try:
+            while True:
+                while len(inflight) < self._max_outstanding:
+                    task = next_ready()
+                    if task is None:
+                        break
+                    submit(task)
+                if not inflight:
+                    if waiting:
+                        # Everything is backing off; sleep toward the
+                        # earliest eligibility, never past one tick.
+                        delay = min(t.eligible_at for t in waiting) - time.monotonic()
+                        if delay > 0:
+                            time.sleep(min(delay, self.retry.wake_seconds))
+                        continue
+                    return  # all slots settled, nothing pending
+                try:
+                    task_id, result, exc = done.get(timeout=self.retry.wake_seconds)
+                except queue_module.Empty:
+                    self._check_liveness(pool, inflight, zombies, waiting, known_pids)
+                    wedge_after = (self.retry.task_timeout_seconds
+                                   + self.retry.death_grace_seconds)
+                    if (self.stats.worker_deaths and inflight
+                            and time.monotonic() - last_callback > wedge_after):
+                        self._log.error(
+                            "pool silent for %.1fs after a worker death — "
+                            "likely wedged on the task-queue lock the dead "
+                            "worker held; degrading to in-process execution",
+                            wedge_after)
+                        raise _PoolBroken
+                    continue
+                last_callback = time.monotonic()
+                task = inflight.pop(task_id, None)
+                if task is not None:
+                    if exc is None:
+                        outcomes, timings = result
+                        self._settle(task.indices, list(outcomes), list(timings))
+                    else:
+                        waiting.extend(self._after_failure(task, exc))
+                    continue
+                zombie_indices = zombies.pop(task_id, None)
+                if zombie_indices is not None and exc is None:
+                    # A presumed-lost task completed after all: accept
+                    # the late result; already-settled slots are no-ops.
+                    outcomes, timings = result
+                    self._settle(zombie_indices, list(outcomes), list(timings))
+                # A zombie *failure* needs nothing: its replacement was
+                # queued when the deadline expired.
+        except _PoolBroken:
+            self.stats.pool_failures += 1
+            self._log.error(
+                "worker pool broke mid-campaign; finishing %d in-flight and "
+                "%d queued task(s) in-process",
+                len(inflight), len(waiting))
+            leftovers: List[SupervisedTask] = list(inflight.values()) + waiting
+            inflight.clear()
+            if not exhausted:
+                for fn, specs, indices in pending:
+                    if specs:
+                        leftovers.append(
+                            self._new_task(fn, tuple(specs), tuple(indices)))
+            for task in leftovers:
+                self._run_inline_one(task)
+
+    def _check_liveness(self, pool, inflight: Dict[int, SupervisedTask],
+                        zombies: Dict[int, Tuple[int, ...]],
+                        waiting: List[SupervisedTask],
+                        known_pids: Set[int]) -> None:
+        """Detect dead workers and expired deadlines; re-queue their work."""
+        now = time.monotonic()
+        pids = self._pool_pids(pool)
+        if pids is not None:
+            dead = known_pids - pids
+            if dead:
+                self.stats.worker_deaths += len(dead)
+                self._log.warning(
+                    "%d worker(s) died (pids %s); re-queueing their work "
+                    "within %.1fs", len(dead), sorted(dead),
+                    self.retry.death_grace_seconds)
+                # The pool cannot say which task the dead worker held, so
+                # tighten every in-flight deadline: live tasks re-settle
+                # harmlessly, the lost one is re-queued after the grace.
+                cutoff = now + self.retry.death_grace_seconds
+                for task in inflight.values():
+                    task.deadline = min(task.deadline, cutoff)
+            known_pids.clear()
+            known_pids.update(pids)
+        expired = [task_id for task_id, task in inflight.items()
+                   if task.deadline <= now]
+        for task_id in expired:
+            task = inflight.pop(task_id)
+            zombies[task_id] = task.indices
+            self.stats.task_timeouts += 1
+            self._log.warning(
+                "task %d (%d spec(s), attempt %d) produced no result before "
+                "its deadline; re-queueing", task_id, len(task.specs),
+                task.attempt)
+            clone = self._new_task(task.fn, task.specs, task.indices,
+                                   attempt=task.attempt)
+            waiting.extend(self._after_failure(
+                clone, TimeoutError("no result before task deadline")))
+
+    @staticmethod
+    def _pool_pids(pool) -> Optional[Set[int]]:
+        """Current worker pids, or ``None`` when the pool hides them."""
+        try:
+            return {proc.pid for proc in pool._pool}
+        except Exception:  # pragma: no cover - non-CPython pool internals
+            return None

@@ -42,15 +42,19 @@ from repro.campaign.grid import ScenarioGrid
 from repro.campaign.runner import CampaignResult, CampaignRunner, ScenarioEvent
 from repro.campaign.scenarios import get_kind
 from repro.campaign.spec import ScenarioOutcome, ScenarioSpec
+from repro.exceptions import ConfigurationError
 from repro.provenance.journal import CampaignJournal
 from repro.provenance.usage import ResourceUsage
 from repro.store.base import ResultStore
 from repro.store.fingerprint import fingerprint_spec
 from repro.store.policy import EarlyStopPolicy
 from repro.store.progress import ProgressReporter
+from repro.telemetry.logs import get_logger
 from repro.telemetry.session import TelemetrySession
 
 __all__ = ["CacheStats", "CachingRunner"]
+
+_log = get_logger("store.caching")
 
 
 @dataclass(frozen=True)
@@ -174,11 +178,25 @@ class CachingRunner:
             # which is what makes traces joinable against the ledger.
             self.telemetry.begin(campaign, len(specs))
 
+        ran_fps: set = set()
+
         def emit(event: ScenarioEvent) -> None:
             # Journal first (provenance is the record), then telemetry
             # (metrics + span collection), reporter last.  Under the
             # process backend this runs on the parent's drain thread for
             # executed scenarios.
+            if not event.cached and event.fingerprint:
+                # A supervised retry re-runs scenarios whose first
+                # attempt already reported (the worker died mid-chunk
+                # after emitting some events, or a timed-out chunk
+                # completed late).  The journal ledger demands exactly
+                # one record per position, so replayed "ran" events are
+                # dropped; legitimate duplicate input positions are
+                # always reported as ``cached`` replays, never as a
+                # second non-cached event.
+                if event.fingerprint in ran_fps:
+                    return
+                ran_fps.add(event.fingerprint)
             if self.journal is not None:
                 self.journal.scenario_event(campaign, event)
             if self.telemetry is not None:
@@ -227,10 +245,39 @@ class CachingRunner:
             pending.append(spec)
 
         executed_fps: set = set()
+        executed_seconds: Dict[object, float] = {}
+        store_write_failures = 0
 
         def persist(outcome: ScenarioOutcome, seconds: float) -> None:
+            nonlocal store_write_failures
             fingerprint = fingerprint_spec(outcome.spec)
-            self.store.put(fingerprint, outcome)
+            executed_seconds[fingerprint] = seconds
+            quarantined = (
+                outcome.verdict == "error"
+                and (outcome.error or "").startswith("QuarantineError")
+            )
+            if quarantined:
+                # Quarantine is infrastructure history, not a property
+                # of the scenario: keep it out of the cache so a future
+                # run (or a resume) re-attempts the spec instead of
+                # replaying the infrastructure failure as a hit.
+                pass
+            else:
+                try:
+                    self.store.put(fingerprint, outcome)
+                except ConfigurationError:
+                    # A spec the store *cannot ever* persist is a user
+                    # mistake, not flaky infrastructure — fail loudly.
+                    raise
+                except Exception as exc:  # noqa: BLE001 - cache, not contract
+                    # The store is a cache: a failed write costs a cache
+                    # entry (the scenario re-runs next campaign), never
+                    # the in-memory outcome or the campaign itself.
+                    store_write_failures += 1
+                    _log.warning(
+                        "store write failed for %s (%s: %s); outcome kept "
+                        "in memory only", str(fingerprint)[:12],
+                        type(exc).__name__, exc)
             outcomes_by_fp[fingerprint] = outcome
             executed_fps.add(fingerprint)
             if self.policy is not None:
@@ -249,6 +296,24 @@ class CachingRunner:
         )
 
         if inner_progress is not None:
+            # A worker SIGKILLed while holding the event queue's write
+            # lock (or mid-write) silences the queue for good: the drain
+            # sees nothing further, and every later worker event is lost.
+            # The parent still received every outcome through the result
+            # channel, so reconcile — each executed scenario whose "ran"
+            # event never arrived gets a synthetic one, keeping the
+            # journal ledger and telemetry exact under external kills.
+            for spec, fingerprint in zip(specs, fingerprints):
+                if fingerprint not in executed_fps or fingerprint in ran_fps:
+                    continue
+                outcome = outcomes_by_fp[fingerprint]
+                emit(ScenarioEvent(
+                    label=spec.label(), verdict=outcome.verdict,
+                    seconds=executed_seconds.get(fingerprint, 0.0),
+                    worker_pid=os.getpid(), cached=False,
+                    fingerprint=fingerprint,
+                    usage=ResourceUsage.of_outcome(outcome),
+                ))
             # Deduplicated duplicate positions completed with their first
             # occurrence; report them so totals add up to the campaign size.
             for spec, fingerprint in duplicates:
@@ -274,6 +339,13 @@ class CachingRunner:
             executed=executed_positions,
             skipped=len(specs) - cached_positions - executed_positions,
         )
+        stats_payload = self.last_stats.as_dict()
+        if store_write_failures:
+            stats_payload["store_write_failures"] = store_write_failures
+        if inner.fault_stats.any():
+            # Surface what the supervisor survived (worker deaths,
+            # retries, quarantines) in the campaign's provenance record.
+            stats_payload["faults"] = inner.fault_stats.as_dict()
         if self.journal is not None:
             # Positions without an outcome were dropped by the policy —
             # record them so the per-scenario ledger sums to the size.
@@ -287,9 +359,12 @@ class CachingRunner:
                     self.policy.certified_points().items(), key=repr
                 ):
                     self.journal.early_stop(campaign, point, verdict)
-            self.journal.campaign_finished(campaign, self.last_stats.as_dict())
+            self.journal.campaign_finished(campaign, stats_payload)
         if self.telemetry is not None:
-            self.telemetry.finish(stats=self.last_stats.as_dict())
+            self.telemetry.record_faults(
+                inner.fault_stats.as_dict(),
+                store_write_failures=store_write_failures)
+            self.telemetry.finish(stats=stats_payload)
         if self.progress is not None:
             self.progress.campaign_finished()
 
@@ -299,6 +374,7 @@ class CachingRunner:
             workers=inner.workers,
             elapsed_seconds=inner.elapsed_seconds,
             scenario_seconds=inner.scenario_seconds,
+            fault_stats=inner.fault_stats,
         )
 
     # -- lifecycle ---------------------------------------------------------

@@ -1,0 +1,271 @@
+"""Offline store compaction: ``python -m repro.store.compact``.
+
+Result stores accumulate weight that reads can never see again:
+
+* rows written under an older :data:`repro.store.SCHEMA_VERSION` — their
+  fingerprints hash the version in, so no current lookup can ever match
+  them (readers already skip them; compaction is where they finally go);
+* superseded JSONL duplicates — the append-only backend records every
+  ``put``, so a re-run that overwrites a fingerprint leaves the stale
+  line in place and only the in-memory index knows the last one wins;
+* a torn final line left by a campaign killed mid-append (the store
+  heals this lazily on the next open; compaction heals it eagerly).
+
+Compaction applies the *same* classification the readers use — it keeps
+exactly the rows a fresh :class:`~repro.store.jsonl.JsonlResultStore` /
+:class:`~repro.store.sqlite.SqliteResultStore` would index, byte-for-byte
+for JSONL (kept lines are copied, never re-encoded), and raises the same
+:class:`~repro.exceptions.ConfigurationError` on mid-file corruption
+instead of silently discarding stored evidence.  The JSONL rewrite is
+atomic (temp file + ``os.replace``), so a kill mid-compaction leaves
+either the old file or the new one, never a mix.
+
+``--dry-run`` reports what *would* happen without touching the file;
+backends are picked from the path suffix exactly as
+:func:`repro.store.base.open_store` does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sqlite3
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.campaign.codec import outcome_from_dict
+from repro.exceptions import ConfigurationError
+from repro.store.fingerprint import SCHEMA_VERSION
+
+__all__ = ["CompactReport", "compact_jsonl", "compact_sqlite", "compact_store", "main"]
+
+
+@dataclass(frozen=True)
+class CompactReport:
+    """What one compaction pass found (and, unless dry-run, did)."""
+
+    path: str
+    backend: str
+    rows_kept: int
+    rows_dropped_schema: int
+    rows_deduped: int
+    tail_bytes_healed: int
+    bytes_before: int
+    bytes_after: int
+    dry_run: bool
+
+    @property
+    def changed(self) -> bool:
+        return bool(
+            self.rows_dropped_schema or self.rows_deduped or self.tail_bytes_healed
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "backend": self.backend,
+            "rows_kept": self.rows_kept,
+            "rows_dropped_schema": self.rows_dropped_schema,
+            "rows_deduped": self.rows_deduped,
+            "tail_bytes_healed": self.tail_bytes_healed,
+            "bytes_before": self.bytes_before,
+            "bytes_after": self.bytes_after,
+            "dry_run": self.dry_run,
+        }
+
+    def summary(self) -> str:
+        verb = "would keep" if self.dry_run else "kept"
+        parts = [f"{verb} {self.rows_kept} rows"]
+        if self.rows_dropped_schema:
+            parts.append(f"dropped {self.rows_dropped_schema} dead-schema")
+        if self.rows_deduped:
+            parts.append(f"deduped {self.rows_deduped}")
+        if self.tail_bytes_healed:
+            parts.append(f"healed {self.tail_bytes_healed}-byte torn tail")
+        if not self.changed:
+            parts.append("already compact")
+        return (
+            f"{self.path} [{self.backend}]: {', '.join(parts)} "
+            f"({self.bytes_before} -> {self.bytes_after} bytes)"
+        )
+
+
+def compact_jsonl(path: Union[str, Path], *, dry_run: bool = False) -> CompactReport:
+    """Compact one JSONL store file.
+
+    Classification mirrors ``JsonlResultStore._load`` exactly: a torn
+    final line (no data after it) is healed away, any other unreadable
+    line raises, other-schema rows are dropped, and of duplicate
+    current-schema rows the *last* wins (the semantics appends already
+    have through the in-memory index).  Kept lines are preserved
+    byte-for-byte, in their original relative order.
+    """
+    path = Path(path)
+    data = path.read_bytes() if path.exists() else b""
+    lines = data.split(b"\n")
+
+    kept: List[bytes] = []  # raw current-schema lines, file order
+    last_for_fp: Dict[str, int] = {}  # fp -> index into kept (last wins)
+    dropped_schema = 0
+    good_until = 0
+    for line_number, raw_line in enumerate(lines, start=1):
+        stripped = raw_line.strip()
+        if stripped:
+            try:
+                record = json.loads(stripped.decode("utf-8"))
+                if not isinstance(record, dict):
+                    raise ConfigurationError(f"record is not an object: {record!r}")
+                if record.get("v") == SCHEMA_VERSION:
+                    digest = record["fp"]
+                    if not isinstance(digest, str) or not digest:
+                        raise ConfigurationError(
+                            f"record has a non-string fingerprint: {digest!r}"
+                        )
+                    outcome_from_dict(record["outcome"])  # corruption check only
+                    kept.append(stripped)
+                    last_for_fp[digest] = len(kept) - 1
+                else:
+                    dropped_schema += 1
+            except (ValueError, KeyError, TypeError, ConfigurationError) as exc:
+                if good_until + len(raw_line) + 1 <= len(data):
+                    raise ConfigurationError(
+                        f"corrupt result store {path}: unreadable record "
+                        f"on line {line_number} ({exc})"
+                    ) from exc
+                break  # torn final line: healed away below
+        good_until += len(raw_line) + 1
+    good_until = min(good_until, len(data))
+    tail_healed = len(data) - good_until
+
+    live = set(last_for_fp.values())
+    compacted = [line for index, line in enumerate(kept) if index in live]
+    deduped = len(kept) - len(compacted)
+
+    new_data = b"".join(line + b"\n" for line in compacted)
+    report = CompactReport(
+        path=str(path),
+        backend="jsonl",
+        rows_kept=len(compacted),
+        rows_dropped_schema=dropped_schema,
+        rows_deduped=deduped,
+        tail_bytes_healed=tail_healed,
+        bytes_before=len(data),
+        bytes_after=len(new_data) if (dropped_schema or deduped or tail_healed)
+        else len(data),
+        dry_run=dry_run,
+    )
+    if not dry_run and report.changed:
+        # Atomic swap: a kill mid-compaction leaves old bytes or new
+        # bytes, never a mix the next open would classify as corrupt.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.name, suffix=".compact"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(new_data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+    return report
+
+
+def compact_sqlite(path: Union[str, Path], *, dry_run: bool = False) -> CompactReport:
+    """Compact one SQLite store: drop dead-schema rows, then ``VACUUM``.
+
+    Duplicates cannot exist (fingerprint is the primary key), so the
+    whole job is deleting rows whose ``schema_version`` no current
+    lookup can match, and reclaiming their pages.
+    """
+    path = Path(path)
+    bytes_before = path.stat().st_size if path.exists() else 0
+    conn = sqlite3.connect(str(path))
+    try:
+        kept = conn.execute(
+            "SELECT COUNT(*) FROM results WHERE schema_version = ?",
+            (SCHEMA_VERSION,),
+        ).fetchone()[0]
+        dead = conn.execute(
+            "SELECT COUNT(*) FROM results WHERE schema_version != ?",
+            (SCHEMA_VERSION,),
+        ).fetchone()[0]
+        if not dry_run and dead:
+            with conn:
+                conn.execute(
+                    "DELETE FROM results WHERE schema_version != ?",
+                    (SCHEMA_VERSION,),
+                )
+            conn.execute("VACUUM")
+            conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+    except sqlite3.DatabaseError as exc:
+        raise ConfigurationError(f"cannot compact {path}: {exc}") from exc
+    finally:
+        conn.close()
+    bytes_after = path.stat().st_size if path.exists() else 0
+    return CompactReport(
+        path=str(path),
+        backend="sqlite",
+        rows_kept=kept,
+        rows_dropped_schema=dead,
+        rows_deduped=0,
+        tail_bytes_healed=0,
+        bytes_before=bytes_before,
+        bytes_after=bytes_after if not dry_run else bytes_before,
+        dry_run=dry_run,
+    )
+
+
+def compact_store(path: Union[str, Path], *, dry_run: bool = False) -> CompactReport:
+    """Compact one store, picking the backend from the path suffix.
+
+    The dispatch matches :func:`repro.store.base.open_store`:
+    ``.sqlite`` / ``.sqlite3`` / ``.db`` is SQLite, anything else JSONL
+    (``:memory:`` has nothing on disk to compact and is rejected).
+    """
+    text = str(path)
+    if text == ":memory:":
+        raise ConfigurationError("the in-memory store has no file to compact")
+    if not Path(text).exists():
+        raise ConfigurationError(f"no such store: {text}")
+    if text.endswith((".sqlite", ".sqlite3", ".db")):
+        return compact_sqlite(text, dry_run=dry_run)
+    return compact_jsonl(text, dry_run=dry_run)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store.compact",
+        description=(
+            "Compact result stores: drop rows from dead schema versions, "
+            "dedupe superseded JSONL records, heal torn JSONL tails."
+        ),
+    )
+    parser.add_argument("paths", nargs="+", metavar="STORE",
+                        help="store files (.jsonl or .sqlite/.sqlite3/.db)")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="report what would change without rewriting")
+    args = parser.parse_args(argv)
+
+    status = 0
+    for path in args.paths:
+        try:
+            report = compact_store(path, dry_run=args.dry_run)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        print(report.summary())
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

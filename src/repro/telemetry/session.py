@@ -204,6 +204,23 @@ class TelemetrySession:
         """Counts/sums only — bit-identical across policies and backends."""
         return self.metrics.deterministic_snapshot()
 
+    def record_faults(self, fault_stats: Dict[str, int], *,
+                      store_write_failures: int = 0) -> None:
+        """Record the supervisor's fault counters for this campaign.
+
+        Only non-zero counters are registered, and all of them as
+        ``timing=True``: how often infrastructure failed is measurement,
+        not outcome, so the counters must not perturb the cross-backend
+        equality of :meth:`deterministic_snapshot` (worker deaths are
+        scheduling accidents even when injected deterministically).
+        """
+        for name, value in fault_stats.items():
+            if value:
+                self.metrics.counter(name, timing=True).inc(int(value))
+        if store_write_failures:
+            self.metrics.counter(
+                "store_write_failures", timing=True).inc(store_write_failures)
+
     # -- export ------------------------------------------------------------
 
     def finish(self, stats: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:

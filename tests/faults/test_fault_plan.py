@@ -1,0 +1,170 @@
+"""FaultPlan / RetryPolicy / FaultStats unit contracts.
+
+The chaos machinery is only trustworthy if its *decisions* are boring:
+pure functions of (plan, scenario identity, attempt) that survive
+pickling into pool workers unchanged.  These tests pin that, plus the
+validation and the in-process execution semantics of each channel.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+
+from repro.campaign import theorem8_specs
+from repro.exceptions import ConfigurationError
+from repro.faults import (
+    FaultPlan,
+    FaultStats,
+    InjectedFaultError,
+    RetryPolicy,
+)
+
+SPECS = theorem8_specs([4], seeds=(1,), max_steps=4_000)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", [
+        "crash_rate", "hang_rate", "raise_rate", "delay_rate",
+        "poison_rate", "store_failure_rate",
+    ])
+    def test_rates_must_be_probabilities(self, field):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(**{field: 1.5})
+        with pytest.raises(ConfigurationError):
+            FaultPlan(**{field: -0.1})
+
+    def test_fault_attempts_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(fault_attempts=0)
+
+    def test_durations_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(hang_seconds=0)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(delay_seconds=-1)
+
+    def test_retry_policy_validates(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(task_timeout_seconds=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_seconds=-0.1)
+        RetryPolicy(backoff_seconds=0)  # zero backoff is legitimate
+
+    def test_backoff_doubles_per_attempt(self):
+        policy = RetryPolicy(backoff_seconds=0.1)
+        assert policy.backoff_for(1) == pytest.approx(0.1)
+        assert policy.backoff_for(2) == pytest.approx(0.2)
+        assert policy.backoff_for(3) == pytest.approx(0.4)
+
+
+class TestDecisions:
+    def test_decisions_are_deterministic(self):
+        plan = FaultPlan(seed=7, crash_rate=0.3, raise_rate=0.3, delay_rate=0.3)
+        first = [plan.decide(spec) for spec in SPECS]
+        second = [plan.decide(spec) for spec in SPECS]
+        assert first == second
+        assert any(action is not None for action in first)
+        assert any(action is None for action in first)
+
+    def test_decisions_survive_pickling(self):
+        plan = FaultPlan(seed=7, crash_rate=0.3, hang_rate=0.2, raise_rate=0.3)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+        assert [clone.decide(s) for s in SPECS] == [plan.decide(s) for s in SPECS]
+        policy = pickle.loads(pickle.dumps(RetryPolicy(max_attempts=5)))
+        assert policy.max_attempts == 5
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(seed=1, raise_rate=0.5)
+        b = FaultPlan(seed=2, raise_rate=0.5)
+        assert [a.decide(s) for s in SPECS] != [b.decide(s) for s in SPECS]
+
+    def test_rate_extremes(self):
+        everything = FaultPlan(raise_rate=1.0)
+        nothing = FaultPlan()
+        for spec in SPECS:
+            assert everything.decide(spec).kind == "raise"
+            assert nothing.decide(spec) is None
+
+    def test_poison_outranks_transient_channels(self):
+        label = SPECS[0].label()
+        plan = FaultPlan(crash_rate=1.0, poison_labels=(label,))
+        action = plan.decide(SPECS[0])
+        assert action.kind == "raise" and action.persistent
+        assert plan.decide(SPECS[1]).kind == "crash"
+
+    def test_transient_faults_respect_the_attempt_gate(self):
+        plan = FaultPlan(raise_rate=1.0, fault_attempts=2)
+        assert plan.decide(SPECS[0], attempt=1) is not None
+        assert plan.decide(SPECS[0], attempt=2) is not None
+        assert plan.decide(SPECS[0], attempt=3) is None
+
+    def test_poison_ignores_the_attempt_gate(self):
+        plan = FaultPlan(poison_labels=(SPECS[0].label(),))
+        assert plan.decide(SPECS[0], attempt=99).persistent
+
+    def test_label_targeting(self):
+        plan = FaultPlan(crash_labels=(SPECS[2].label(),))
+        assert plan.decide(SPECS[2]).kind == "crash"
+        assert plan.decide(SPECS[3]) is None
+
+    def test_store_write_decisions(self):
+        plan = FaultPlan(store_failure_rate=1.0)
+        assert plan.store_write_fails("a" * 64, attempt=1)
+        assert not plan.store_write_fails("a" * 64, attempt=2)  # transient
+        assert not FaultPlan().store_write_fails("a" * 64)
+        mixed = FaultPlan(store_failure_rate=0.5)
+        rolls = [mixed.store_write_fails(format(i, "064x")) for i in range(64)]
+        assert any(rolls) and not all(rolls)
+
+
+class TestPerform:
+    def test_raise_channel_raises_everywhere(self):
+        plan = FaultPlan(raise_rate=1.0)
+        with pytest.raises(InjectedFaultError):
+            plan.perform(SPECS[0], 1, in_worker=False)
+        with pytest.raises(InjectedFaultError):
+            plan.perform(SPECS[0], 1, in_worker=True)
+
+    def test_crash_and_hang_are_noops_outside_workers(self):
+        # If these fired in-process they would kill/stall the campaign
+        # itself — the equality invariant depends on the gate.
+        crash = FaultPlan(crash_rate=1.0)
+        hang = FaultPlan(hang_rate=1.0, hang_seconds=30.0)
+        started = time.monotonic()
+        crash.perform(SPECS[0], 1, in_worker=False)
+        hang.perform(SPECS[0], 1, in_worker=False)
+        assert time.monotonic() - started < 1.0
+
+    def test_delay_sleeps_but_passes(self):
+        plan = FaultPlan(delay_rate=1.0, delay_seconds=0.01)
+        started = time.monotonic()
+        plan.perform(SPECS[0], 1, in_worker=False)
+        assert time.monotonic() - started >= 0.005
+
+    def test_clean_plan_does_nothing(self):
+        FaultPlan().perform(SPECS[0], 1, in_worker=True)
+
+
+class TestFaultStats:
+    def test_roundtrip(self):
+        stats = FaultStats(worker_deaths=2, task_retries=5, quarantined=1)
+        assert stats.any()
+        clone = FaultStats.from_dict(stats.as_dict())
+        assert clone == stats
+
+    def test_from_dict_tolerates_junk(self):
+        stats = FaultStats.from_dict(
+            {"worker_deaths": "three", "task_retries": 2, "bogus": 9,
+             "quarantined": True})
+        assert stats.worker_deaths == 0  # non-int ignored
+        assert stats.task_retries == 2
+        assert stats.quarantined == 0  # bools are not counts
+
+    def test_fresh_stats_report_nothing(self):
+        assert not FaultStats().any()

@@ -1,0 +1,150 @@
+"""Supervisor unit contracts: settle-once, retry, bisect, quarantine.
+
+These exercise the supervision state machine in-process with scripted
+task functions — no pool, no fault plan — so each transition (retry
+with backoff accounting, bisection re-attribution, quarantine as an
+``"error"`` outcome) is pinned in isolation from the chaos machinery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import theorem8_specs
+from repro.campaign.spec import ScenarioOutcome
+from repro.faults import FaultStats, RetryPolicy, Supervisor
+from repro.faults.supervisor import QuarantineError
+
+SPECS = theorem8_specs([4], seeds=(1,), max_steps=4_000)[:6]
+
+
+def _ok(spec) -> ScenarioOutcome:
+    return ScenarioOutcome(spec=spec, verdict="ok", distinct_decisions=1,
+                           decided=spec.n, steps=1)
+
+
+def _recorder(results):
+    def record(indices, outcomes, timings):
+        for index, outcome, seconds in zip(indices, outcomes, timings):
+            assert index not in results, f"slot {index} settled twice"
+            results[index] = outcome
+    return record
+
+
+def _policy(**overrides):
+    defaults = dict(max_attempts=3, backoff_seconds=0.0,
+                    task_timeout_seconds=5.0, death_grace_seconds=0.2,
+                    wake_seconds=0.02, teardown_grace_seconds=0.5)
+    defaults.update(overrides)
+    return RetryPolicy(**defaults)
+
+
+class TestInline:
+    def test_settles_every_slot_exactly_once(self):
+        results = {}
+        supervisor = Supervisor(retry=_policy(), record=_recorder(results))
+        supervisor.run_inline([
+            (lambda specs, *a, **k: ([_ok(s) for s in specs],
+                                     [0.0] * len(specs)),
+             tuple(SPECS), tuple(range(len(SPECS)))),
+        ])
+        assert sorted(results) == list(range(len(SPECS)))
+        assert all(o.verdict == "ok" for o in results.values())
+
+    def test_transient_failure_is_retried(self):
+        calls = []
+
+        def flaky(specs, *args, attempt=1, **kwargs):
+            calls.append(attempt)
+            if attempt == 1:
+                raise RuntimeError("transient")
+            return [_ok(s) for s in specs], [0.0] * len(specs)
+
+        results = {}
+        stats = FaultStats()
+        supervisor = Supervisor(retry=_policy(), stats=stats,
+                                record=_recorder(results))
+        supervisor.run_inline([(flaky, tuple(SPECS), tuple(range(len(SPECS))))])
+        assert calls == [1, 2]
+        assert stats.task_retries == 1
+        assert len(results) == len(SPECS)
+
+    def test_persistent_chunk_failure_bisects_to_the_guilty_spec(self):
+        guilty = SPECS[2]
+
+        def poisoned(specs, *args, **kwargs):
+            if guilty in specs:
+                raise RuntimeError("poison")
+            return [_ok(s) for s in specs], [0.0] * len(specs)
+
+        results = {}
+        stats = FaultStats()
+        supervisor = Supervisor(retry=_policy(max_attempts=2), stats=stats,
+                                record=_recorder(results))
+        supervisor.run_inline([(poisoned, tuple(SPECS), tuple(range(len(SPECS))))])
+
+        assert stats.quarantined == 1
+        assert stats.bisections >= 1
+        assert len(results) == len(SPECS)  # nothing lost, nothing doubled
+        bad = results[2]
+        assert bad.verdict == "error"
+        assert bad.error.startswith("QuarantineError")
+        assert all(results[i].verdict == "ok"
+                   for i in range(len(SPECS)) if i != 2)
+
+    def test_single_spec_task_quarantines_after_max_attempts(self):
+        attempts = []
+
+        def always_fails(specs, *args, attempt=1, **kwargs):
+            attempts.append(attempt)
+            raise RuntimeError("never works")
+
+        results = {}
+        stats = FaultStats()
+        supervisor = Supervisor(retry=_policy(max_attempts=3), stats=stats,
+                                record=_recorder(results))
+        supervisor.run_inline([(always_fails, (SPECS[0],), (0,))])
+        assert attempts == [1, 2, 3]
+        assert stats.task_retries == 2
+        assert stats.quarantined == 1
+        assert results[0].verdict == "error"
+        assert "never works" in results[0].error
+
+    def test_quarantine_emits_a_synthetic_event(self):
+        events = []
+
+        def always_fails(specs, *args, **kwargs):
+            raise RuntimeError("boom")
+
+        supervisor = Supervisor(retry=_policy(max_attempts=1),
+                                record=_recorder({}),
+                                progress=events.append)
+        supervisor.run_inline([(always_fails, (SPECS[0],), (0,))])
+        assert len(events) == 1
+        event = events[0]
+        assert event.label == SPECS[0].label()
+        assert event.verdict == "error"
+        assert event.fingerprint  # ledger needs the scenario identity
+
+    def test_settled_slots_are_never_overwritten(self):
+        results = {}
+        supervisor = Supervisor(retry=_policy(), record=_recorder(results))
+        first = _ok(SPECS[0])
+        supervisor._settle([0], [first], [0.0])
+        late = ScenarioOutcome.from_error(SPECS[0], RuntimeError("late"))
+        supervisor._settle([0], [late], [0.0])  # the recorder asserts
+        assert results[0] is first
+
+    def test_empty_tasks_are_skipped(self):
+        supervisor = Supervisor(retry=_policy(), record=_recorder({}))
+        supervisor.run_inline([(lambda *a, **k: ([], []), (), ())])
+
+
+class TestQuarantineError:
+    def test_is_a_runtime_error_with_context(self):
+        assert issubclass(QuarantineError, RuntimeError)
+        outcome = ScenarioOutcome.from_error(
+            SPECS[0], QuarantineError("quarantined after 3 attempt(s)"))
+        assert outcome.error.startswith("QuarantineError")
+        with pytest.raises(QuarantineError):
+            raise QuarantineError("x")
