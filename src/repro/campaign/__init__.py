@@ -45,11 +45,23 @@ from repro.campaign.codec import (
     spec_from_dict,
     spec_to_dict,
 )
+from repro.campaign.costmodel import (
+    CostModel,
+    OnlineCostModel,
+    cost_key,
+    plan_chunks,
+)
 from repro.campaign.runner import (
     CampaignResult,
     CampaignRunner,
     ScenarioEvent,
     run_scenario,
+)
+from repro.campaign.wire import (
+    WireChunk,
+    decode_chunk,
+    encode_chunk,
+    ensure_specs,
 )
 
 __all__ = [
@@ -61,6 +73,14 @@ __all__ = [
     "CampaignResult",
     "ScenarioEvent",
     "run_scenario",
+    "CostModel",
+    "OnlineCostModel",
+    "cost_key",
+    "plan_chunks",
+    "WireChunk",
+    "encode_chunk",
+    "decode_chunk",
+    "ensure_specs",
     "spec_to_dict",
     "spec_from_dict",
     "outcome_to_dict",

@@ -67,12 +67,14 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.campaign import codec
+from repro.campaign.costmodel import CostModel, plan_chunks
 from repro.campaign.grid import ScenarioGrid
 from repro.campaign.scenarios import get_kind
 from repro.campaign.spec import ScenarioOutcome, ScenarioSpec
+from repro.campaign.wire import encode_chunk, ensure_specs
 from repro.exceptions import ConfigurationError
 from repro.faults.plan import FaultPlan, FaultStats, RetryPolicy
-from repro.faults.supervisor import Supervisor
+from repro.faults.supervisor import DispatchStats, Supervisor
 from repro.provenance.usage import ResourceUsage
 from repro.telemetry.logs import get_logger
 from repro.telemetry.session import WorkerTelemetry
@@ -237,7 +239,13 @@ def _run_batch(
     and the drained records ride back on the scenario's event.
     Unsampled scenarios run with no ambient tracer at all, the same
     zero-overhead path as telemetry-off campaigns.
+
+    ``specs`` may arrive as a compact :class:`repro.campaign.wire.WireChunk`
+    (the pool path ships descriptors, not spec tuples);
+    :func:`~repro.campaign.wire.ensure_specs` expands it — memoised, so a
+    retried descriptor costs nothing — and passes real sequences through.
     """
+    specs = ensure_specs(specs)
     sink = event_sink if event_sink is not None else _WORKER_EVENT_SINK
     telem = telemetry if telemetry is not None else _WORKER_TELEMETRY
     plan = faults if faults is not None else _WORKER_FAULTS
@@ -289,6 +297,7 @@ def _run_wave(
     # run_scenario from this module, so the top level would be circular.
     from repro.simulation.batch_kernel import execute_wave
 
+    specs = ensure_specs(specs)
     sink = event_sink if event_sink is not None else _WORKER_EVENT_SINK
     telem = telemetry if telemetry is not None else _WORKER_TELEMETRY
     plan = faults if faults is not None else _WORKER_FAULTS
@@ -338,6 +347,11 @@ class CampaignResult:
     #: Infrastructure history, not a result property — excluded from
     #: equality so a chaos run can compare equal to a fault-free one.
     fault_stats: FaultStats = field(default_factory=FaultStats, compare=False)
+    #: What shipping the work cost (tasks, wire bytes, queue wait).  Pool
+    #: dispatch accounting only — zero for the in-process backends — and
+    #: excluded from equality for the same reason as ``fault_stats``.
+    dispatch_stats: DispatchStats = field(
+        default_factory=DispatchStats, compare=False)
 
     # -- rollups -----------------------------------------------------------
 
@@ -428,6 +442,7 @@ class CampaignResult:
             "elapsed_seconds": self.elapsed_seconds,
             "scenario_seconds": list(self.scenario_seconds),
             "fault_stats": self.fault_stats.as_dict(),
+            "dispatch_stats": self.dispatch_stats.as_dict(),
             "outcomes": [codec.outcome_to_dict(o) for o in self.outcomes],
         }
         return json.dumps(payload, sort_keys=True, indent=indent)
@@ -449,6 +464,9 @@ class CampaignResult:
             scenario_seconds=tuple(float(s) for s in payload["scenario_seconds"]),
             # Absent in payloads written before the faults subsystem.
             fault_stats=FaultStats.from_dict(payload.get("fault_stats") or {}),
+            # Absent in payloads written before compact dispatch.
+            dispatch_stats=DispatchStats.from_dict(
+                payload.get("dispatch_stats") or {}),
         )
 
 
@@ -493,6 +511,18 @@ class CampaignRunner:
         survived whether or not chaos is injected; the in-process
         backends route through the supervisor only when ``faults`` is
         set, keeping the fault-free fast path untouched.
+    cost_model:
+        An optional frozen :class:`~repro.campaign.costmodel.CostModel`.
+        When set, the chunked/process/batched backends size their chunks
+        and waves by *expected cost* toward ``target_task_seconds`` (via
+        :func:`~repro.campaign.costmodel.plan_chunks`) and submit the
+        longest-expected tasks first, instead of the even count split.
+        Pure scheduling: outcomes are reassembled by spec position, so
+        the :class:`CampaignResult` is identical with any model or none.
+        An explicit ``chunk_size`` wins over the model.
+    target_task_seconds:
+        The per-task latency the cost-model planner sizes chunks toward
+        (default ``0.25``).  Ignored without a ``cost_model``.
     """
 
     backend: str = "serial"
@@ -501,6 +531,8 @@ class CampaignRunner:
     batch: bool = False
     faults: Optional[FaultPlan] = None
     retry: Optional[RetryPolicy] = None
+    cost_model: Optional[CostModel] = None
+    target_task_seconds: float = 0.25
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -511,6 +543,9 @@ class CampaignRunner:
             raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ConfigurationError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.target_task_seconds <= 0:
+            raise ConfigurationError(
+                f"target_task_seconds must be > 0, got {self.target_task_seconds}")
 
     # -- public API --------------------------------------------------------
 
@@ -553,10 +588,12 @@ class CampaignRunner:
             telemetry = telemetry.ensure_samples(specs)
 
         stats = FaultStats()
+        dispatch = DispatchStats()
         started = time.perf_counter()
         if self.batch:
             outcomes, timings, workers = self._run_batched(
-                specs, on_outcome, progress, should_skip, telemetry, stats)
+                specs, on_outcome, progress, should_skip, telemetry, stats,
+                dispatch)
         elif self.backend == "serial":
             if self.faults is None:
                 outcomes, timings = self._run_inprocess(
@@ -568,7 +605,15 @@ class CampaignRunner:
                     on_outcome, progress, telemetry, stats)
             workers = 1
         elif self.backend == "chunked":
-            if self.faults is None:
+            plan = self._plan(specs)
+            if plan is not None:
+                # Planned chunks complete longest-first, so outcomes must
+                # be reassembled by position — the supervised inline path
+                # already does exactly that.
+                outcomes, timings = self._run_supervised_inline(
+                    self._planned_tasks(specs, plan, should_skip),
+                    on_outcome, progress, telemetry, stats)
+            elif self.faults is None:
                 chunks = _chunk(specs, self._effective_chunk_size(len(specs), 1))
                 outcomes, timings = self._run_inprocess(
                     chunks, on_outcome, progress, should_skip, telemetry,
@@ -582,7 +627,8 @@ class CampaignRunner:
             workers = 1
         else:
             outcomes, timings, workers = self._run_process(
-                specs, on_outcome, progress, should_skip, telemetry, stats)
+                specs, on_outcome, progress, should_skip, telemetry, stats,
+                dispatch)
         elapsed = time.perf_counter() - started
 
         return CampaignResult(
@@ -592,6 +638,7 @@ class CampaignRunner:
             elapsed_seconds=elapsed,
             scenario_seconds=tuple(timings),
             fault_stats=stats,
+            dispatch_stats=dispatch,
         )
 
     # -- internals ---------------------------------------------------------
@@ -645,6 +692,39 @@ class CampaignRunner:
             if live_specs:
                 yield (_run_batch, tuple(live_specs), tuple(live_positions))
 
+    def _plan(self, specs: Sequence[ScenarioSpec]) -> Optional[List[Tuple[int, ...]]]:
+        """Cost-planned position groups, or ``None`` for the even split.
+
+        ``None`` (no model, an explicit ``chunk_size`` override, or an
+        empty campaign) keeps the historical chunking byte-for-byte.
+        """
+        if self.cost_model is None or self.chunk_size is not None or not specs:
+            return None
+        return plan_chunks(specs, self.cost_model,
+                           target_seconds=self.target_task_seconds)
+
+    @staticmethod
+    def _planned_tasks(specs: Sequence[ScenarioSpec],
+                       plan: Sequence[Tuple[int, ...]],
+                       should_skip: Optional[SkipHook]):
+        """Lazy tasks over cost-planned position groups (longest first).
+
+        Same submission-time ``should_skip`` semantics as
+        :meth:`_chunk_tasks`; outcomes land by position, so the planned
+        order cannot influence the campaign result.
+        """
+        for group in plan:
+            live_specs: List[ScenarioSpec] = []
+            live_positions: List[int] = []
+            for position in group:
+                spec = specs[position]
+                if should_skip is not None and should_skip(spec):
+                    continue
+                live_specs.append(spec)
+                live_positions.append(position)
+            if live_specs:
+                yield (_run_batch, tuple(live_specs), tuple(live_positions))
+
     def _collect_recorder(self, results: Dict[int, Tuple[ScenarioOutcome, float]],
                           on_outcome: Optional[OutcomeHook]):
         """A supervisor ``record`` hook writing slots + delivering hooks."""
@@ -659,11 +739,13 @@ class CampaignRunner:
     def _make_supervisor(self, record, progress: Optional[ProgressHook],
                          telemetry: Optional[WorkerTelemetry],
                          stats: FaultStats,
-                         max_outstanding: int = 1) -> Supervisor:
+                         max_outstanding: int = 1,
+                         dispatch: Optional[DispatchStats] = None,
+                         pack=None) -> Supervisor:
         return Supervisor(
             retry=self._retry_policy(), faults=self.faults, stats=stats,
             record=record, progress=progress, telemetry=telemetry,
-            max_outstanding=max_outstanding)
+            max_outstanding=max_outstanding, pack=pack, dispatch=dispatch)
 
     def _run_supervised_inline(
         self,
@@ -742,15 +824,18 @@ class CampaignRunner:
         should_skip: Optional[SkipHook],
         telemetry: Optional[WorkerTelemetry],
         stats: FaultStats,
+        dispatch: DispatchStats,
     ) -> Tuple[List[ScenarioOutcome], List[float], int]:
         """Partition specs into kernel waves plus a scalar remainder.
 
         Skips are applied first, so cached fingerprints never inflate a
         wave.  Waves keep their first-occurrence order; the scalar
         leftovers follow in spec order.  For the parallel backends both
-        waves and scalar leftovers are split at the usual chunk size so
-        a single large wave cannot serialise the pool.  Results are
-        reassembled by original spec position.
+        waves and scalar leftovers are split at the usual chunk size —
+        or, with a :attr:`cost_model`, at cost-sized boundaries with the
+        longest-expected tasks submitted first — so a single large wave
+        cannot serialise the pool.  Results are reassembled by original
+        spec position either way.
         """
         # Function-level import: the kernel's scalar fallback imports
         # run_scenario from this module.
@@ -764,27 +849,44 @@ class CampaignRunner:
         waves, scalar = partition_waves(live_specs)
 
         workers = self._effective_workers() if self.backend == "process" else 1
+        # Serial batched runs always take whole waves (max amortisation);
+        # the cost model only re-sizes where parallelism can use it.
+        model = (self.cost_model
+                 if self.backend != "serial" and self.chunk_size is None
+                 else None)
         if self.backend == "serial":
             piece_size = len(live_specs) or 1  # whole waves: max amortisation
         else:
             piece_size = self._effective_chunk_size(len(live_specs), workers)
 
+        def pieces(positions: Sequence[int]) -> List[Sequence[int]]:
+            if model is None:
+                return [positions[start:start + piece_size]
+                        for start in range(0, len(positions), piece_size)]
+            groups = plan_chunks(
+                [live_specs[p] for p in positions], model,
+                target_seconds=self.target_task_seconds)
+            return [[positions[i] for i in group] for group in groups]
+
         tasks: List[Tuple[Callable, Tuple[ScenarioSpec, ...], Tuple[int, ...]]] = []
         for positions in waves:
-            for start in range(0, len(positions), piece_size):
-                piece = positions[start:start + piece_size]
+            for piece in pieces(positions):
                 tasks.append((
                     _run_wave,
                     tuple(live_specs[p] for p in piece),
                     tuple(live[p][0] for p in piece),
                 ))
-        for start in range(0, len(scalar), piece_size):
-            piece = scalar[start:start + piece_size]
+        for piece in pieces(scalar):
             tasks.append((
                 _run_batch,
                 tuple(live_specs[p] for p in piece),
                 tuple(live[p][0] for p in piece),
             ))
+        if model is not None:
+            # Longest-expected first across waves *and* scalar leftovers;
+            # ties broken by first slot, so the order is deterministic.
+            tasks.sort(key=lambda task: (
+                -model.estimate_total(task[1]), task[2][0]))
 
         results: Dict[int, Tuple[ScenarioOutcome, float]] = {}
 
@@ -798,7 +900,7 @@ class CampaignRunner:
         if self.backend == "process" and tasks and workers > 1:
             workers = self._run_on_pool(
                 iter(tasks), min(workers, len(tasks)),
-                progress, telemetry, record, stats)
+                progress, telemetry, record, stats, dispatch)
         elif self.faults is None:
             for fn, task_specs, indices in tasks:
                 task_outcomes, task_timings = fn(task_specs, progress, telemetry)
@@ -820,6 +922,7 @@ class CampaignRunner:
         should_skip: Optional[SkipHook],
         telemetry: Optional[WorkerTelemetry],
         stats: FaultStats,
+        dispatch: DispatchStats,
     ) -> Tuple[List[ScenarioOutcome], List[float], int]:
         workers = self._effective_workers()
         if not specs or workers == 1:
@@ -832,13 +935,18 @@ class CampaignRunner:
                     self._spec_tasks(specs, should_skip),
                     on_outcome, progress, telemetry, stats)
             return outcomes, timings, 1
-        chunk_size = self._effective_chunk_size(len(specs), workers)
-        chunk_count = -(-len(specs) // chunk_size)
+        plan = self._plan(specs)
+        if plan is not None:
+            tasks = self._planned_tasks(specs, plan, should_skip)
+            task_count = len(plan)
+        else:
+            chunk_size = self._effective_chunk_size(len(specs), workers)
+            tasks = self._chunk_tasks(specs, chunk_size, should_skip)
+            task_count = -(-len(specs) // chunk_size)
         results: Dict[int, Tuple[ScenarioOutcome, float]] = {}
         workers = self._run_on_pool(
-            self._chunk_tasks(specs, chunk_size, should_skip),
-            min(workers, chunk_count), progress, telemetry,
-            self._collect_recorder(results, on_outcome), stats)
+            tasks, min(workers, task_count), progress, telemetry,
+            self._collect_recorder(results, on_outcome), stats, dispatch)
         ordered = sorted(results)
         return ([results[i][0] for i in ordered],
                 [results[i][1] for i in ordered], workers)
@@ -851,6 +959,7 @@ class CampaignRunner:
         telemetry: Optional[WorkerTelemetry],
         record,
         stats: FaultStats,
+        dispatch: Optional[DispatchStats] = None,
     ) -> int:
         """Shared pool plumbing for both process backends.
 
@@ -861,7 +970,9 @@ class CampaignRunner:
         in-process degradation when the pool breaks — while this method
         owns the pool's lifecycle: fork context, worker initializer
         (event queue + telemetry slice + fault plan), the drain thread,
-        and uniform, deadlock-free teardown.
+        and uniform, deadlock-free teardown.  Tasks cross the pipe as
+        compact wire descriptors (``pack=encode_chunk``); the worker
+        entry points expand them via :func:`ensure_specs`.
         """
         workers = self._effective_workers()
         if "fork" in multiprocessing.get_all_start_methods():
@@ -871,7 +982,8 @@ class CampaignRunner:
 
         supervisor = self._make_supervisor(
             record, progress, telemetry, stats,
-            max_outstanding=max(2, workers * 2))
+            max_outstanding=max(2, workers * 2),
+            dispatch=dispatch, pack=encode_chunk)
         event_queue = context.Queue() if progress is not None else None
         drain: Optional[threading.Thread] = None
         try:

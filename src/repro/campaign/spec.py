@@ -207,12 +207,41 @@ class ScenarioSpec:
         ``max_steps``) is deliberately excluded: the RNG stream — and
         with it the schedule — must be bit-identical across recording
         policies.
+
+        The sha256 is computed once per spec instance and memoised —
+        telemetry sampling, fault plans and the batched kernel all
+        consult the derived seed on the hot dispatch path.
         """
+        cached = self.__dict__.get("_derived_seed")
+        if cached is not None:
+            return cached
         blob = repr(
             (self.kind, self.n, self.f, self.k, self.scheduler, self.seed,
              self.crashes, _canonical_params(self.params))
         ).encode()
-        return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+        value = int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+        object.__setattr__(self, "_derived_seed", value)
+        return value
+
+    # -- serialisation hygiene ---------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle only the declared fields, never the memo caches.
+
+        The derived seed and the store fingerprint are cached on the
+        instance (leading-underscore keys) after first use; shipping
+        them would bloat every spec on the pool pipe and would let a
+        stale cache masquerade as identity if the schema ever changed.
+        """
+        return {
+            key: value
+            for key, value in self.__dict__.items()
+            if not key.startswith("_")
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
 
     # -- conveniences ------------------------------------------------------
 

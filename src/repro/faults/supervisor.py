@@ -34,20 +34,68 @@ functions that build them.
 from __future__ import annotations
 
 import os
+import pickle
 import queue as queue_module
 import time
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.faults.plan import FaultPlan, FaultStats, RetryPolicy
 from repro.telemetry.logs import get_logger
 
-__all__ = ["QuarantineError", "SupervisedTask", "Supervisor"]
+__all__ = ["DispatchStats", "QuarantineError", "SupervisedTask", "Supervisor"]
 
 #: A unit of supervised work: ``fn(specs, ...)`` filling ``indices``.
 TaskSpec = Tuple[Callable, Tuple, Tuple[int, ...]]
 
 #: ``record(indices, outcomes, timings)`` — the runner's slot writer.
 RecordHook = Callable[[Sequence[int], Sequence, Sequence[float]], None]
+
+
+@dataclass
+class DispatchStats:
+    """What shipping the campaign's tasks cost (pool dispatch only).
+
+    Orchestration accounting, not a result property — attached to
+    :class:`~repro.campaign.runner.CampaignResult` with ``compare=False``
+    exactly like :class:`~repro.faults.plan.FaultStats`.  The in-process
+    backends ship nothing, so their stats stay zero.
+
+    ``queue_seconds`` is the summed per-task dispatch latency: time from
+    submission to result callback minus the in-worker scenario seconds —
+    queue wait, (un)pickling, descriptor expansion and callback delivery
+    together.  ``wire_bytes`` is what the compact descriptors actually
+    cost on the pipe; ``encode_seconds`` what encoding them cost the
+    parent.
+    """
+
+    tasks_shipped: int = 0
+    scenarios_shipped: int = 0
+    wire_bytes: int = 0
+    encode_seconds: float = 0.0
+    queue_seconds: float = 0.0
+
+    def any(self) -> bool:
+        return self.tasks_shipped > 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "tasks_shipped": self.tasks_shipped,
+            "scenarios_shipped": self.scenarios_shipped,
+            "wire_bytes": self.wire_bytes,
+            "encode_seconds": round(self.encode_seconds, 6),
+            "queue_seconds": round(self.queue_seconds, 6),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DispatchStats":
+        return cls(
+            tasks_shipped=int(data.get("tasks_shipped", 0)),
+            scenarios_shipped=int(data.get("scenarios_shipped", 0)),
+            wire_bytes=int(data.get("wire_bytes", 0)),
+            encode_seconds=float(data.get("encode_seconds", 0.0)),
+            queue_seconds=float(data.get("queue_seconds", 0.0)),
+        )
 
 
 class QuarantineError(RuntimeError):
@@ -62,7 +110,7 @@ class SupervisedTask:
     """One submission-unit tracked by the supervisor."""
 
     __slots__ = ("task_id", "fn", "specs", "indices", "attempt",
-                 "eligible_at", "deadline")
+                 "eligible_at", "deadline", "submitted_at")
 
     def __init__(self, task_id: int, fn: Callable, specs: Tuple,
                  indices: Tuple[int, ...], attempt: int = 1,
@@ -74,6 +122,7 @@ class SupervisedTask:
         self.attempt = attempt
         self.eligible_at = eligible_at
         self.deadline = float("inf")
+        self.submitted_at = 0.0
 
 
 class Supervisor:
@@ -95,6 +144,8 @@ class Supervisor:
         progress: Optional[Callable] = None,
         telemetry=None,
         max_outstanding: int = 4,
+        pack: Optional[Callable[[Tuple], Any]] = None,
+        dispatch: Optional[DispatchStats] = None,
     ) -> None:
         self.retry = retry if retry is not None else RetryPolicy()
         self.faults = faults
@@ -103,6 +154,13 @@ class Supervisor:
         self._progress = progress
         self._telemetry = telemetry
         self._max_outstanding = max(1, max_outstanding)
+        # ``pack`` compresses a task's spec tuple into the descriptor that
+        # actually crosses the pool pipe (the runner passes the wire
+        # codec's ``encode_chunk``); tasks keep their *real* specs
+        # parent-side so retry and bisection work on specs and re-encode
+        # on resubmission.  Inline execution never packs.
+        self._pack = pack
+        self.dispatch = dispatch if dispatch is not None else DispatchStats()
         self._log = get_logger("faults.supervisor")
         self._settled: Set[int] = set()
         self._next_id = 0
@@ -257,17 +315,27 @@ class Supervisor:
             nonlocal last_callback
             task.deadline = time.monotonic() + self.retry.task_timeout_seconds
             task_id = task.task_id
+            payload: Any = task.specs
+            if self._pack is not None:
+                encode_started = time.perf_counter()
+                payload = self._pack(task.specs)
+                self.dispatch.encode_seconds += time.perf_counter() - encode_started
             try:
                 pool.apply_async(
-                    task.fn, (task.specs,), {"attempt": task.attempt},
+                    task.fn, (payload,), {"attempt": task.attempt},
                     callback=lambda result, t=task_id: done.put((t, result, None)),
                     error_callback=lambda exc, t=task_id: done.put((t, None, exc)),
                 )
             except Exception as exc:  # pool closed/broken
                 waiting.append(task)
                 raise _PoolBroken from exc
+            self.dispatch.tasks_shipped += 1
+            self.dispatch.scenarios_shipped += len(task.specs)
+            self.dispatch.wire_bytes += len(
+                pickle.dumps(payload, pickle.HIGHEST_PROTOCOL))
             inflight[task_id] = task
-            last_callback = time.monotonic()
+            task.submitted_at = time.monotonic()
+            last_callback = task.submitted_at
 
         def next_ready() -> Optional[SupervisedTask]:
             nonlocal exhausted
@@ -319,6 +387,9 @@ class Supervisor:
                 if task is not None:
                     if exc is None:
                         outcomes, timings = result
+                        self.dispatch.queue_seconds += max(
+                            0.0,
+                            last_callback - task.submitted_at - sum(timings))
                         self._settle(task.indices, list(outcomes), list(timings))
                     else:
                         waiting.extend(self._after_failure(task, exc))

@@ -103,6 +103,28 @@ class ResultStore(ABC):
             if outcome is not None:
                 yield digest, outcome
 
+    def flush(self) -> None:
+        """Make every buffered write durable now.
+
+        The default is a no-op because the base contract already makes
+        each :meth:`put` durable before returning.  Backends opened with
+        a ``commit_batch > 1`` buffer writes and *relax* that contract to
+        "durable within one batch or one flush, whichever comes first";
+        for them this is the durability point.  Reads on such a backend
+        flush implicitly first — a store never hides rows from itself.
+        """
+
+    def io_stats(self) -> Dict[str, int]:
+        """Write-path accounting: puts, flushes, rows per commit.
+
+        Base stores commit per put, so the default reports nothing;
+        batching backends override with real counters (``puts``,
+        ``commits``, ``committed_rows``, ``max_commit_batch``).  Numbers
+        feed the telemetry layer's ``dispatch:store_*`` counters; they
+        never affect stored data.
+        """
+        return {}
+
     def __contains__(self, fingerprint: object) -> bool:
         if not isinstance(fingerprint, (str, ScenarioFingerprint)):
             return False
@@ -118,13 +140,20 @@ class ResultStore(ABC):
         self.close()
 
 
-def open_store(path: Union[str, "object"]) -> ResultStore:
+def open_store(path: Union[str, "object"], *, commit_batch: int = 1) -> ResultStore:
     """Open a result store, picking the backend from the path.
 
     ``":memory:"`` opens the in-memory backend; a ``.sqlite`` / ``.db`` /
     ``.sqlite3`` suffix opens SQLite; anything else opens the append-only
     JSONL backend.  The file (and its parent directory) is created on
     first use.
+
+    ``commit_batch`` > 1 turns on buffered writes for the persistent
+    backends: up to that many outcomes are committed in one transaction
+    (SQLite) or one appended write (JSONL), trading the per-put fsync
+    for bulk throughput while moving the durability point by at most one
+    batch (an idle timer and every read flush early).  The in-memory
+    backend ignores it.
     """
     from repro.store.jsonl import JsonlResultStore
     from repro.store.memory import MemoryResultStore
@@ -134,5 +163,5 @@ def open_store(path: Union[str, "object"]) -> ResultStore:
     if text == ":memory:":
         return MemoryResultStore()
     if text.endswith((".sqlite", ".sqlite3", ".db")):
-        return SqliteResultStore(text)
-    return JsonlResultStore(text)
+        return SqliteResultStore(text, commit_batch=commit_batch)
+    return JsonlResultStore(text, commit_batch=commit_batch)

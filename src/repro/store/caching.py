@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.campaign.costmodel import OnlineCostModel
 from repro.campaign.grid import ScenarioGrid
 from repro.campaign.runner import CampaignResult, CampaignRunner, ScenarioEvent
 from repro.campaign.scenarios import get_kind
@@ -117,6 +118,13 @@ class CachingRunner:
         spans collected from sampled workers — and finishes it, writing
         any configured trace/metrics exports.  The caller keeps ownership
         of the session and can inspect or re-export it afterwards.
+    cost_model:
+        Optional :class:`~repro.campaign.costmodel.OnlineCostModel`.
+        Every *executed* outcome's wall seconds are fed to it, so a
+        sweep driver can snapshot it between campaigns and hand the
+        snapshot to the next :class:`CampaignRunner` as its
+        ``cost_model`` — scheduling learns across runs while each
+        individual plan stays a frozen, reproducible function.
 
     After each ``run``, :attr:`last_stats` holds the run's
     :class:`CacheStats` and :attr:`last_campaign_id` the journal id of
@@ -133,12 +141,14 @@ class CachingRunner:
         progress: Optional[ProgressReporter] = None,
         journal: Optional[Union[str, Path, CampaignJournal]] = None,
         telemetry: Optional[TelemetrySession] = None,
+        cost_model: Optional[OnlineCostModel] = None,
     ):
         self.store = store
         self.runner = runner if runner is not None else CampaignRunner()
         self.policy = policy
         self.progress = progress
         self.telemetry = telemetry
+        self.cost_model = cost_model
         if journal is None or isinstance(journal, CampaignJournal):
             self.journal = journal
             self._owns_journal = False
@@ -163,6 +173,13 @@ class CachingRunner:
             get_kind(spec.kind)
 
         fingerprints = [fingerprint_spec(spec) for spec in specs]
+        # Executed outcomes come back carrying *copies* of their specs
+        # (they crossed the pool's pickle boundary), so the per-instance
+        # fingerprint memo cannot serve them.  This map re-keys the
+        # digests computed above by spec equality — a dataclass hash,
+        # not a second sha256 — which is what keeps "no spec is hashed
+        # twice per campaign" true end to end.
+        fp_by_spec: Dict[ScenarioSpec, str] = dict(zip(specs, fingerprints))
         outcomes_by_fp: Dict[str, ScenarioOutcome] = self.store.get_many(fingerprints)
 
         campaign = uuid.uuid4().hex[:12]
@@ -250,8 +267,12 @@ class CachingRunner:
 
         def persist(outcome: ScenarioOutcome, seconds: float) -> None:
             nonlocal store_write_failures
-            fingerprint = fingerprint_spec(outcome.spec)
+            fingerprint = fp_by_spec.get(outcome.spec)
+            if fingerprint is None:  # pragma: no cover - defensive only
+                fingerprint = fingerprint_spec(outcome.spec)
             executed_seconds[fingerprint] = seconds
+            if self.cost_model is not None:
+                self.cost_model.observe(outcome.spec, seconds)
             quarantined = (
                 outcome.verdict == "error"
                 and (outcome.error or "").startswith("QuarantineError")
@@ -294,6 +315,9 @@ class CachingRunner:
                 else None
             ),
         )
+        # A batching store may still hold buffered rows; the campaign is
+        # only as durable as its last flush, so drain before reporting.
+        self.store.flush()
 
         if inner_progress is not None:
             # A worker SIGKILLed while holding the event queue's write
@@ -364,6 +388,9 @@ class CachingRunner:
             self.telemetry.record_faults(
                 inner.fault_stats.as_dict(),
                 store_write_failures=store_write_failures)
+            self.telemetry.record_dispatch(
+                inner.dispatch_stats.as_dict(),
+                store_io=self.store.io_stats())
             self.telemetry.finish(stats=stats_payload)
         if self.progress is not None:
             self.progress.campaign_finished()
@@ -375,6 +402,7 @@ class CachingRunner:
             elapsed_seconds=inner.elapsed_seconds,
             scenario_seconds=inner.scenario_seconds,
             fault_stats=inner.fault_stats,
+            dispatch_stats=inner.dispatch_stats,
         )
 
     # -- lifecycle ---------------------------------------------------------

@@ -56,8 +56,7 @@ class ScenarioFingerprint:
     @classmethod
     def of(cls, spec: ScenarioSpec) -> "ScenarioFingerprint":
         """Fingerprint a spec (stable across processes and sessions)."""
-        blob = repr((SCHEMA_VERSION, spec.identity())).encode()
-        return cls(hashlib.sha256(blob).hexdigest())
+        return cls(fingerprint_spec(spec))
 
     @property
     def short(self) -> str:
@@ -69,5 +68,22 @@ class ScenarioFingerprint:
 
 
 def fingerprint_spec(spec: ScenarioSpec) -> str:
-    """The fingerprint digest of a spec, as a plain string key."""
-    return ScenarioFingerprint.of(spec).digest
+    """The fingerprint digest of a spec, as a plain string key.
+
+    The sha256 is computed **once per spec instance** and memoised on
+    the spec (a non-field attribute, excluded from pickling by
+    ``ScenarioSpec.__getstate__``): the caching runner's skip pass, the
+    store puts, the journal records and the worker-side event emitter
+    all ask for the same digest, and hashing the canonical ``repr`` is
+    the single most repeated piece of work in a warm campaign.  The
+    memo key is the instance, not the identity — equal specs decoded in
+    different processes each hash once, which is exactly the "no spec
+    is hashed twice in one campaign" contract.
+    """
+    cached = spec.__dict__.get("_fingerprint")
+    if cached is not None:
+        return cached
+    blob = repr((SCHEMA_VERSION, spec.identity())).encode()
+    digest = hashlib.sha256(blob).hexdigest()
+    object.__setattr__(spec, "_fingerprint", digest)
+    return digest

@@ -221,6 +221,52 @@ class TelemetrySession:
             self.metrics.counter(
                 "store_write_failures", timing=True).inc(store_write_failures)
 
+    def record_dispatch(self, dispatch_stats: Dict[str, Any], *,
+                        store_io: Optional[Dict[str, int]] = None) -> None:
+        """Record what shipping the campaign cost (wire bytes, queue wait).
+
+        ``dispatch_stats`` is a
+        :meth:`~repro.faults.supervisor.DispatchStats.as_dict` payload;
+        ``store_io`` the store's :meth:`~repro.store.base.ResultStore.io_stats`.
+        Everything lands as ``timing=True`` ``dispatch:*`` counters —
+        dispatch cost is orchestration measurement, not outcome, so it
+        stays out of :meth:`deterministic_snapshot` exactly like the
+        fault counters.  A ``dispatch:summary`` span carries the same
+        numbers into the exported trace; in-process campaigns (nothing
+        shipped) record nothing at all.
+        """
+        shipped = int(dispatch_stats.get("tasks_shipped", 0) or 0)
+        scaled = {
+            name: (int(round(value * 1_000_000))
+                   if name.endswith("_seconds") else int(value))
+            for name, value in dispatch_stats.items()
+            if isinstance(value, (int, float))
+        }
+        for name, value in scaled.items():
+            metric = (f"dispatch:{name[:-len('_seconds')]}_micros"
+                      if name.endswith("_seconds") else f"dispatch:{name}")
+            if value:
+                self.metrics.counter(metric, timing=True).inc(value)
+        if shipped:
+            self.metrics.histogram(
+                "dispatch:bytes_per_task", timing=True,
+            ).observe(dispatch_stats.get("wire_bytes", 0) // shipped)
+        if store_io:
+            for name, value in store_io.items():
+                if isinstance(value, int) and value:
+                    self.metrics.counter(
+                        f"dispatch:store_{name}", timing=True).inc(value)
+        if self._tracer is not None and (shipped or store_io):
+            attrs: Dict[str, Any] = {
+                k: v for k, v in dispatch_stats.items()
+                if isinstance(v, (int, float))
+            }
+            if store_io:
+                attrs.update({f"store_{k}": v for k, v in store_io.items()
+                              if isinstance(v, int)})
+            span = self._tracer.start_span("dispatch:summary", attrs)
+            self._tracer.end_span(span)
+
     # -- export ------------------------------------------------------------
 
     def finish(self, stats: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
